@@ -1,0 +1,51 @@
+// E4 — Ablation: why TWO group graphs per epoch are critical
+// (Section III, "We emphasize that the use of two group graphs per
+// epoch is critical... errors from bad groups will accumulate").
+//
+// Runs the same epoch pipeline in dual-graph mode (the paper) and
+// single-graph mode (the naive design): in single mode every dual
+// search degenerates to one search, so a single red group on a search
+// path corrupts the request.  The paper predicts bounded error for
+// dual and compounding error for single.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tg;
+  using namespace tg::bench;
+  log::set_level(log::Level::warn);
+
+  banner("E4: dual-graph vs single-graph epoch pipeline (ablation)",
+         "single graph: p_f^j grows epoch over epoch; dual: bounded");
+
+  for (const double beta : {0.05, 0.06}) {
+    Table t({"epoch", "dual: red", "dual: q_f", "dual: success",
+             "single: red", "single: q_f", "single: success"});
+    t.set_title("n = 1536, beta = " + Table::render(beta) +
+                ", chord, 8 epochs");
+    core::Params p;
+    p.n = 1536;
+    p.beta = beta;
+    p.seed = 23;
+
+    auto dual_mgr = baseline::make_dual_graph_manager(p);
+    auto single_mgr = baseline::make_single_graph_manager(p);
+    Rng rng_dual(41), rng_single(41);
+    const auto dual = dual_mgr.run(8, 8000, rng_dual);
+    const auto single = single_mgr.run(8, 8000, rng_single);
+
+    for (std::size_t e = 0; e < dual.size(); ++e) {
+      t.add_row({static_cast<std::uint64_t>(e), dual[e].red_fraction_g1,
+                 dual[e].q_f, dual[e].search_success,
+                 single[e].red_fraction_g1, single[e].q_f,
+                 single[e].search_success});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n(The paper's Figure-of-merit: the dual column's red\n"
+               " fraction stays at the 1/polylog floor while the single\n"
+               " column drifts upward — the accumulation Section III\n"
+               " describes.  At higher beta the single pipeline collapses\n"
+               " entirely within a few epochs.)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Shared helpers for the experiment harness binaries.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "tinygroups/tinygroups.hpp"
+
+namespace tg::bench {
+
+/// Every bench announces itself the same way so the combined
+/// bench_output.txt reads as a lab notebook.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n################################################################\n"
+            << "# " << experiment << "\n"
+            << "# Claim: " << claim << "\n"
+            << "################################################################\n";
+}
+
+inline double log2d(std::size_t n) {
+  return std::log2(static_cast<double>(n));
+}
+inline double lnd(std::size_t n) { return std::log(static_cast<double>(n)); }
+inline double lnlnd(std::size_t n) { return core::Params::ln_ln(n); }
+
+}  // namespace tg::bench

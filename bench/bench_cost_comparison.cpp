@@ -1,0 +1,90 @@
+// E5 — Corollary 1: the cost comparison that motivates the paper.
+//
+//   (i)  group communication:  O((log log n)^2)  vs  O((log n)^2)
+//   (ii) secure routing:       O(D (log log n)^2) vs O(D (log n)^2)
+//   (iii) state maintenance:   O((log log n)^2)  vs  Omega(log^2 n)
+//
+// Identical topology, identical searches; only the group size differs
+// between the tiny construction (d1 ln ln n) and the prior-work
+// baseline (c ln n).  All message counts are measured, not modeled.
+#include "bench_common.hpp"
+
+namespace {
+
+struct CostRow {
+  std::size_t group_size = 0;
+  double group_comm = 0.0;     // intra-group all-to-all messages
+  double routing = 0.0;        // measured per-search messages
+  double hops = 0.0;
+  double state_links = 0.0;    // member links + neighbor links per ID
+};
+
+CostRow measure(const tg::core::Params& p, std::uint64_t seed) {
+  using namespace tg;
+  Rng rng(seed);
+  auto pop = std::make_shared<const core::Population>(
+      core::Population::uniform(p.n, p.beta, rng));
+  const crypto::OracleSuite oracles(seed);
+  auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
+
+  CostRow row;
+  row.group_size = p.group_size();
+  RunningStats comm;
+  for (std::size_t i = 0; i < std::min<std::size_t>(graph.size(), 512); ++i) {
+    comm.add(static_cast<double>(graph.intra_group_messages(i)));
+  }
+  row.group_comm = comm.mean();
+
+  const auto rob = core::measure_robustness(graph, 4000, rng);
+  row.routing = rob.messages.mean();
+  row.hops = rob.route_hops.mean();
+
+  const auto state = core::measure_state_cost(graph);
+  row.state_links = state.member_links.mean() + state.neighbor_links.mean();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tg;
+  using namespace tg::bench;
+  log::set_level(log::Level::warn);
+
+  banner("E5: Corollary 1 cost comparison (tiny vs Theta(log n) groups)",
+         "group comm, secure routing and state drop by (log n/log log n)^2");
+
+  for (const auto kind : {overlay::Kind::debruijn, overlay::Kind::chord}) {
+    Table t({"n", "|G| tiny", "|G| log", "comm tiny", "comm log", "x",
+             "route tiny", "route log", "x", "state tiny", "state log", "x"});
+    t.set_title(std::string("Measured message/state costs — overlay: ") +
+                std::string(overlay::kind_name(kind)));
+    for (const std::size_t n :
+         {std::size_t{1} << 10, std::size_t{1} << 12, std::size_t{1} << 14,
+          std::size_t{1} << 16}) {
+      core::Params tiny;
+      tiny.n = n;
+      tiny.beta = 0.05;
+      tiny.overlay_kind = kind;
+      tiny.seed = 97 + n;
+      const core::Params logn = baseline::logn_baseline(tiny);
+
+      const CostRow a = measure(tiny, tiny.seed);
+      const CostRow b = measure(logn, tiny.seed);
+      t.add_row({static_cast<std::uint64_t>(n),
+                 static_cast<std::uint64_t>(a.group_size),
+                 static_cast<std::uint64_t>(b.group_size), a.group_comm,
+                 b.group_comm, b.group_comm / a.group_comm, a.routing,
+                 b.routing, b.routing / a.routing, a.state_links,
+                 b.state_links, b.state_links / a.state_links});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout
+      << "\n(Columns 'x' are the baseline/tiny ratios: the paper predicts\n"
+         " them to grow like (log n / log log n)^2 — they widen with n.\n"
+         " The absolute numbers are exact message counts from the\n"
+         " simulator's ledgers, not wall-clock proxies.)\n";
+  return 0;
+}

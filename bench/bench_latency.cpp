@@ -1,0 +1,67 @@
+// E15 (extension) — Wall-clock latency of secure routing vs group
+// size, reproducing the PRACTICAL pain the paper cites from prior
+// systems ("|G| = 30 incurs significant latency in PlanetLab
+// experiments [51]").
+//
+// A group-to-group hop decodes when a strict majority of copies has
+// arrived, so hop latency is an order statistic of |G| per-copy WAN
+// delays: it GROWS with |G| even though the route length is fixed.
+// Tiny groups therefore win twice — fewer bytes AND lower latency.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tg;
+  using namespace tg::bench;
+  log::set_level(log::Level::warn);
+
+  banner("E15 (ext): search latency vs group size (the [51] effect)",
+         "majority decode waits for the |G|/2-th copy: latency grows with |G|");
+
+  const sim::LatencyModel model;  // PlanetLab-era WAN delays
+
+  {
+    Table t({"|G|", "role", "hop p50 (ms)", "search mean (ms)",
+             "search p95 (ms)", "search p99 (ms)"});
+    t.set_title("7-hop secure search latency (log-normal WAN model)");
+    for (const std::size_t g : {9u, 17u, 25u, 33u, 45u, 65u}) {
+      Rng rng(42 + g);
+      RunningStats hop;
+      for (int i = 0; i < 400; ++i) hop.add(model.sample_hop_ms(g, g, rng));
+      const auto rep = sim::measure_search_latency(model, 7, g, 1500, rng);
+      std::string role = "—";
+      if (g == 25) role = "tiny groups @ n=2^13";
+      if (g == 33) role = "~[51]'s PlanetLab size";
+      if (g == 65) role = "~[47]'s required size";
+      t.add_row({static_cast<std::uint64_t>(g), role, hop.mean(), rep.mean_ms,
+                 rep.p95_ms, rep.p99_ms});
+    }
+    t.print(std::cout);
+  }
+
+  // Side-by-side: tiny vs log-baseline at each n (route length from
+  // the measured P1 hop counts of the chord overlay).
+  {
+    Table t({"n", "|G| tiny", "lat tiny p95", "|G| log", "lat log p95",
+             "latency ratio"});
+    t.set_title("End-to-end p95 search latency: tiny vs Theta(log n) groups");
+    for (const std::size_t n :
+         {std::size_t{1} << 10, std::size_t{1} << 14, std::size_t{1} << 18}) {
+      core::Params tiny;
+      tiny.n = n;
+      const core::Params logn = baseline::logn_baseline(tiny);
+      const auto hops = static_cast<std::size_t>(0.55 * log2d(n));
+      Rng rng(7 + n);
+      const auto lat_tiny = sim::measure_search_latency(
+          model, hops, tiny.group_size(), 1200, rng);
+      const auto lat_log = sim::measure_search_latency(
+          model, hops, logn.group_size(), 1200, rng);
+      t.add_row({static_cast<std::uint64_t>(n),
+                 static_cast<std::uint64_t>(tiny.group_size()),
+                 lat_tiny.p95_ms,
+                 static_cast<std::uint64_t>(logn.group_size()),
+                 lat_log.p95_ms, lat_log.p95_ms / lat_tiny.p95_ms});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

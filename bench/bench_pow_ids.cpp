@@ -1,0 +1,94 @@
+// E6 — Lemma 11: PoW bounds the adversary's IDs.
+//
+//   "W.h.p., the adversary generates at most (1+eps) beta n IDs over
+//    (1 +- eps)(T/2) steps and these IDs are u.a.r. in [0,1)."
+//
+// Sweeps beta and reports (a) the adversarial ID count against the
+// bound, (b) uniformity of the adversarial ID positions (KS test), and
+// (c) the good-ID completion rate within the (1+eps) window.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tg;
+  using namespace tg::bench;
+  log::set_level(log::Level::warn);
+
+  banner("E6: Lemma 11 — adversary ID count and uniformity under PoW",
+         "adversary <= (1+eps) beta n IDs, u.a.r. on the ring");
+
+  {
+    Table t({"beta", "trials", "mean adv IDs", "bound (1+eps)beta n",
+             "max adv IDs", "violations", "good completion"});
+    t.set_title("ID generation, n = 8192, T/2 = 2^14 steps, kappa = 16");
+    for (const double beta : {0.02, 0.05, 0.10, 0.20, 0.33}) {
+      pow::GenerationConfig cfg;
+      cfg.n = 8192;
+      cfg.beta = beta;
+      Rng rng(static_cast<std::uint64_t>(beta * 1000) + 5);
+      RunningStats adv, good;
+      std::size_t violations = 0;
+      const std::size_t trials = 40;
+      for (std::size_t i = 0; i < trials; ++i) {
+        const auto rep = pow::simulate_generation(cfg, rng);
+        adv.add(static_cast<double>(rep.adversary_ids));
+        good.add(static_cast<double>(rep.good_ids));
+        violations += !rep.within_bound;
+      }
+      const double bound = (1.0 + cfg.eps) * beta * 8192.0;
+      t.add_row({beta, static_cast<std::uint64_t>(trials), adv.mean(), bound,
+                 adv.max(), static_cast<std::uint64_t>(violations),
+                 good.mean() / ((1.0 - beta) * 8192.0)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t({"beta", "samples", "KS statistic", "KS critical (1%)",
+             "uniform?", "chi2 (20 bins)"});
+    t.set_title("Uniformity of adversarial ID positions (Lemma 11, part 2)");
+    for (const double beta : {0.05, 0.10, 0.20}) {
+      pow::GenerationConfig cfg;
+      cfg.n = 1 << 14;
+      cfg.beta = beta;
+      Rng rng(static_cast<std::uint64_t>(beta * 1000) + 7);
+      std::vector<double> positions;
+      while (positions.size() < 5000) {
+        const auto rep = pow::simulate_generation(cfg, rng);
+        positions.insert(positions.end(), rep.adversary_positions.begin(),
+                         rep.adversary_positions.end());
+      }
+      const double ks = ks_statistic_uniform(positions);
+      const double crit = ks_critical_value(positions.size(), 0.01);
+      t.add_row({beta, static_cast<std::uint64_t>(positions.size()), ks, crit,
+                 std::string(ks < crit ? "yes" : "NO"),
+                 chi_square_uniform(positions, 20)});
+    }
+    t.print(std::cout);
+  }
+
+  // Real-hash spot check: the sampling oracle and the SHA path agree.
+  {
+    Table t({"path", "machines", "solved", "mean attempts",
+             "expected attempts"});
+    t.set_title("Sampling oracle vs real SHA-256 puzzles (calibration check)");
+    const crypto::OracleSuite oracles(91);
+    Rng rng(92);
+    const double target_attempts = 500.0;
+    const std::uint64_t tau = pow::tau_for_expected_attempts(target_attempts);
+    const auto sols =
+        pow::solve_real_batch(oracles, 64, 0x5151, tau, 1 << 16, rng);
+    RunningStats attempts;
+    for (const auto& s : sols) attempts.add(static_cast<double>(s.attempts));
+    t.add_row({std::string("real SHA-256"), std::uint64_t{64},
+               static_cast<std::uint64_t>(sols.size()), attempts.mean(),
+               target_attempts});
+    RunningStats sampled;
+    for (int i = 0; i < 64; ++i) {
+      sampled.add(static_cast<double>(rng.geometric(1.0 / target_attempts)));
+    }
+    t.add_row({std::string("sampling oracle"), std::uint64_t{64},
+               std::uint64_t{64}, sampled.mean(), target_attempts});
+    t.print(std::cout);
+  }
+  return 0;
+}

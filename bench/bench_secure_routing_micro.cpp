@@ -1,0 +1,136 @@
+// E14 — Microbenchmarks (google-benchmark): the primitive operations
+// behind Figure 1's semantics — all-to-all transfer with majority
+// filtering, secure search evaluation, in-group agreement, and the
+// SHA-256 / puzzle substrate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "tinygroups/tinygroups.hpp"
+
+namespace {
+
+using namespace tg;
+
+// Shared fixtures built once (static locals) so per-iteration work is
+// just the operation under test.
+struct SearchFixture {
+  core::Params params;
+  std::shared_ptr<const core::Population> pop;
+  std::unique_ptr<core::GroupGraph> graph;
+  SearchFixture() {
+    params.n = 4096;
+    params.beta = 0.05;
+    params.seed = 9;
+    Rng rng(params.seed);
+    pop = std::make_shared<const core::Population>(
+        core::Population::uniform(params.n, params.beta, rng));
+    const crypto::OracleSuite oracles(params.seed);
+    graph = std::make_unique<core::GroupGraph>(
+        core::GroupGraph::pristine(params, pop, oracles.h1));
+  }
+  static const SearchFixture& get() {
+    static const SearchFixture instance;
+    return instance;
+  }
+};
+
+void BM_Sha256_64B(benchmark::State& state) {
+  std::array<std::uint8_t, 64> buf{};
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    buf[0] = static_cast<std::uint8_t>(counter++);
+    benchmark::DoNotOptimize(crypto::sha256(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_PuzzleAttempt(benchmark::State& state) {
+  const crypto::OracleSuite oracles(1);
+  const pow::PuzzleSolver solver(oracles.f, oracles.g);
+  std::uint64_t sigma = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check(++sigma, 0x1234, 1ULL << 40));
+  }
+}
+BENCHMARK(BM_PuzzleAttempt);
+
+void BM_SuccessorLookup(benchmark::State& state) {
+  const auto& f = SearchFixture::get();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.pop->table().successor_index(ids::RingPoint{rng.u64()}));
+  }
+}
+BENCHMARK(BM_SuccessorLookup);
+
+void BM_SecureSearch(benchmark::State& state) {
+  const auto& f = SearchFixture::get();
+  Rng rng(3);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const auto out = core::secure_search(
+        *f.graph, rng.below(f.params.n), ids::RingPoint{rng.u64()});
+    messages += out.messages;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["msgs/search"] = benchmark::Counter(
+      static_cast<double>(messages),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SecureSearch);
+
+void BM_MajorityFilterTransfer(benchmark::State& state) {
+  const auto good = static_cast<std::size_t>(state.range(0));
+  const std::size_t bad = good / 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bft::transfer_with_corruption(42, good, bad, 666));
+  }
+}
+BENCHMARK(BM_MajorityFilterTransfer)->Arg(9)->Arg(17)->Arg(33)->Arg(65);
+
+void BM_DolevStrong(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const crypto::SignatureAuthority auth(4);
+  std::vector<std::uint8_t> bad(n, 0);
+  bad[1] = 1;  // one Byzantine relay
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bft::dolev_strong(n, bad, 0, 55, auth));
+  }
+}
+BENCHMARK(BM_DolevStrong)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_GroupJob(benchmark::State& state) {
+  const auto& f = SearchFixture::get();
+  std::uint64_t input = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bft::execute_job(f.graph->group(0), f.graph->member_pool(), ++input));
+  }
+}
+BENCHMARK(BM_GroupJob);
+
+void BM_EpochBuild(benchmark::State& state) {
+  core::Params p;
+  p.n = static_cast<std::size_t>(state.range(0));
+  p.beta = 0.05;
+  p.seed = 5;
+  p.overlay_kind = overlay::Kind::debruijn;
+  const core::EpochBuilder builder(p);
+  Rng rng(p.seed);
+  const core::EpochGraphs initial = builder.initial(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build_next(initial, rng, nullptr));
+  }
+  state.counters["ids/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(p.n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EpochBuild)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Decentralized name service — the Section I-A motivation "distributed
+// databases, name services, and content-sharing networks", in the
+// tradition the paper's group-spreading ancestor [7] was built for.
+//
+// Names are hashed to keys in [0,1); the group responsible for a key
+// stores the binding replicated across its members.  Lookups are
+// secure searches: epsilon-robustness means all but a
+// 1/poly(log n)-fraction of names stay resolvable under a
+// beta-fraction adversary.  The demo registers a dictionary, attacks
+// the network, and measures resolution before/after one epoch of
+// churn-driven rebuilding.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tinygroups/tinygroups.hpp"
+
+namespace {
+
+/// Hash a DNS-ish name to the key space through the resource oracle.
+tg::ids::RingPoint name_to_key(const tg::crypto::RandomOracle& oracle,
+                               const std::string& name) {
+  std::uint64_t acc = 1469598103934665603ULL;
+  for (const char c : name) {
+    acc ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    acc *= 1099511628211ULL;
+  }
+  return tg::ids::RingPoint{oracle.value_u64(acc)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace tg;
+  log::set_level(log::Level::warn);
+
+  core::Params params;
+  params.n = 4096;
+  params.beta = 0.08;
+  params.overlay_kind = overlay::Kind::debruijn;
+  params.seed = 2026;
+  Rng rng(params.seed);
+
+  std::cout << "== name service on tiny groups ==\n"
+            << "n = " << params.n << ", beta = " << params.beta
+            << ", |G| = " << params.group_size() << ", overlay = debruijn\n\n";
+
+  // Build the epoch-0 dual graphs.
+  core::EpochBuilder builder(params);
+  const auto epoch = builder.initial(rng);
+  const auto& g1 = *epoch.g1;
+  const auto& g2 = *epoch.g2;
+  const crypto::OracleSuite oracles(params.seed);
+
+  // Register a zone's worth of names: each binding is stored on the
+  // group responsible for its key.
+  const std::vector<std::string> tlds = {"lab", "home", "corp", "edu"};
+  std::vector<std::string> names;
+  for (const auto& tld : tlds) {
+    for (int i = 0; i < 250; ++i) {
+      names.push_back("host-" + std::to_string(i) + "." + tld);
+    }
+  }
+
+  std::size_t resolvable = 0, dual_resolvable = 0;
+  std::uint64_t messages = 0;
+  for (const auto& name : names) {
+    const auto key = name_to_key(oracles.h, name);
+    const std::size_t start = rng.below(params.n);
+    // Resolution = secure search to the responsible group.
+    const auto single = core::secure_search(g1, start, key);
+    const auto dual = core::dual_secure_search(g1, g2, start, key);
+    resolvable += single.success ? 1 : 0;
+    dual_resolvable += dual.success ? 1 : 0;
+    messages += dual.messages;
+  }
+
+  const auto pct = [&](std::size_t k) {
+    return 100.0 * static_cast<double>(k) / static_cast<double>(names.size());
+  };
+  std::cout << "[resolve] " << names.size() << " names registered\n"
+            << "[resolve] single-graph resolution: " << pct(resolvable)
+            << "%\n"
+            << "[resolve] dual-graph resolution:   " << pct(dual_resolvable)
+            << "%  (Section III-A: a lookup fails only if BOTH paths "
+               "fail)\n"
+            << "[resolve] messages per dual lookup: "
+            << static_cast<double>(messages) /
+                   static_cast<double>(names.size())
+            << "\n\n";
+
+  // Storage robustness: the responsible group holds the binding with
+  // replication across members; a good-majority group always serves
+  // the true record.
+  std::size_t served_true = 0;
+  std::size_t probes = 400;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const auto& name = names[rng.below(names.size())];
+    const auto key = name_to_key(oracles.h, name);
+    const std::size_t owner = g1.leaders().table().successor_index(key);
+    const auto& grp = g1.group(owner);
+    // Majority filter over member replicas: bad members serve garbage.
+    const auto result = bft::transfer_with_corruption(
+        /*true_value=*/key.raw(), grp.size() - grp.bad_members,
+        grp.bad_members, /*forged_value=*/~key.raw());
+    if (result.strict_majority && result.value == key.raw()) ++served_true;
+  }
+  std::cout << "[store] " << probes << " record fetches, "
+            << 100.0 * static_cast<double>(served_true) /
+                   static_cast<double>(probes)
+            << "% served the authentic record via replica majority\n\n";
+
+  // The paper's headline: compare with the log-size baseline cost.
+  const std::size_t tiny = params.group_size();
+  const std::size_t logsize = params.baseline_group_size();
+  std::cout << "[cost] per-hop exchange: " << tiny * tiny
+            << " messages (tiny) vs " << logsize * logsize
+            << " (log-baseline) — a "
+            << static_cast<double>(logsize * logsize) /
+                   static_cast<double>(tiny * tiny)
+            << "x reduction (the gap grows like (log n / log log n)^2)\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Distributed randomness beacon — the "robust random number
+// generation" workload of Awerbuch-Scheideler [8] that Section I lists
+// as the canonical group-communication task, composed with the
+// threshold machinery a [51]-style deployment would add.
+//
+// One group acts as the beacon committee per round:
+//   1. commit-reveal RNG produces the round's raw entropy (bad members
+//      can only abort, and aborts are detected),
+//   2. a DKG-established threshold key lets any majority of members
+//      certify the output — consumers verify one certificate instead
+//      of |G| signatures,
+//   3. Berlekamp-Welch reconstruction shows the certificate survives
+//      lying members at reconstruction time.
+// The demo rotates the committee across groups (hash chain), attacks
+// it, and prints the beacon transcript.
+#include <iomanip>
+#include <iostream>
+
+#include "tinygroups/tinygroups.hpp"
+
+int main() {
+  using namespace tg;
+  log::set_level(log::Level::warn);
+
+  core::Params params;
+  params.n = 2048;
+  params.beta = 0.10;
+  params.seed = 99;
+  Rng rng(params.seed);
+
+  std::cout << "== randomness beacon on tiny groups ==\n"
+            << "n = " << params.n << ", beta = " << params.beta
+            << ", committee size |G| = " << params.group_size() << "\n\n";
+
+  auto pop = std::make_shared<const core::Population>(
+      core::Population::uniform(params.n, params.beta, rng));
+  const crypto::OracleSuite oracles(params.seed);
+  const auto graph = core::GroupGraph::pristine(params, pop, oracles.h1);
+
+  std::uint64_t chain = 0x5eed;  // committee rotation: hash chain
+  std::size_t rounds_ok = 0, aborts_total = 0, committees_bad = 0;
+
+  constexpr int kRounds = 12;
+  std::cout << std::left << std::setw(7) << "round" << std::setw(11)
+            << "committee" << std::setw(8) << "red?" << std::setw(22)
+            << "beacon output" << std::setw(8) << "aborts" << "DKG/BW\n";
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t committee =
+        static_cast<std::size_t>(oracles.h.value_u64(chain) %
+                                 static_cast<std::uint64_t>(graph.size()));
+    const auto& grp = graph.group(committee);
+    const bool red = graph.is_red(committee);
+    committees_bad += red ? 1 : 0;
+
+    // 1. Commit-reveal entropy (bad members abort adversarially).
+    const auto entropy = bft::group_random(grp, *pop, /*prefer_low_bit=*/0, rng);
+    aborts_total += entropy.aborts;
+
+    // 2. Threshold certification via DKG (honest dealing here; the
+    //    wrong-share fault path is exercised in the test suite).
+    const auto dkg = bft::run_dkg(grp, *pop, bft::DealerFault::none, rng);
+
+    // 3. Reconstruction under lies: bad members corrupt their key
+    //    shares; Berlekamp-Welch still certifies when redundancy
+    //    permits (it always does for good groups at theta = 0.3).
+    bool certified = false;
+    if (dkg.ok) {
+      auto reported = dkg.good_key_shares;
+      const std::size_t degree = (grp.size() - 1) / 3;
+      std::size_t lies = 0;
+      for (std::size_t i = 0;
+           i < grp.size() && reported.size() < grp.size(); ++i) {
+        if (!pop->is_bad(grp.members[i])) continue;
+        reported.push_back(bft::Share{
+            bft::Fe{static_cast<std::uint64_t>(i + 1)}, bft::fe(rng.u64())});
+        ++lies;
+      }
+      if (reported.size() >= degree + 2 * lies + 1) {
+        const auto decoded =
+            bft::shamir_robust_reconstruct(reported, degree, lies);
+        certified = decoded.ok && decoded.secret == dkg.group_secret;
+      }
+    }
+
+    const bool ok = !red && entropy.commitments_valid && certified;
+    rounds_ok += ok ? 1 : 0;
+    std::cout << std::left << std::setw(7) << round << std::setw(11)
+              << committee << std::setw(8) << (red ? "RED" : "blue")
+              << "0x" << std::hex << std::setw(20) << entropy.value
+              << std::dec << std::setw(8) << entropy.aborts
+              << (certified ? "certified" : "FAILED") << "\n";
+    chain = oracles.h.value_pair(chain, entropy.value);
+  }
+
+  std::cout << "\n[beacon] " << rounds_ok << "/" << kRounds
+            << " rounds produced certified outputs ("
+            << committees_bad << " committees were red — epsilon-"
+            << "robustness says ~" << graph.red_fraction() * kRounds
+            << " expected)\n"
+            << "[beacon] total selective aborts absorbed: " << aborts_total
+            << " (each detected and attributable; quarantine evicts "
+               "repeat offenders)\n";
+  return 0;
+}

@@ -1,0 +1,4 @@
+#include "adversary/adversary.hpp"
+
+// Header-only logic; this TU anchors the library target.
+namespace tg::adversary {}

@@ -1,0 +1,40 @@
+// Adversary model (Section I-C).
+//
+// A single adversary controls all bad IDs: they collude perfectly, it
+// knows the topology and all message contents, but not the local
+// random bits of good IDs.  Each concrete attack the paper reasons
+// about gets its own translation unit:
+//
+//   redirect.hpp      — inflate red-group traversal counts after a
+//                       search fails (why "responsibility" is defined
+//                       on search paths, Section II-A),
+//   flood.hpp         — bogus membership/neighbor requests to bloat
+//                       good IDs' state (Section III-A "Verifying
+//                       Requests", Lemma 10),
+//   late_release.hpp  — withhold small lottery strings until the end
+//                       of Phase 2 (Appendix VIII),
+//   precompute.hpp    — stockpile puzzle solutions for a future mass
+//                       join (Section IV-B's motivation),
+//   omit_ids.hpp      — inject only a subset of its u.a.r. IDs to
+//                       skew the placement (Lemma 5),
+// plus the chosen-input attack against single-hash ID generation
+// (Section IV-A "Why Use Two Hash Functions?") in precompute.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace tg::adversary {
+
+/// Compute budget the adversary wields, expressed like the paper:
+/// a beta fraction of the system total.
+struct ComputeBudget {
+  double beta = 0.05;
+  std::uint64_t total_system_attempts = 0;
+
+  [[nodiscard]] std::uint64_t adversary_attempts() const noexcept {
+    return static_cast<std::uint64_t>(beta *
+                                      static_cast<double>(total_system_attempts));
+  }
+};
+
+}  // namespace tg::adversary

@@ -1,0 +1,76 @@
+#include "adversary/eclipse.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/bootstrap.hpp"
+
+namespace tg::adversary {
+
+EclipseReport eclipsed_bootstrap(const core::GroupGraph& graph,
+                                 double eclipsed_fraction, Rng& rng) {
+  EclipseReport report;
+  const std::size_t contacts = core::bootstrap_group_count(graph.size());
+  report.groups_contacted = contacts;
+  // Floor: the adversary steers AT MOST this fraction of the contact
+  // slots (rounding up would overstate its reach at small counts).
+  report.adversary_supplied = std::min(
+      contacts,
+      static_cast<std::size_t>(eclipsed_fraction *
+                               static_cast<double>(contacts)));
+
+  // The adversary's picks are FABRICATED groups: member lists drawn
+  // from its own ID pool.  The joiner cannot tell them from real
+  // groups — it has no search capability yet, which is the whole
+  // point of bootstrapping.
+  const core::Population& pool = graph.member_pool();
+  std::vector<std::uint32_t> bad_pool;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool.is_bad(i)) bad_pool.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::unordered_set<std::uint32_t> collected;
+  std::size_t bad = 0;
+  const auto absorb_real = [&](std::size_t group_index) {
+    for (const auto m : graph.group(group_index).members) {
+      if (collected.insert(m).second && pool.is_bad(m)) ++bad;
+    }
+  };
+  const std::size_t g = graph.params().group_size();
+  std::size_t cursor = 0;
+  for (std::size_t k = 0; k < report.adversary_supplied; ++k) {
+    if (bad_pool.empty()) {
+      // Nothing to fabricate with: the eclipsed slot times out and the
+      // joiner retries through the honest path.
+      absorb_real(rng.below(graph.size()));
+      continue;
+    }
+    for (std::size_t j = 0; j < g; ++j) {
+      const std::uint32_t id = bad_pool[cursor % bad_pool.size()];
+      ++cursor;
+      if (collected.insert(id).second) ++bad;
+    }
+  }
+  for (std::size_t k = report.adversary_supplied; k < contacts; ++k) {
+    absorb_real(rng.below(graph.size()));
+  }
+
+  report.ids_collected = collected.size();
+  report.bad_ids = bad;
+  report.good_majority = 2 * bad < collected.size();
+  return report;
+}
+
+double bootstrap_capture_rate(const core::GroupGraph& graph,
+                              double eclipsed_fraction, std::size_t trials,
+                              Rng& rng) {
+  std::size_t captured = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (!eclipsed_bootstrap(graph, eclipsed_fraction, rng).good_majority) {
+      ++captured;
+    }
+  }
+  return static_cast<double>(captured) / static_cast<double>(trials);
+}
+
+}  // namespace tg::adversary

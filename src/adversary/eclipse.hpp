@@ -1,0 +1,44 @@
+// Eclipse attack on bootstrapping — why Appendix IX needs the joiner's
+// contact groups to be chosen uniformly at random.
+//
+// A joiner builds its virtual bootstrap group G_boot from the union of
+// O(log n / log log n) contacted groups.  The appendix's guarantee
+// rests on those contacts being u.a.r.; an adversary that can steer
+// some of them (poisoned rendezvous lists, malicious introduction
+// nodes) does not point at real groups at all — it FABRICATES contact
+// groups stuffed entirely with its own IDs, which the joiner cannot
+// distinguish from genuine ones before it can search.  This module
+// measures how the good-majority guarantee of G_boot degrades as the
+// steered fraction grows; the ~1/2 cliff is the quantitative argument
+// for the appendix's u.a.r. requirement.
+#pragma once
+
+#include <cstddef>
+
+#include "core/group_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+struct EclipseReport {
+  std::size_t groups_contacted = 0;
+  std::size_t adversary_supplied = 0;  ///< contacts steered by the attacker
+  std::size_t ids_collected = 0;
+  std::size_t bad_ids = 0;
+  bool good_majority = false;
+};
+
+/// One bootstrap attempt where `eclipsed_fraction` of the contact
+/// slots are filled by the adversary with its highest-bad-fraction
+/// groups; the rest are chosen u.a.r. (the honest path).
+[[nodiscard]] EclipseReport eclipsed_bootstrap(const core::GroupGraph& graph,
+                                               double eclipsed_fraction,
+                                               Rng& rng);
+
+/// Monte-Carlo capture probability: fraction of attempts in which
+/// G_boot LOSES its good majority.
+[[nodiscard]] double bootstrap_capture_rate(const core::GroupGraph& graph,
+                                            double eclipsed_fraction,
+                                            std::size_t trials, Rng& rng);
+
+}  // namespace tg::adversary

@@ -1,0 +1,39 @@
+#include "adversary/flood.hpp"
+
+#include "core/search.hpp"
+
+namespace tg::adversary {
+
+FloodReport flood_membership_requests(const core::GroupGraph& g1,
+                                      const core::GroupGraph& g2,
+                                      std::size_t victims,
+                                      std::size_t requests_per_victim,
+                                      Rng& rng) {
+  FloodReport report;
+  if (g1.size() == 0) return report;
+
+  for (std::size_t v = 0; v < victims; ++v) {
+    const std::size_t victim = g1.leaders().random_good_index(rng);
+    for (std::size_t r = 0; r < requests_per_victim; ++r) {
+      ++report.bogus_requests;
+      // The claimed key is adversarial; the victim verifies by
+      // searching for it in both graphs from its own position.  The
+      // claim is false, so an honest search returns someone else; the
+      // adversary wins only if BOTH searches fail (hit red groups),
+      // letting it forge the result.
+      const ids::RingPoint bogus_key{rng.u64()};
+      const core::DualOutcome out =
+          core::dual_secure_search(g1, g2, victim, bogus_key);
+      if (!out.success) ++report.accepted;
+    }
+  }
+  if (report.bogus_requests > 0) {
+    report.acceptance_rate = static_cast<double>(report.accepted) /
+                             static_cast<double>(report.bogus_requests);
+  }
+  report.expected_extra_state =
+      report.acceptance_rate * static_cast<double>(requests_per_victim);
+  return report;
+}
+
+}  // namespace tg::adversary

@@ -1,0 +1,36 @@
+// Request-flooding attack (Section III-A "Verifying Requests").
+//
+// "The adversary may attempt to have many good IDs join as neighbors
+//  or members of a bad group... good IDs will have resources consumed
+//  by maintaining too many neighbors or joining too many groups."
+//
+// Defense: every request is verified by the receiver's own dual
+// search.  A bogus request is erroneously ACCEPTED only when both
+// verification searches fail (probability ~ q_f^2, and the adversary
+// can at best steer that toward ~q_f each) — so the expected state
+// blow-up is O(#requests * q_f^2), which Lemma 10 keeps at O(1).
+#pragma once
+
+#include "core/group_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+struct FloodReport {
+  std::size_t bogus_requests = 0;
+  std::size_t accepted = 0;           ///< erroneous acceptances
+  double acceptance_rate = 0.0;
+  double expected_extra_state = 0.0;  ///< per victim ID
+};
+
+/// Fire `requests_per_victim` bogus membership requests at
+/// `victims` random good IDs.  The victim verifies with a dual search
+/// in (g1, g2) started from its own group; the request slips through
+/// only if both searches fail (i.e. its group is red in both graphs —
+/// the structural model of builder.cpp).  Passing the same graph twice
+/// models the single-graph ablation, where one failure suffices.
+[[nodiscard]] FloodReport flood_membership_requests(
+    const core::GroupGraph& g1, const core::GroupGraph& g2,
+    std::size_t victims, std::size_t requests_per_victim, Rng& rng);
+
+}  // namespace tg::adversary

@@ -1,0 +1,22 @@
+#include "adversary/late_release.hpp"
+
+namespace tg::adversary {
+
+std::vector<pow::LateRelease> worst_case_late_release(
+    std::size_t count, std::size_t nodes, std::size_t phase2_steps,
+    double honest_minimum_estimate, Rng& rng) {
+  std::vector<pow::LateRelease> attacks;
+  attacks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pow::LateRelease atk;
+    // Orders of magnitude below the honest minimum: guaranteed to win
+    // any bin it lands in.
+    atk.output = honest_minimum_estimate / (16.0 * static_cast<double>(i + 2));
+    atk.release_step = phase2_steps > 0 ? phase2_steps - 1 : 0;
+    atk.at_node = static_cast<std::uint32_t>(rng.below(nodes));
+    attacks.push_back(atk);
+  }
+  return attacks;
+}
+
+}  // namespace tg::adversary

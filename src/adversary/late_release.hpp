@@ -1,0 +1,24 @@
+// Late-release attack on the string protocol (Appendix VIII).
+//
+// "The adversary can propagate a string s' with a small output late in
+//  Phase 2... If w receives s' while u does not, then R_w != R_u."
+// Phase 3 exists precisely to absorb this: anything selected by the
+// end of Phase 2 still has d' ln n steps to reach everyone.
+#pragma once
+
+#include <vector>
+
+#include "pow/gossip.hpp"
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+/// Craft the worst-case schedule: `count` strings with outputs far
+/// below the honest minimum (so they will be selected by whoever sees
+/// them), injected at scattered nodes exactly at the last step of
+/// Phase 2.
+[[nodiscard]] std::vector<pow::LateRelease> worst_case_late_release(
+    std::size_t count, std::size_t nodes, std::size_t phase2_steps,
+    double honest_minimum_estimate, Rng& rng);
+
+}  // namespace tg::adversary

@@ -1,0 +1,39 @@
+#include "adversary/omit_ids.hpp"
+
+#include <cmath>
+
+namespace tg::adversary {
+
+core::Population build_omitted_population(std::size_t n_good,
+                                          std::size_t n_bad_pool,
+                                          OmissionStrategy strategy, Rng& rng) {
+  std::vector<ids::RingPoint> good;
+  good.reserve(n_good);
+  for (std::size_t i = 0; i < n_good; ++i) good.emplace_back(rng.u64());
+
+  std::vector<ids::RingPoint> bad;
+  const std::size_t total = n_good + n_bad_pool;
+  const double cluster_frac =
+      1.0 / std::log(static_cast<double>(std::max<std::size_t>(total, 3)));
+  const auto cluster_bound = static_cast<std::uint64_t>(
+      std::min(cluster_frac, 1.0) * 0x1.0p64);
+  for (std::size_t i = 0; i < n_bad_pool; ++i) {
+    const ids::RingPoint p{rng.u64()};
+    switch (strategy) {
+      case OmissionStrategy::keep_all:
+        bad.push_back(p);
+        break;
+      case OmissionStrategy::keep_low_half:
+        if (p.raw() < ids::kHalfRing) bad.push_back(p);
+        break;
+      case OmissionStrategy::keep_clustered:
+        if (p.raw() < cluster_bound) bad.push_back(p);
+        break;
+      case OmissionStrategy::keep_none:
+        break;
+    }
+  }
+  return core::Population::from_points(good, bad);
+}
+
+}  // namespace tg::adversary

@@ -1,0 +1,27 @@
+// Subset-omission attack (Lemma 5 / Appendix VII).
+//
+// The adversary generates a large pool of u.a.r. IDs but injects only
+// a chosen subset, trying to skew density on the ring (e.g. only IDs
+// in [0, 1/2)).  Lemma 5 shows P1-P4 survive any such choice; this
+// module builds the attacked populations so benches/tests can verify.
+#pragma once
+
+#include "core/population.hpp"
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+enum class OmissionStrategy {
+  keep_all,        ///< baseline: inject everything
+  keep_low_half,   ///< only IDs in [0, 1/2)
+  keep_clustered,  ///< only IDs within a 1/log n-arc around 0
+  keep_none        ///< inject nothing (pure good placement)
+};
+
+/// Build a population of `n_good` good u.a.r. IDs plus the surviving
+/// subset of `n_bad_pool` adversarial u.a.r. IDs under the strategy.
+[[nodiscard]] core::Population build_omitted_population(
+    std::size_t n_good, std::size_t n_bad_pool, OmissionStrategy strategy,
+    Rng& rng);
+
+}  // namespace tg::adversary

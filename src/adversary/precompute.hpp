@@ -1,0 +1,52 @@
+// Pre-computation (stockpiling) attack and the chosen-input attack
+// (Sections IV-A and IV-B).
+//
+// Without epoch strings the adversary "could spend time computing a
+// large number of IDs, and then use these IDs all at once to
+// overwhelm the system".  With strings, solutions expire: only work
+// performed after r_{i-1} became known counts.  The chosen-input
+// attack targets single-hash ID assignment ("if g(x) < tau then x is
+// a valid ID"): by restricting itself to small inputs x the adversary
+// confines its IDs to a chosen region — broken by composing f(g(x)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+struct StockpileReport {
+  std::size_t epochs_precomputed = 0;
+  /// IDs deployable in the target epoch WITHOUT epoch strings: the
+  /// whole stockpile.
+  std::uint64_t ids_without_strings = 0;
+  /// WITH strings: only the window since r became known contributes.
+  std::uint64_t ids_with_strings = 0;
+  double amplification = 0.0;  ///< without / with
+};
+
+/// Adversary pre-computes for `epochs_ahead` epochs at
+/// `attempts_per_epoch`, then attacks.
+[[nodiscard]] StockpileReport simulate_stockpile(std::uint64_t attempts_per_epoch,
+                                                 std::size_t epochs_ahead,
+                                                 std::uint64_t tau, Rng& rng);
+
+struct ChosenInputReport {
+  std::size_t ids = 0;
+  /// Fraction of adversary IDs landing in the target region [0, region).
+  double single_hash_hit_rate = 0.0;   ///< ids are g(x): fully steerable
+  double composed_hash_hit_rate = 0.0; ///< ids are f(g(x)): ~region
+  double region = 0.0;
+};
+
+/// The adversary tries to concentrate its IDs in [0, region) by
+/// searching for inputs whose single-hash ID lands there, comparing
+/// the single-hash scheme against the paper's f∘g composition.
+[[nodiscard]] ChosenInputReport simulate_chosen_input(
+    const crypto::OracleSuite& oracles, std::size_t target_ids, double region,
+    std::uint64_t attempt_budget, Rng& rng);
+
+}  // namespace tg::adversary

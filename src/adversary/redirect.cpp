@@ -1,0 +1,48 @@
+#include "adversary/redirect.hpp"
+
+namespace tg::adversary {
+
+RedirectReport measure_redirection(const core::GroupGraph& graph,
+                                   std::size_t searches, Rng& rng) {
+  RedirectReport report;
+  report.searches = searches;
+  if (graph.size() == 0) return report;
+
+  // Designate the first red group as the adversary's amplifier.
+  bool found = false;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (graph.is_red(i)) {
+      report.designated_group = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return report;  // nothing to redirect through
+
+  for (std::size_t s = 0; s < searches; ++s) {
+    const std::size_t start = rng.below(graph.size());
+    const ids::RingPoint key{rng.u64()};
+    const overlay::Route route = graph.topology().route(start, key);
+    bool failed = false;
+    for (const std::size_t idx : route.path) {
+      const bool red = graph.is_red(idx);
+      if (!failed && idx == report.designated_group) {
+        ++report.search_path_traversals;
+      }
+      if (red) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) {
+      ++report.failed_searches;
+      // The adversary owns the search now: it bounces it through the
+      // designated red group (and could do so any number of times).
+      ++report.redirected_traversals;
+    }
+  }
+  report.redirected_traversals += report.search_path_traversals;
+  return report;
+}
+
+}  // namespace tg::adversary

@@ -1,0 +1,32 @@
+// Search-redirection attack (Section II-A).
+//
+// Once a search hits a red group the adversary controls it and "may
+// have the same red group traversed by multiple different searches,
+// thus arbitrarily inflating the number of searches that traverse this
+// red group".  This module measures that inflation: the traversal
+// count of a designated red group under (a) search-path semantics
+// (what the analysis uses) versus (b) adversarial redirection of every
+// failed search through the designated group.
+#pragma once
+
+#include "core/group_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+struct RedirectReport {
+  std::size_t searches = 0;
+  std::size_t failed_searches = 0;
+  /// Times the designated red group appears on bounded search paths.
+  std::size_t search_path_traversals = 0;
+  /// Times it is "traversed" once the adversary redirects every failed
+  /// search through it (unbounded by responsibility).
+  std::size_t redirected_traversals = 0;
+  std::size_t designated_group = 0;
+};
+
+[[nodiscard]] RedirectReport measure_redirection(const core::GroupGraph& graph,
+                                                 std::size_t searches,
+                                                 Rng& rng);
+
+}  // namespace tg::adversary

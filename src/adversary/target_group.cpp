@@ -1,0 +1,80 @@
+#include "adversary/target_group.hpp"
+
+#include <memory>
+
+#include "core/group_graph.hpp"
+#include "crypto/oracle.hpp"
+
+namespace tg::adversary {
+
+namespace {
+
+TargetedJoinReport run(const core::Params& params, bool chosen_placement,
+                       Rng& rng) {
+  TargetedJoinReport report;
+  const std::size_t n = params.n;
+  const auto budget =
+      static_cast<std::size_t>(params.beta * static_cast<double>(n));
+  report.ids_spent = budget;
+
+  // Good IDs u.a.r.; the victim is the good leader with index 0 in the
+  // assembled table.
+  std::vector<ids::RingPoint> good_pts;
+  good_pts.reserve(n - budget);
+  for (std::size_t i = 0; i + budget < n; ++i) good_pts.emplace_back(rng.u64());
+
+  const crypto::OracleSuite oracles(params.seed);
+  std::vector<ids::RingPoint> bad_pts;
+  bad_pts.reserve(budget);
+  if (!chosen_placement) {
+    // PoW world: placements are uniform, whatever the adversary wants.
+    for (std::size_t i = 0; i < budget; ++i) bad_pts.emplace_back(rng.u64());
+  } else {
+    // No-PoW counterfactual: place IDs just counter-clockwise of the
+    // victim's membership points h1(victim, slot), so each becomes the
+    // successor that membership resolution selects.
+    const std::uint64_t victim_raw = good_pts.front().raw();
+    const std::size_t g = params.group_size();
+    for (std::size_t i = 0; i < budget; ++i) {
+      const std::size_t slot = i % g;
+      const std::uint64_t point =
+          oracles.h1.value_pair(victim_raw, slot);
+      // Land essentially on the point (one tick before its successor
+      // search key) so suc(point) is this adversarial ID.
+      bad_pts.emplace_back(point + 1 + (i / g));
+    }
+  }
+
+  auto pop = std::make_shared<const core::Population>(
+      core::Population::from_points(good_pts, bad_pts));
+  const auto graph = core::GroupGraph::pristine(params, pop, oracles.h1);
+
+  // Locate the victim group (leader with the victim's point).
+  const auto victim_idx = pop->table().index_of(good_pts.front());
+  double best = 0.0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& grp = graph.group(i);
+    if (grp.size() == 0) continue;
+    best = std::max(best, static_cast<double>(grp.bad_members) /
+                              static_cast<double>(grp.size()));
+  }
+  report.best_group_bad_fraction = best;
+  if (victim_idx) {
+    const auto& victim_group = graph.group(*victim_idx);
+    report.landed_in_target = victim_group.bad_members;
+    report.victim_captured = !victim_group.has_good_majority();
+  }
+  return report;
+}
+
+}  // namespace
+
+TargetedJoinReport targeted_join_uar(const core::Params& params, Rng& rng) {
+  return run(params, /*chosen_placement=*/false, rng);
+}
+
+TargetedJoinReport targeted_join_chosen(const core::Params& params, Rng& rng) {
+  return run(params, /*chosen_placement=*/true, rng);
+}
+
+}  // namespace tg::adversary

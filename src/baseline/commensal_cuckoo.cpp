@@ -1,0 +1,107 @@
+#include "baseline/commensal_cuckoo.hpp"
+
+#include <algorithm>
+
+namespace tg::baseline {
+
+CommensalCuckooSimulation::CommensalCuckooSimulation(
+    const CommensalParams& params, Rng& rng)
+    : params_(params) {
+  groups_ = std::max<std::size_t>(1, params_.n / params_.group_size);
+  group_of_.assign(params_.n, 0);
+  members_.assign(groups_, {});
+  group_bad_.assign(groups_, 0);
+  is_bad_.assign(params_.n, 0);
+
+  const auto bad =
+      static_cast<std::size_t>(params_.beta * static_cast<double>(params_.n));
+  for (const std::size_t idx : rng.sample_indices(params_.n, bad)) {
+    is_bad_[idx] = 1;
+    bad_nodes_.push_back(idx);
+  }
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    const std::size_t g = rng.below(groups_);
+    group_of_[i] = g;
+    members_[g].push_back(static_cast<std::uint32_t>(i));
+    group_bad_[g] += is_bad_[i];
+  }
+}
+
+void CommensalCuckooSimulation::leave(std::size_t node) {
+  const std::size_t g = group_of_[node];
+  auto& m = members_[g];
+  const auto it =
+      std::find(m.begin(), m.end(), static_cast<std::uint32_t>(node));
+  if (it != m.end()) {
+    *it = m.back();
+    m.pop_back();
+  }
+  group_bad_[g] -= is_bad_[node];
+}
+
+void CommensalCuckooSimulation::join(std::size_t node, Rng& rng) {
+  // Land in the group owning a u.a.r. ring point (groups partition the
+  // ring evenly, so this is a uniform group).
+  const std::size_t g = rng.below(groups_);
+  auto& m = members_[g];
+
+  // Commensal displacement: a fixed number of random incumbents are
+  // cuckoo'd out and re-join at fresh random groups (no recursion).
+  const std::size_t displaced = std::min(params_.cuckoos_per_join, m.size());
+  for (std::size_t d = 0; d < displaced; ++d) {
+    const std::size_t pick = rng.below(m.size());
+    const std::uint32_t evicted = m[pick];
+    m[pick] = m.back();
+    m.pop_back();
+    group_bad_[g] -= is_bad_[evicted];
+    const std::size_t g2 = rng.below(groups_);
+    group_of_[evicted] = g2;
+    members_[g2].push_back(evicted);
+    group_bad_[g2] += is_bad_[evicted];
+  }
+
+  group_of_[node] = g;
+  m.push_back(static_cast<std::uint32_t>(node));
+  group_bad_[g] += is_bad_[node];
+}
+
+void CommensalCuckooSimulation::adversarial_round(Rng& rng) {
+  if (bad_nodes_.empty()) return;
+  // Sample a few bad nodes, rejoin the one whose departure costs least.
+  std::size_t victim = bad_nodes_[rng.below(bad_nodes_.size())];
+  for (int probe = 0; probe < 3; ++probe) {
+    const std::size_t cand = bad_nodes_[rng.below(bad_nodes_.size())];
+    if (group_bad_[group_of_[cand]] < group_bad_[group_of_[victim]]) {
+      victim = cand;
+    }
+  }
+  leave(victim);
+  join(victim, rng);
+}
+
+double CommensalCuckooSimulation::max_bad_fraction() const {
+  double worst = 0.0;
+  for (std::size_t g = 0; g < groups_; ++g) {
+    if (members_[g].empty()) continue;
+    worst = std::max(worst, static_cast<double>(group_bad_[g]) /
+                                static_cast<double>(members_[g].size()));
+  }
+  return worst;
+}
+
+CommensalOutcome CommensalCuckooSimulation::run(std::size_t rounds, Rng& rng) {
+  CommensalOutcome out;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    adversarial_round(rng);
+    const double worst = max_bad_fraction();
+    out.max_bad_fraction_seen = std::max(out.max_bad_fraction_seen, worst);
+    out.rounds_run = r + 1;
+    if (worst >= params_.failure_fraction) {
+      out.first_failure_round = r + 1;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tg::baseline

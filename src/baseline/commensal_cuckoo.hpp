@@ -1,0 +1,57 @@
+// Commensal Cuckoo (Sen & Freedman [47]).
+//
+// The variant whose simulations the paper cites for the claim that
+// log-size groups must be FAIRLY LARGE in practice ("for n = 8192 and
+// beta ~ 0.002, |G| = 64 preserves a non-faulty majority for 10^5
+// joins/departures").  Differences from the plain cuckoo rule, per
+// [47]: the ring is partitioned into groups directly; a join lands in
+// the group owning a u.a.r. point and cuckoos a small FIXED number of
+// randomly chosen incumbent members of that group (rather than an
+// entire k/n-region), which re-join at fresh u.a.r. points without
+// further eviction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::baseline {
+
+struct CommensalParams {
+  std::size_t n = 8192;
+  double beta = 0.002;
+  std::size_t group_size = 64;
+  std::size_t cuckoos_per_join = 4;  ///< incumbents displaced per join
+  double failure_fraction = 0.5;
+};
+
+struct CommensalOutcome {
+  std::optional<std::size_t> first_failure_round;
+  std::size_t rounds_run = 0;
+  double max_bad_fraction_seen = 0.0;
+};
+
+class CommensalCuckooSimulation {
+ public:
+  CommensalCuckooSimulation(const CommensalParams& params, Rng& rng);
+
+  void adversarial_round(Rng& rng);
+  [[nodiscard]] CommensalOutcome run(std::size_t rounds, Rng& rng);
+  [[nodiscard]] double max_bad_fraction() const;
+
+ private:
+  void join(std::size_t node, Rng& rng);
+  void leave(std::size_t node);
+
+  CommensalParams params_;
+  std::size_t groups_ = 0;
+  std::vector<std::size_t> group_of_;              ///< per node
+  std::vector<std::vector<std::uint32_t>> members_;  ///< per group
+  std::vector<std::size_t> group_bad_;
+  std::vector<std::uint8_t> is_bad_;
+  std::vector<std::size_t> bad_nodes_;
+};
+
+}  // namespace tg::baseline

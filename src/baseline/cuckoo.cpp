@@ -1,0 +1,148 @@
+#include "baseline/cuckoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tg::baseline {
+
+CuckooSimulation::CuckooSimulation(const CuckooParams& params, Rng& rng)
+    : params_(params) {
+  groups_ = std::max<std::size_t>(1, params_.n / params_.group_size);
+  position_.resize(params_.n);
+  is_bad_.assign(params_.n, 0);
+  group_of_.assign(params_.n, 0);
+  group_total_.assign(groups_, 0);
+  group_bad_.assign(groups_, 0);
+  buckets_.assign(params_.n, {});
+
+  const auto bad =
+      static_cast<std::size_t>(params_.beta * static_cast<double>(params_.n));
+  for (const std::size_t idx : rng.sample_indices(params_.n, bad)) {
+    is_bad_[idx] = 1;
+    bad_nodes_.push_back(idx);
+  }
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    position_[i] = rng.uniform();
+    group_of_[i] = group_of(position_[i]);
+    ++group_total_[group_of_[i]];
+    group_bad_[group_of_[i]] += is_bad_[i];
+    index_insert(i);
+  }
+}
+
+std::size_t CuckooSimulation::group_of(double position) const noexcept {
+  auto g = static_cast<std::size_t>(position * static_cast<double>(groups_));
+  return std::min(g, groups_ - 1);
+}
+
+std::size_t CuckooSimulation::bucket_of(double position) const noexcept {
+  auto b = static_cast<std::size_t>(position * static_cast<double>(params_.n));
+  return std::min(b, params_.n - 1);
+}
+
+void CuckooSimulation::index_insert(std::size_t node) {
+  buckets_[bucket_of(position_[node])].push_back(
+      static_cast<std::uint32_t>(node));
+}
+
+void CuckooSimulation::index_remove(std::size_t node) {
+  auto& bucket = buckets_[bucket_of(position_[node])];
+  const auto it = std::find(bucket.begin(), bucket.end(),
+                            static_cast<std::uint32_t>(node));
+  if (it != bucket.end()) {
+    *it = bucket.back();
+    bucket.pop_back();
+  }
+}
+
+void CuckooSimulation::place(std::size_t node, bool evict, Rng& rng) {
+  const double x = rng.uniform();
+
+  if (evict) {
+    // Cuckoo rule: evict every node in the k/n-region around x; the
+    // evicted re-place at u.a.r. positions WITHOUT further eviction.
+    const double half = params_.k / (2.0 * static_cast<double>(params_.n));
+    std::vector<std::size_t> evicted;
+    const auto lo_bucket = bucket_of(x - half < 0.0 ? x - half + 1.0 : x - half);
+    const auto span = static_cast<std::size_t>(
+                          std::ceil(2.0 * half * static_cast<double>(params_.n))) +
+                      2;
+    for (std::size_t step = 0; step <= span; ++step) {
+      const std::size_t b = (lo_bucket + step) % params_.n;
+      for (const auto cand : buckets_[b]) {
+        if (cand == node) continue;
+        double d = std::fabs(position_[cand] - x);
+        d = std::min(d, 1.0 - d);  // ring distance
+        if (d <= half) evicted.push_back(cand);
+      }
+    }
+    for (const std::size_t e : evicted) {
+      index_remove(e);
+      --group_total_[group_of_[e]];
+      group_bad_[group_of_[e]] -= is_bad_[e];
+      position_[e] = rng.uniform();
+      group_of_[e] = group_of(position_[e]);
+      ++group_total_[group_of_[e]];
+      group_bad_[group_of_[e]] += is_bad_[e];
+      index_insert(e);
+    }
+  }
+
+  position_[node] = x;
+  group_of_[node] = group_of(x);
+  ++group_total_[group_of_[node]];
+  group_bad_[group_of_[node]] += is_bad_[node];
+  index_insert(node);
+}
+
+void CuckooSimulation::adversarial_round(Rng& rng) {
+  // Join-leave attack ([47]'s evaluation setup): the adversary
+  // repeatedly departs one of its nodes and rejoins it, betting on
+  // eventually concentrating bad nodes in one region.  Candidates are
+  // sampled uniformly among bad nodes; the adversary prefers (among a
+  // small sample) the one sitting in the group where it is weakest,
+  // which costs the least to sacrifice.
+  if (bad_nodes_.empty()) return;
+  std::size_t victim = bad_nodes_[rng.below(bad_nodes_.size())];
+  for (int probe = 0; probe < 3; ++probe) {
+    const std::size_t cand = bad_nodes_[rng.below(bad_nodes_.size())];
+    if (group_bad_[group_of_[cand]] < group_bad_[group_of_[victim]]) {
+      victim = cand;
+    }
+  }
+
+  index_remove(victim);
+  --group_total_[group_of_[victim]];
+  group_bad_[group_of_[victim]] -= is_bad_[victim];
+  place(victim, /*evict=*/true, rng);
+}
+
+double CuckooSimulation::max_bad_fraction() const {
+  double worst = 0.0;
+  for (std::size_t g = 0; g < groups_; ++g) {
+    if (group_total_[g] == 0) continue;
+    worst = std::max(worst, static_cast<double>(group_bad_[g]) /
+                                static_cast<double>(group_total_[g]));
+  }
+  return worst;
+}
+
+CuckooOutcome CuckooSimulation::run(std::size_t rounds, Rng& rng) {
+  CuckooOutcome out;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    adversarial_round(rng);
+    const double worst = max_bad_fraction();
+    out.max_bad_fraction_seen = std::max(out.max_bad_fraction_seen, worst);
+    out.rounds_run = r + 1;
+    if (worst >= params_.failure_fraction) {
+      out.first_failure_round = r + 1;
+      break;
+    }
+  }
+  double total = 0.0;
+  for (const auto t : group_total_) total += static_cast<double>(t);
+  out.mean_group_size = total / static_cast<double>(groups_);
+  return out;
+}
+
+}  // namespace tg::baseline

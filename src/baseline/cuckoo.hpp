@@ -1,0 +1,80 @@
+// The cuckoo rule of Awerbuch & Scheideler [8]-[10].
+//
+// Related-work baseline (Section I-B): the ring is partitioned into
+// fixed regions; when a node joins it lands on a u.a.r. point and all
+// nodes in the surrounding k/n-region are evicted ("cuckoo'd") and
+// re-placed at fresh u.a.r. points (no recursive eviction).  Groups
+// are contiguous regions of expected size |G|; the adversary runs the
+// classic join-leave attack — repeatedly rejoining its own nodes — to
+// concentrate bad nodes in some group.  The question measured here
+// (after [47]) is: for which |G| does every group keep a good majority
+// over 10^5 churn events?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::baseline {
+
+struct CuckooParams {
+  std::size_t n = 8192;          ///< nodes
+  double beta = 0.002;           ///< adversarial fraction ([47]'s setting)
+  std::size_t group_size = 64;   ///< expected nodes per region
+  double k = 4.0;                ///< cuckoo region size: k/n of the ring
+  /// Failure threshold: a group fails when its bad fraction reaches
+  /// this value (1/2 = loss of majority; [47] also studies 1/3).
+  double failure_fraction = 0.5;
+};
+
+struct CuckooOutcome {
+  /// Round at which some group first failed; nullopt = survived.
+  std::optional<std::size_t> first_failure_round;
+  std::size_t rounds_run = 0;
+  double max_bad_fraction_seen = 0.0;
+  double mean_group_size = 0.0;
+};
+
+class CuckooSimulation {
+ public:
+  CuckooSimulation(const CuckooParams& params, Rng& rng);
+
+  /// One adversarial join-leave round: the adversary removes one of
+  /// its nodes and rejoins it (targeting the group where its presence
+  /// is weakest), triggering the cuckoo rule.
+  void adversarial_round(Rng& rng);
+
+  /// Run up to `rounds`, stopping early at the first group failure.
+  [[nodiscard]] CuckooOutcome run(std::size_t rounds, Rng& rng);
+
+  [[nodiscard]] double max_bad_fraction() const;
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return group_of_.empty() ? 0 : groups_;
+  }
+
+ protected:
+  /// Region (group) index of a ring position in [0,1).
+  [[nodiscard]] std::size_t group_of(double position) const noexcept;
+  /// Place a node at a u.a.r. position, applying the cuckoo rule to
+  /// the k/n-region around it when `evict` is set.
+  void place(std::size_t node, bool evict, Rng& rng);
+
+  /// Spatial bucket index so evictions cost O(k) instead of O(n).
+  [[nodiscard]] std::size_t bucket_of(double position) const noexcept;
+  void index_insert(std::size_t node);
+  void index_remove(std::size_t node);
+
+  CuckooParams params_;
+  std::size_t groups_ = 0;
+  std::vector<double> position_;       ///< per node
+  std::vector<std::uint8_t> is_bad_;   ///< per node
+  std::vector<std::size_t> group_of_;  ///< cached group per node
+  std::vector<std::size_t> group_total_;
+  std::vector<std::size_t> group_bad_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  ///< width-1/n cells
+  std::vector<std::size_t> bad_nodes_;               ///< adversary's roster
+};
+
+}  // namespace tg::baseline

@@ -1,0 +1,21 @@
+#include "baseline/logn_groups.hpp"
+
+namespace tg::baseline {
+
+core::Params logn_baseline(const core::Params& p) noexcept {
+  core::Params out = p;
+  out.group_size_override = p.baseline_group_size();
+  return out;
+}
+
+CostModel predict_costs(std::size_t group_size, double route_hops,
+                        double memberships, double neighbor_groups) noexcept {
+  CostModel m;
+  const auto g = static_cast<double>(group_size);
+  m.group_communication = g * (g - 1.0);
+  m.secure_routing = route_hops * g * g;
+  m.state_per_id = memberships * g + neighbor_groups * g;
+  return m;
+}
+
+}  // namespace tg::baseline

@@ -1,0 +1,17 @@
+#include "baseline/single_graph.hpp"
+
+namespace tg::baseline {
+
+core::EpochManager make_single_graph_manager(const core::Params& params) {
+  core::BuilderConfig cfg;
+  cfg.mode = core::BuildMode::single_graph;
+  return core::EpochManager(params, cfg);
+}
+
+core::EpochManager make_dual_graph_manager(const core::Params& params) {
+  core::BuilderConfig cfg;
+  cfg.mode = core::BuildMode::dual_graph;
+  return core::EpochManager(params, cfg);
+}
+
+}  // namespace tg::baseline

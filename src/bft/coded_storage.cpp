@@ -1,0 +1,65 @@
+#include "bft/coded_storage.hpp"
+
+#include <stdexcept>
+
+namespace tg::bft {
+
+CodedItem encode_item(const std::vector<std::uint64_t>& words,
+                      std::size_t group_size) {
+  if (words.empty()) throw std::invalid_argument("encode_item: empty payload");
+  if (words.size() > group_size)
+    throw std::invalid_argument("encode_item: k exceeds group size");
+  CodedItem item;
+  item.data.reserve(words.size());
+  Poly poly;
+  poly.reserve(words.size());
+  for (const auto w : words) {
+    const Fe v = fe(w);
+    item.data.push_back(v);
+    poly.push_back(v);
+  }
+  item.fragments.reserve(group_size);
+  for (std::size_t i = 1; i <= group_size; ++i) {
+    const Fe x{static_cast<std::uint64_t>(i)};
+    item.fragments.push_back(Share{x, poly_eval(poly, x)});
+  }
+  return item;
+}
+
+CodedReadResult read_item(const CodedItem& item,
+                          const std::vector<std::uint8_t>& is_liar,
+                          Rng& rng) {
+  CodedReadResult out;
+  if (is_liar.size() != item.fragments.size())
+    throw std::invalid_argument("read_item: liar vector size mismatch");
+
+  std::vector<Share> reported = item.fragments;
+  std::size_t liars = 0;
+  for (std::size_t i = 0; i < reported.size(); ++i) {
+    if (!is_liar[i]) continue;
+    reported[i].y = fe(rng.u64());
+    ++liars;
+  }
+
+  const std::size_t k = item.data.size();
+  const std::size_t capacity = coded_fault_tolerance(reported.size(), k);
+  const auto decoded = shamir_robust_reconstruct(
+      reported, k - 1, std::min(liars, capacity));
+  if (!decoded.ok) return out;
+
+  out.ok = true;
+  out.liars_corrected = decoded.errors_found;
+  out.words.reserve(k);
+  for (const Fe c : decoded.polynomial) out.words.push_back(c.v);
+  return out;
+}
+
+double coded_overhead(std::size_t g, std::size_t k) noexcept {
+  return k == 0 ? 0.0 : static_cast<double>(g) / static_cast<double>(k);
+}
+
+std::size_t coded_fault_tolerance(std::size_t g, std::size_t k) noexcept {
+  return g >= k ? (g - k) / 2 : 0;
+}
+
+}  // namespace tg::bft

@@ -1,0 +1,121 @@
+#include "bft/dolev_strong.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tg::bft {
+
+namespace {
+
+/// A value plus its chain of distinct signatures (sender first).
+struct Chain {
+  std::uint64_t value = 0;
+  std::vector<crypto::Signature> sigs;
+};
+
+/// A chain is valid at round r if it carries r+1 distinct valid
+/// signatures, the first from the sender.
+bool chain_valid(const Chain& chain, std::size_t round, std::size_t sender,
+                 const crypto::SignatureAuthority& authority) {
+  if (chain.sigs.size() != round + 1) return false;
+  if (chain.sigs.front().signer != sender) return false;
+  std::set<crypto::SignerId> signers;
+  for (const auto& sig : chain.sigs) {
+    if (!authority.verify(sig, chain.value)) return false;
+    if (!signers.insert(sig.signer).second) return false;  // duplicates
+  }
+  return true;
+}
+
+}  // namespace
+
+AgreementResult dolev_strong(std::size_t n,
+                             const std::vector<std::uint8_t>& is_bad,
+                             std::size_t sender, std::uint64_t value,
+                             const crypto::SignatureAuthority& authority,
+                             std::uint64_t fallback) {
+  AgreementResult out;
+  out.outputs.assign(n, fallback);
+  if (n == 0) return out;
+
+  const std::size_t t = static_cast<std::size_t>(
+      std::count(is_bad.begin(), is_bad.end(), std::uint8_t{1}));
+  const std::size_t rounds = t + 1;
+
+  // extracted[i]: the set of values member i has accepted so far.
+  std::vector<std::set<std::uint64_t>> extracted(n);
+  // Chains pending delivery at the start of each round, per member.
+  std::vector<std::vector<Chain>> inbox(n);
+
+  // Round 0: the sender signs and sends.  A bad sender equivocates.
+  for (std::size_t to = 0; to < n; ++to) {
+    Chain c;
+    c.value = is_bad[sender] ? value + (to % 2) : value;
+    c.sigs.push_back(authority.sign(sender, sender, c.value));
+    inbox[to].push_back(std::move(c));
+    ++out.messages;
+  }
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<std::vector<Chain>> next_inbox(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (Chain& chain : inbox[i]) {
+        if (!chain_valid(chain, round, sender, authority)) continue;
+        if (is_bad[i]) {
+          // Selective relay: forward only to odd members, and attempt
+          // to forge the next signature as someone else (rejected by
+          // verification downstream).
+          if (extracted[i].insert(chain.value).second) {
+            Chain forwarded = chain;
+            forwarded.sigs.push_back(
+                authority.sign(i, (i + 1) % n, chain.value));
+            for (std::size_t to = 1; to < n; to += 2) {
+              next_inbox[to].push_back(forwarded);
+              ++out.messages;
+            }
+          }
+          continue;
+        }
+        if (extracted[i].insert(chain.value).second) {
+          // Newly extracted: append own signature and relay to all.
+          Chain forwarded = chain;
+          forwarded.sigs.push_back(authority.sign(i, i, chain.value));
+          for (std::size_t to = 0; to < n; ++to) {
+            if (to == i) continue;
+            next_inbox[to].push_back(forwarded);
+            ++out.messages;
+          }
+        }
+      }
+    }
+    inbox = std::move(next_inbox);
+  }
+
+  // Decision: exactly one extracted value -> output it; else fallback.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    if (extracted[i].size() == 1) {
+      out.outputs[i] = *extracted[i].begin();
+    } else {
+      out.outputs[i] = fallback;
+    }
+  }
+
+  // Evaluate agreement and validity over good members.
+  out.agreement = true;
+  bool first = true;
+  std::uint64_t common = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    if (first) {
+      common = out.outputs[i];
+      first = false;
+    } else if (out.outputs[i] != common) {
+      out.agreement = false;
+    }
+  }
+  out.validity = is_bad[sender] || (out.agreement && common == value);
+  return out;
+}
+
+}  // namespace tg::bft

@@ -1,0 +1,75 @@
+// Arithmetic in GF(p), p = 2^61 - 1 (a Mersenne prime).
+//
+// Substrate for the polynomial machinery behind threshold secret
+// sharing and distributed key generation — the group-communication
+// workloads the paper cites ([49]'s MPC, [51]'s DKG).  A Mersenne
+// modulus keeps reduction branch-light: x mod p = (x & p) + (x >> 61),
+// folded once more to land in [0, p).
+//
+// Elements are plain uint64_t values in [0, p); the Fe wrapper only
+// exists to keep field values from mixing silently with ordinary
+// integers at API boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace tg::bft {
+
+inline constexpr std::uint64_t kFieldPrime = (1ULL << 61) - 1;
+
+/// A field element; invariant v < kFieldPrime.
+struct Fe {
+  std::uint64_t v = 0;
+  friend constexpr bool operator==(Fe, Fe) noexcept = default;
+};
+
+/// Canonicalize an arbitrary 64-bit value into the field.
+[[nodiscard]] constexpr Fe fe(std::uint64_t x) noexcept {
+  x = (x & kFieldPrime) + (x >> 61);
+  if (x >= kFieldPrime) x -= kFieldPrime;
+  return Fe{x};
+}
+
+[[nodiscard]] constexpr Fe fadd(Fe a, Fe b) noexcept {
+  std::uint64_t s = a.v + b.v;  // < 2^62: no overflow
+  if (s >= kFieldPrime) s -= kFieldPrime;
+  return Fe{s};
+}
+
+[[nodiscard]] constexpr Fe fsub(Fe a, Fe b) noexcept {
+  return Fe{a.v >= b.v ? a.v - b.v : a.v + kFieldPrime - b.v};
+}
+
+[[nodiscard]] constexpr Fe fneg(Fe a) noexcept {
+  return a.v == 0 ? a : Fe{kFieldPrime - a.v};
+}
+
+[[nodiscard]] constexpr Fe fmul(Fe a, Fe b) noexcept {
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(a.v) * b.v;
+  // prod < p^2 < 2^122; fold the high 61-bit limbs down twice.
+  std::uint64_t lo = static_cast<std::uint64_t>(prod) & kFieldPrime;
+  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  std::uint64_t s = lo + (hi & kFieldPrime) + (hi >> 61);
+  s = (s & kFieldPrime) + (s >> 61);
+  if (s >= kFieldPrime) s -= kFieldPrime;
+  return Fe{s};
+}
+
+/// a^e by square-and-multiply.
+[[nodiscard]] constexpr Fe fpow(Fe a, std::uint64_t e) noexcept {
+  Fe acc{1};
+  while (e != 0) {
+    if (e & 1) acc = fmul(acc, a);
+    a = fmul(a, a);
+    e >>= 1;
+  }
+  return acc;
+}
+
+/// Multiplicative inverse via Fermat (a != 0; finv(0) returns 0).
+[[nodiscard]] constexpr Fe finv(Fe a) noexcept {
+  return fpow(a, kFieldPrime - 2);
+}
+
+}  // namespace tg::bft

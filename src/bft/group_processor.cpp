@@ -1,0 +1,37 @@
+#include "bft/group_processor.hpp"
+
+#include <vector>
+
+#include "bft/majority_filter.hpp"
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+std::uint64_t job_function(std::uint64_t input) noexcept {
+  return mix64(input ^ 0x0123456789abcdefULL);
+}
+
+JobResult execute_job(const core::Group& group,
+                      const core::Population& member_pool,
+                      std::uint64_t input) {
+  JobResult out;
+  const std::uint64_t truth = job_function(input);
+  if (group.members.empty()) return out;
+
+  std::vector<std::uint64_t> reports;
+  reports.reserve(group.size());
+  for (const auto m : group.members) {
+    // Colluding bad members all report the same forged value to
+    // maximize their chance of out-voting the good members.
+    reports.push_back(member_pool.is_bad(m) ? ~truth : truth);
+  }
+  const MajorityResult vote = majority_vote(reports);
+  out.value = vote.value;
+  out.had_majority = vote.strict_majority;
+  out.correct = vote.strict_majority && vote.value == truth;
+  const auto s = static_cast<std::uint64_t>(group.size());
+  out.messages = s * (s - 1);  // all-to-all result exchange
+  return out;
+}
+
+}  // namespace tg::bft

@@ -1,0 +1,38 @@
+// "Each group simulates a reliable processor upon which jobs can be
+// run" (Section I).
+//
+// A job is a pure function of a 64-bit input (here: one SplitMix64
+// round — a stand-in for arbitrary deterministic computation).  Every
+// member computes it; bad members report corrupted results; the group
+// output is the member-majority, which is correct exactly when the
+// group retains a good majority.  This is the primitive behind the
+// paper's "open computing platform" motivation (Section I-A) and the
+// compute_platform example.
+#pragma once
+
+#include <cstdint>
+
+#include "core/group.hpp"
+#include "core/population.hpp"
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+struct JobResult {
+  std::uint64_t value = 0;
+  bool correct = false;        ///< output equals the true job result
+  bool had_majority = false;   ///< strict majority backed the output
+  std::uint64_t messages = 0;  ///< intra-group all-to-all cost
+};
+
+/// The canonical test job.
+[[nodiscard]] std::uint64_t job_function(std::uint64_t input) noexcept;
+
+/// Execute `input` on the group: members exchange results all-to-all,
+/// each good member majority-filters, the group reports the filtered
+/// value.  Bad members collude on a common forged result.
+[[nodiscard]] JobResult execute_job(const core::Group& group,
+                                    const core::Population& member_pool,
+                                    std::uint64_t input);
+
+}  // namespace tg::bft

@@ -1,0 +1,78 @@
+#include "bft/group_rng.hpp"
+
+namespace tg::bft {
+
+GroupRngResult group_random(const core::Group& group,
+                            const core::Population& pool, bool prefer_low_bit,
+                            Rng& rng) {
+  GroupRngResult out;
+  const std::size_t n = group.size();
+  if (n == 0) return out;
+
+  // Commit round: every member draws a share and broadcasts its
+  // commitment (all-to-all).
+  std::vector<std::uint64_t> shares(n);
+  std::vector<std::uint64_t> nonces(n);
+  std::vector<crypto::Commitment> commitments(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i] = rng.u64();
+    nonces[i] = rng.u64();
+    std::uint8_t bytes[8];
+    std::uint64_t v = shares[i];
+    for (int b = 7; b >= 0; --b) {
+      bytes[b] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    commitments[i] =
+        crypto::commit(std::span<const std::uint8_t>(bytes, 8), nonces[i]);
+  }
+  out.messages += static_cast<std::uint64_t>(n) * (n - 1);
+
+  // Reveal round.  Bad members reveal LAST (rushing): they see the XOR
+  // of all good shares plus their own, and collectively abort if and
+  // only if aborting flips the low bit toward the preference.
+  std::uint64_t xor_all = 0;
+  std::uint64_t xor_bad = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    xor_all ^= shares[i];
+    if (pool.is_bad(group.members[i])) xor_bad ^= shares[i];
+  }
+  const bool full_bit = (xor_all & 1ULL) != 0;
+  const bool abort_bit = ((xor_all ^ xor_bad) & 1ULL) != 0;
+  // Abort only when it helps: the adversary picks whichever of the two
+  // reachable outcomes (everyone reveals / bad members withhold)
+  // carries the preferred bit.
+  const bool bad_aborts =
+      full_bit != prefer_low_bit && abort_bit == prefer_low_bit;
+
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_bad = pool.is_bad(group.members[i]);
+    if (is_bad && bad_aborts) {
+      ++out.aborts;
+      continue;  // reveal withheld
+    }
+    // (A bad member could also reveal a share that mismatches its
+    // commitment; the binding commitment makes that detectable and
+    // equivalent to an abort, so we model it as one.)
+    value ^= shares[i];
+  }
+  out.messages += static_cast<std::uint64_t>(n - out.aborts) * (n - 1);
+  out.value = value;
+  return out;
+}
+
+double measure_abort_bias(const core::Group& group,
+                          const core::Population& pool, std::size_t rounds,
+                          Rng& rng) {
+  if (rounds == 0) return 0.0;
+  std::size_t preferred_hits = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto result = group_random(group, pool, /*prefer_low_bit=*/true, rng);
+    preferred_hits += (result.value & 1ULL) != 0;
+  }
+  return static_cast<double>(preferred_hits) / static_cast<double>(rounds) -
+         0.5;
+}
+
+}  // namespace tg::bft

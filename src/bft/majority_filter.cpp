@@ -1,0 +1,48 @@
+#include "bft/majority_filter.hpp"
+
+#include <unordered_map>
+
+namespace tg::bft {
+
+MajorityResult majority_vote(std::span<const std::uint64_t> copies) {
+  MajorityResult out;
+  if (copies.empty()) return out;
+  std::unordered_map<std::uint64_t, std::size_t> tally;
+  tally.reserve(copies.size());
+  for (const auto v : copies) ++tally[v];
+  for (const auto& [value, count] : tally) {
+    // Deterministic tie-break on the value keeps results reproducible.
+    if (count > out.support || (count == out.support && value < out.value)) {
+      out.value = value;
+      out.support = count;
+    }
+  }
+  out.strict_majority = 2 * out.support > copies.size();
+  return out;
+}
+
+MajorityResult transfer_with_corruption(std::uint64_t true_value,
+                                        std::size_t good, std::size_t bad,
+                                        std::uint64_t forged_value) {
+  std::vector<std::uint64_t> copies;
+  copies.reserve(good + bad);
+  copies.insert(copies.end(), good, true_value);
+  copies.insert(copies.end(), bad, forged_value);
+  return majority_vote(copies);
+}
+
+MajorityResult transfer_with_split_votes(std::uint64_t true_value,
+                                         std::size_t good, std::size_t bad,
+                                         std::size_t split_ways, Rng& rng) {
+  std::vector<std::uint64_t> copies;
+  copies.reserve(good + bad);
+  copies.insert(copies.end(), good, true_value);
+  if (split_ways == 0) split_ways = 1;
+  for (std::size_t i = 0; i < bad; ++i) {
+    // Forged values are distinct from the true value by construction.
+    copies.push_back(true_value ^ (1 + rng.below(split_ways)));
+  }
+  return majority_vote(copies);
+}
+
+}  // namespace tg::bft

@@ -1,0 +1,51 @@
+// Majority filtering of all-to-all transfers (Section I).
+//
+// "For groups G1 and G2 along a route, all members of G1 transmit
+//  messages to all members of G2.  This all-to-all exchange, followed
+//  by majority filtering by each non-faulty ID in G2, guarantees
+//  correctness of communication between groups despite malicious IDs."
+//
+// This module implements the receiving side: given the copies a
+// receiver collected, recover the value carried by a strict majority.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+struct MajorityResult {
+  std::uint64_t value = 0;
+  std::size_t support = 0;          ///< copies agreeing with `value`
+  bool strict_majority = false;     ///< support > copies/2
+};
+
+/// Plurality vote over the received copies; strict_majority reports
+/// whether the winner clears half — the condition under which transfer
+/// correctness is guaranteed.
+[[nodiscard]] MajorityResult majority_vote(
+    std::span<const std::uint64_t> copies);
+
+/// Simulate one group-to-group transfer of `true_value` where the
+/// sending group has `good` good members (sending the true value) and
+/// `bad` colluding members all sending `forged_value`.  Returns what a
+/// good receiver decodes.
+[[nodiscard]] MajorityResult transfer_with_corruption(std::uint64_t true_value,
+                                                      std::size_t good,
+                                                      std::size_t bad,
+                                                      std::uint64_t forged_value);
+
+/// Worst-case split attack: bad members distribute their votes over
+/// `split_ways` distinct forged values (an adversary probing whether
+/// vote-splitting can beat plurality filtering).
+[[nodiscard]] MajorityResult transfer_with_split_votes(std::uint64_t true_value,
+                                                       std::size_t good,
+                                                       std::size_t bad,
+                                                       std::size_t split_ways,
+                                                       Rng& rng);
+
+}  // namespace tg::bft

@@ -1,0 +1,90 @@
+#include "bft/phase_king.hpp"
+
+#include <algorithm>
+
+namespace tg::bft {
+
+PhaseKingResult phase_king(const std::vector<std::uint64_t>& inputs,
+                           const std::vector<std::uint8_t>& is_bad, Rng& rng) {
+  PhaseKingResult out;
+  const std::size_t n = inputs.size();
+  out.outputs.assign(n, 0);
+  if (n == 0) return out;
+  const std::size_t t = static_cast<std::size_t>(
+      std::count(is_bad.begin(), is_bad.end(), std::uint8_t{1}));
+
+  std::vector<std::uint64_t> v = inputs;  // working values
+
+  for (std::size_t phase = 0; phase <= t; ++phase) {
+    const std::size_t king = phase % n;
+
+    // Round 1: universal exchange of current values.
+    // Bad members send i-dependent votes to split the count.
+    std::vector<std::size_t> count1(n, 0);  // per receiver: votes for 1
+    for (std::size_t from = 0; from < n; ++from) {
+      for (std::size_t to = 0; to < n; ++to) {
+        std::uint64_t vote = v[from];
+        if (is_bad[from]) vote = (to + phase) % 2;  // vote splitting
+        count1[to] += (vote & 1ULL);
+        ++out.messages;
+      }
+    }
+    std::vector<std::uint64_t> maj(n, 0);
+    std::vector<std::size_t> mult(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t ones = count1[i];
+      const std::size_t zeros = n - ones;
+      maj[i] = ones > zeros ? 1 : 0;
+      mult[i] = std::max(ones, zeros);
+    }
+
+    // Round 2: the king broadcasts its majority value; a bad king
+    // equivocates per receiver.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t king_value = maj[king];
+      if (is_bad[king]) king_value = i % 2;
+      ++out.messages;
+      if (is_bad[i]) continue;
+      // Adopt own majority when its multiplicity is convincing
+      // (> n/2 + t), else defer to the king.
+      if (mult[i] > n / 2 + t) {
+        v[i] = maj[i];
+      } else {
+        v[i] = king_value & 1ULL;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) out.outputs[i] = v[i];
+
+  // Agreement/validity over good members.
+  out.agreement = true;
+  bool first = true;
+  std::uint64_t common = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    if (first) {
+      common = v[i];
+      first = false;
+    } else if (v[i] != common) {
+      out.agreement = false;
+    }
+  }
+  bool unanimous = true;
+  std::uint64_t u_val = 0;
+  first = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    if (first) {
+      u_val = inputs[i] & 1ULL;
+      first = false;
+    } else if ((inputs[i] & 1ULL) != u_val) {
+      unanimous = false;
+    }
+  }
+  out.validity = !unanimous || (out.agreement && common == u_val);
+  (void)rng;
+  return out;
+}
+
+}  // namespace tg::bft

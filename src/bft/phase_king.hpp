@@ -1,0 +1,30 @@
+// Phase-King Byzantine agreement (Berman-Garay two-round variant):
+// n > 4t, t+1 phases of two rounds, constant-size messages — the
+// unauthenticated in-group agreement option (contrast
+// dolev_strong.hpp, which needs signatures but tolerates a minority of
+// any size).  The three-round-per-phase refinement reaches n > 3t; we
+// implement the classic two-round form and document its bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+struct PhaseKingResult {
+  std::vector<std::uint64_t> outputs;  ///< per-member decisions
+  bool agreement = false;
+  bool validity = false;  ///< unanimous good input is preserved
+  std::uint64_t messages = 0;
+};
+
+/// Binary agreement over inputs[i] in {0,1}.  Bad members vote
+/// adversarially (splitting votes, lying to the king, equivocating as
+/// king).  Safe whenever 4t < n with t = #bad.
+[[nodiscard]] PhaseKingResult phase_king(
+    const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::uint8_t>& is_bad, Rng& rng);
+
+}  // namespace tg::bft

@@ -1,0 +1,104 @@
+#include "bft/randomized_ba.hpp"
+
+#include <algorithm>
+
+namespace tg::bft {
+
+RandomizedBaResult randomized_ba(std::size_t n,
+                                 const std::vector<std::uint8_t>& is_bad,
+                                 const std::vector<int>& inputs,
+                                 CoinAdversary adversary, Rng& coin_rng,
+                                 std::size_t max_rounds) {
+  RandomizedBaResult out;
+  std::size_t t = 0;
+  for (const auto b : is_bad) t += b;
+
+  std::vector<int> value(n);      // current estimate per member
+  std::vector<int> decided(n, -1);  // -1 = undecided
+  for (std::size_t i = 0; i < n; ++i) value[i] = inputs[i] & 1;
+
+  // Validity bookkeeping: unanimity among good inputs.
+  int unanimous = -2;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    if (unanimous == -2) {
+      unanimous = value[i];
+    } else if (unanimous != value[i]) {
+      unanimous = -1;
+    }
+  }
+
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    const int coin = static_cast<int>(coin_rng.u64() & 1);
+
+    // Per-recipient receive counts of value 1 (bad members equivocate).
+    std::size_t good_ones = 0, good_total = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (is_bad[j]) continue;
+      ++good_total;
+      good_ones += static_cast<std::size_t>(decided[j] >= 0 ? decided[j]
+                                                            : value[j]);
+    }
+
+    bool all_decided = true;
+    std::size_t good_index = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_bad[i]) continue;
+      std::size_t ones = good_ones;
+      // Bad members' sends to this recipient.
+      switch (adversary) {
+        case CoinAdversary::split:
+          // First half of good recipients hear 1, rest hear 0.
+          if (good_index < (good_total + 1) / 2) ones += t;
+          break;
+        case CoinAdversary::against_coin:
+          // Rushing adversary: pushes the complement of the coin so a
+          // coin-adopting majority is as unlikely as possible.
+          if (coin == 0) ones += t;
+          break;
+      }
+      ++good_index;
+      const std::size_t zeros = n - ones;
+
+      if (decided[i] >= 0) continue;  // echo only
+      int next;
+      if (ones >= n - t) {
+        decided[i] = 1;
+        next = 1;
+      } else if (zeros >= n - t) {
+        decided[i] = 0;
+        next = 0;
+      } else if (ones >= n - 2 * t) {
+        next = 1;
+      } else if (zeros >= n - 2 * t) {
+        next = 0;
+      } else {
+        next = coin;
+      }
+      value[i] = next;
+      if (decided[i] < 0) all_decided = false;
+    }
+
+    out.messages += static_cast<std::uint64_t>(n) * (n - 1);
+    out.rounds = round;
+    if (all_decided) break;
+  }
+
+  out.outputs.reserve(n - t);
+  bool all = true, agree = true;
+  int first = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    const int d = decided[i] >= 0 ? decided[i] : value[i];
+    out.outputs.push_back(d);
+    if (decided[i] < 0) all = false;
+    if (first == -1) first = d;
+    if (d != first) agree = false;
+  }
+  out.terminated = all;
+  out.agreement = agree && all;
+  out.validity = (unanimous < 0) || (agree && first == unanimous);
+  return out;
+}
+
+}  // namespace tg::bft

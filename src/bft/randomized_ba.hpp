@@ -1,0 +1,53 @@
+// Randomized binary Byzantine agreement with a common coin (Ben-Or /
+// Rabin line), driven by the group's robust RNG.
+//
+// The paper cites BA [28] as the primitive each group runs so that it
+// "simulates a reliable processor".  The deterministic protocols here
+// (Dolev-Strong: authenticated, any t < n; phase-king: n > 4t) pay
+// t+1 rounds; this module adds the classic randomized alternative that
+// terminates in EXPECTED O(1) rounds when a common coin is available —
+// exactly the workload the robust group RNG of [8] exists to supply
+// (see group_rng.hpp).
+//
+// Decision rule per round (synchronous, full-information adversary;
+// bad members may equivocate arbitrarily per recipient):
+//   count >= n - t            -> decide v, keep echoing v
+//   count >= n - 2t           -> adopt v
+//   otherwise                 -> adopt the common coin
+// Safe for t < n/5 (the unauthenticated bound for this rule); with all
+// good inputs equal, decides in round 1 regardless of the coin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+struct RandomizedBaResult {
+  std::vector<int> outputs;    ///< per-good-member decision (0/1)
+  bool agreement = false;      ///< all good members decided alike
+  bool validity = false;       ///< unanimous good input => that output
+  bool terminated = false;     ///< everyone decided within the cap
+  std::size_t rounds = 0;      ///< rounds until the last good decision
+  std::uint64_t messages = 0;  ///< n*(n-1) per round
+};
+
+/// Adversary strategies for the bad members' per-recipient sends.
+enum class CoinAdversary {
+  split,        ///< send 0 to the first half of good members, 1 to the rest
+  against_coin, ///< knows this round's coin; pushes the opposite value
+};
+
+/// Run the protocol.  `inputs` holds every member's initial bit; bad
+/// members' entries are ignored.  `coin_rng` models the common coin
+/// (in deployment: one group_random() call per round).  Requires
+/// 5*t < n for the guarantee; the function itself runs for any t so
+/// tests can probe the boundary.
+[[nodiscard]] RandomizedBaResult randomized_ba(
+    std::size_t n, const std::vector<std::uint8_t>& is_bad,
+    const std::vector<int>& inputs, CoinAdversary adversary, Rng& coin_rng,
+    std::size_t max_rounds = 64);
+
+}  // namespace tg::bft

@@ -1,0 +1,127 @@
+#include "bft/reliable_broadcast.hpp"
+
+#include <unordered_map>
+
+namespace tg::bft {
+
+BroadcastResult reliable_broadcast(std::size_t n,
+                                   const std::vector<std::uint8_t>& is_bad,
+                                   std::size_t sender, std::uint64_t value,
+                                   Rng& rng) {
+  BroadcastResult out;
+  out.delivered.assign(n, std::nullopt);
+  if (n == 0) return out;
+  const std::size_t t = (n - 1) / 3;
+  const std::size_t threshold = 2 * t + 1;
+
+  // --- SEND phase: what each member heard from the sender.
+  std::vector<std::uint64_t> heard(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[sender]) {
+      heard[i] = value + 1 + (i % 2);  // equivocation
+    } else {
+      heard[i] = value;
+    }
+    ++out.messages;
+  }
+
+  // --- ECHO phase: everyone relays what it heard; bad members forge.
+  // echo_count[i][v] = matching echoes member i collected for v.
+  std::vector<std::unordered_map<std::uint64_t, std::size_t>> echoes(n);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      const std::uint64_t sent =
+          is_bad[from] ? heard[from] ^ (1 + rng.below(3)) : heard[from];
+      ++echoes[to][sent];
+      ++out.messages;
+    }
+  }
+
+  // --- READY phase: a good member becomes ready for v once it has
+  // 2t+1 echoes for v; bad members send ready for a forged value.
+  std::vector<std::optional<std::uint64_t>> ready_for(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) {
+      ready_for[i] = heard[i] ^ (1 + rng.below(3));
+      continue;
+    }
+    for (const auto& [v, c] : echoes[i]) {
+      if (c >= threshold) {
+        ready_for[i] = v;
+        break;
+      }
+    }
+  }
+  std::vector<std::unordered_map<std::uint64_t, std::size_t>> readies(n);
+  for (std::size_t from = 0; from < n; ++from) {
+    if (!ready_for[from]) continue;
+    for (std::size_t to = 0; to < n; ++to) {
+      ++readies[to][*ready_for[from]];
+      ++out.messages;
+    }
+  }
+
+  // --- Delivery: 2t+1 matching readies.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    for (const auto& [v, c] : readies[i]) {
+      if (c >= threshold) {
+        out.delivered[i] = v;
+        break;
+      }
+    }
+  }
+
+  // Evaluate agreement/validity over good members.
+  bool first = true;
+  std::uint64_t common = 0;
+  out.agreement = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_bad[i]) continue;
+    if (first) {
+      if (out.delivered[i]) common = *out.delivered[i];
+      first = false;
+    }
+    const bool matches =
+        out.delivered[i].has_value()
+            ? (*out.delivered[i] == common)
+            : false;
+    // With a bad sender, uniform non-delivery also counts as agreement.
+    if (!out.delivered[i] && !is_bad[sender]) out.agreement = false;
+    if (out.delivered[i] && !matches) out.agreement = false;
+  }
+  if (is_bad[sender]) {
+    // Agreement among good members: all delivered the same value or
+    // none delivered.
+    std::optional<std::uint64_t> seen;
+    bool any = false, all_same = true, none = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_bad[i]) continue;
+      if (out.delivered[i]) {
+        none = false;
+        if (!any) {
+          seen = out.delivered[i];
+          any = true;
+        } else if (*seen != *out.delivered[i]) {
+          all_same = false;
+        }
+      }
+    }
+    out.agreement = none || (all_same && [&] {
+                      for (std::size_t i = 0; i < n; ++i) {
+                        if (!is_bad[i] && !out.delivered[i]) return false;
+                      }
+                      return true;
+                    }());
+    out.validity = true;  // vacuous for a bad sender
+  } else {
+    out.validity = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_bad[i]) continue;
+      if (!out.delivered[i] || *out.delivered[i] != value) out.validity = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace tg::bft

@@ -1,0 +1,39 @@
+// Synchronous Bracha-style reliable broadcast inside a group.
+//
+// Groups "simulate a reliable processor" (Section I) by running
+// agreement protocols among their members; reliable broadcast is the
+// building block that stops a Byzantine member from equivocating.
+// This is the unauthenticated variant: echo then ready phases with
+// 2t+1 thresholds, tolerating t < n/3 Byzantine members.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+struct BroadcastResult {
+  /// Value delivered by each member (nullopt = no delivery).
+  std::vector<std::optional<std::uint64_t>> delivered;
+  /// All good members delivered the same value (agreement).
+  bool agreement = false;
+  /// If the sender is good, that common value equals its input
+  /// (validity); trivially true for a bad sender.
+  bool validity = false;
+  std::uint64_t messages = 0;
+};
+
+/// Run one synchronous broadcast among n members.  `is_bad[i]` marks
+/// Byzantine members; a bad sender equivocates (sends value+1+i%2 per
+/// receiver) and bad members echo adversarially (forged value chosen
+/// by rng).  Good members follow Bracha: echo what the sender sent,
+/// emit READY on 2t+1 matching echoes (t = floor((n-1)/3)), deliver on
+/// 2t+1 matching readies.
+[[nodiscard]] BroadcastResult reliable_broadcast(
+    std::size_t n, const std::vector<std::uint8_t>& is_bad, std::size_t sender,
+    std::uint64_t value, Rng& rng);
+
+}  // namespace tg::bft

@@ -1,0 +1,57 @@
+// Additive secret sharing for in-group secure computation.
+//
+// Section I: groups execute "protocols for Byzantine agreement [28],
+// or more general secure multiparty computation [49]" so that each
+// group simulates a reliable processor.  This module provides the MPC
+// half for the canonical aggregate: a SUM over members' private inputs
+// (e.g. the paper's footnote-6 use case, network statistics).
+//
+// Protocol (semi-honest privacy, Byzantine detectability):
+//   1. member i splits input x_i into |G| additive shares mod 2^64 and
+//      sends share j to member j, together with a commitment to every
+//      share (broadcast),
+//   2. member j sums its received shares and broadcasts the partial
+//      sum with an opening consistency proof,
+//   3. everyone adds the partial sums: sum of all inputs.
+// Privacy: any coalition missing at least one member's shares sees
+// only uniformly random values.  Byzantine members can corrupt the
+// SUM (additive errors are undetectable in plain additive sharing) —
+// the group detects MISBEHAVIOUR via commitment mismatches and falls
+// back to the robust path (majority filtering over redundant runs),
+// mirroring how the paper layers BA on top of group membership.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/population.hpp"
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+struct SecretSumResult {
+  std::uint64_t sum = 0;           ///< the reconstructed aggregate
+  bool correct = false;            ///< equals the true sum
+  bool tamper_detected = false;    ///< a commitment mismatch was caught
+  std::uint64_t messages = 0;
+};
+
+/// Run one secret-sum over `inputs` (one per member; inputs.size() ==
+/// group.size()).  Bad members tamper with their broadcast partial sum
+/// (adding a random error) — always caught by the commitment check,
+/// after which the run is flagged.
+[[nodiscard]] SecretSumResult secret_sum(const core::Group& group,
+                                         const core::Population& pool,
+                                         const std::vector<std::uint64_t>& inputs,
+                                         Rng& rng);
+
+/// Privacy check used by tests: the view of any proper coalition
+/// (all shares except one member's) over repeated runs of the SAME
+/// inputs is statistically uniform.  Returns the KS statistic of the
+/// coalition's reconstructed "partial knowledge" against uniform.
+[[nodiscard]] double coalition_view_ks(const core::Group& group,
+                                       const std::vector<std::uint64_t>& inputs,
+                                       std::size_t runs, Rng& rng);
+
+}  // namespace tg::bft

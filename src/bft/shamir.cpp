@@ -1,0 +1,177 @@
+#include "bft/shamir.hpp"
+
+#include <stdexcept>
+
+namespace tg::bft {
+namespace {
+
+/// Solve the linear system M * z = rhs over GF(p) by Gaussian
+/// elimination with partial pivoting (any nonzero pivot).  M is
+/// rows x cols, row-major; the system may be overdetermined
+/// (rows >= cols).  Returns nullopt if inconsistent; free variables
+/// (rank-deficient columns) are set to zero, which for Berlekamp-
+/// Welch yields a valid solution whenever one exists.
+std::optional<std::vector<Fe>> solve_linear(std::vector<std::vector<Fe>> m,
+                                            std::vector<Fe> rhs,
+                                            std::size_t cols) {
+  const std::size_t rows = m.size();
+  std::vector<std::size_t> pivot_row_of_col(cols, rows);  // rows = none
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    std::size_t piv = rank;
+    while (piv < rows && m[piv][col].v == 0) ++piv;
+    if (piv == rows) continue;  // free column
+    std::swap(m[piv], m[rank]);
+    std::swap(rhs[piv], rhs[rank]);
+    const Fe inv = finv(m[rank][col]);
+    for (std::size_t j = col; j < cols; ++j) m[rank][j] = fmul(m[rank][j], inv);
+    rhs[rank] = fmul(rhs[rank], inv);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == rank || m[r][col].v == 0) continue;
+      const Fe factor = m[r][col];
+      for (std::size_t j = col; j < cols; ++j) {
+        m[r][j] = fsub(m[r][j], fmul(factor, m[rank][j]));
+      }
+      rhs[r] = fsub(rhs[r], fmul(factor, rhs[rank]));
+    }
+    pivot_row_of_col[col] = rank;
+    ++rank;
+  }
+  // Inconsistency: a zero row with nonzero rhs.
+  for (std::size_t r = rank; r < rows; ++r) {
+    if (rhs[r].v != 0) return std::nullopt;
+  }
+  std::vector<Fe> z(cols, Fe{0});
+  for (std::size_t col = 0; col < cols; ++col) {
+    if (pivot_row_of_col[col] < rows) z[col] = rhs[pivot_row_of_col[col]];
+  }
+  return z;
+}
+
+/// Divide a by b (b nonzero leading coeff); returns {quotient,
+/// remainder}.
+std::pair<Poly, Poly> poly_divmod(Poly a, const Poly& b) {
+  std::size_t db = b.size();
+  while (db > 0 && b[db - 1].v == 0) --db;
+  if (db == 0) throw std::invalid_argument("poly_divmod: divide by zero");
+  if (a.size() < db) return {Poly{}, std::move(a)};
+  Poly q(a.size() - db + 1, Fe{0});
+  const Fe lead_inv = finv(b[db - 1]);
+  // Cancel a's leading terms from the top down; a[i-1] has degree i-1.
+  for (std::size_t i = a.size(); i >= db; --i) {
+    const Fe coef = fmul(a[i - 1], lead_inv);
+    if (coef.v == 0) continue;
+    q[i - db] = coef;
+    for (std::size_t j = 0; j < db; ++j) {
+      a[i - db + j] = fsub(a[i - db + j], fmul(coef, b[j]));
+    }
+  }
+  return {std::move(q), std::move(a)};
+}
+
+}  // namespace
+
+Fe poly_eval(const Poly& p, Fe x) noexcept {
+  Fe acc{0};
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = fadd(fmul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+Poly random_poly(Fe secret, std::size_t degree, Rng& rng) {
+  Poly p(degree + 1);
+  p[0] = secret;
+  for (std::size_t i = 1; i <= degree; ++i) p[i] = fe(rng.u64());
+  return p;
+}
+
+std::vector<Share> shamir_share(Fe secret, std::size_t degree, std::size_t n,
+                                Rng& rng) {
+  if (degree >= n)
+    throw std::invalid_argument("shamir_share: degree must be < n");
+  if (n >= kFieldPrime)
+    throw std::invalid_argument("shamir_share: n too large");
+  const Poly p = random_poly(secret, degree, rng);
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const Fe x{static_cast<std::uint64_t>(i)};
+    shares.push_back(Share{x, poly_eval(p, x)});
+  }
+  return shares;
+}
+
+Fe shamir_reconstruct(std::span<const Share> shares, std::size_t degree) {
+  if (shares.size() < degree + 1)
+    throw std::invalid_argument("shamir_reconstruct: not enough shares");
+  // Lagrange at 0 over the first degree+1 shares.
+  const std::size_t k = degree + 1;
+  Fe acc{0};
+  for (std::size_t i = 0; i < k; ++i) {
+    Fe num{1}, den{1};
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      num = fmul(num, fneg(shares[j].x));
+      den = fmul(den, fsub(shares[i].x, shares[j].x));
+    }
+    acc = fadd(acc, fmul(shares[i].y, fmul(num, finv(den))));
+  }
+  return acc;
+}
+
+RobustDecodeResult shamir_robust_reconstruct(std::span<const Share> shares,
+                                             std::size_t degree,
+                                             std::size_t max_errors) {
+  RobustDecodeResult out;
+  const std::size_t n = shares.size();
+  const std::size_t k = degree + 1;
+  if (n < k + 2 * max_errors) return out;  // not enough redundancy
+
+  // Unknowns: e_0..e_{E-1} (error locator, monic degree E) and
+  // q_0..q_{k+E-1} (Q = P*E).  Equations: Q(x_i) = y_i * Emonic(x_i),
+  // i.e.  sum_j q_j x^j - y_i sum_{j<E} e_j x^j = y_i x^E.
+  const std::size_t E = max_errors;
+  const std::size_t cols = (k + E) + E;
+  std::vector<std::vector<Fe>> m(n, std::vector<Fe>(cols, Fe{0}));
+  std::vector<Fe> rhs(n, Fe{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fe x = shares[i].x;
+    const Fe y = shares[i].y;
+    Fe xp{1};
+    for (std::size_t j = 0; j < k + E; ++j) {
+      m[i][j] = xp;
+      if (j < E) m[i][k + E + j] = fneg(fmul(y, xp));
+      xp = fmul(xp, x);
+    }
+    // xp is now x^{k+E}; we need y * x^E on the right.
+    rhs[i] = fmul(y, fpow(x, static_cast<std::uint64_t>(E)));
+  }
+  const auto z = solve_linear(std::move(m), std::move(rhs), cols);
+  if (!z) return out;
+
+  Poly q(z->begin(), z->begin() + static_cast<std::ptrdiff_t>(k + E));
+  Poly e(z->begin() + static_cast<std::ptrdiff_t>(k + E), z->end());
+  e.push_back(Fe{1});  // monic x^E term
+
+  auto [p, rem] = poly_divmod(std::move(q), e);
+  for (const Fe c : rem) {
+    if (c.v != 0) return out;  // E does not divide Q: decoding failed
+  }
+  p.resize(k, Fe{0});
+
+  // Verify: the candidate must disagree with at most max_errors shares.
+  std::size_t disagreements = 0;
+  for (const Share& s : shares) {
+    if (poly_eval(p, s.x) != s.y) ++disagreements;
+  }
+  if (disagreements > max_errors) return out;
+
+  out.ok = true;
+  out.secret = p[0];
+  out.polynomial = std::move(p);
+  out.errors_found = disagreements;
+  return out;
+}
+
+}  // namespace tg::bft

@@ -1,0 +1,66 @@
+// Shamir threshold secret sharing over GF(2^61 - 1), with robust
+// reconstruction via Berlekamp-Welch decoding.
+//
+// The paper's groups run "more general secure multiparty computation
+// [49]" on top of their good majority; additive sharing (see
+// secret_sharing.hpp) detects tampering but cannot correct it.  This
+// module provides the error-CORRECTING layer: with polynomial degree d
+// and e corrupted shares, n >= d + 2e + 1 shares reconstruct the
+// secret exactly — the algebraic reason a group with a good majority
+// can simulate a reliable processor even when bad members lie rather
+// than merely abort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bft/field.hpp"
+#include "util/rng.hpp"
+
+namespace tg::bft {
+
+/// One share: the evaluation y = P(x) of the dealer polynomial.
+struct Share {
+  Fe x;
+  Fe y;
+};
+
+/// Polynomials are coefficient vectors, constant term first.  The
+/// secret is the constant term P(0).
+using Poly = std::vector<Fe>;
+
+/// Evaluate P at x (Horner).
+[[nodiscard]] Fe poly_eval(const Poly& p, Fe x) noexcept;
+
+/// Sample a uniform degree-`degree` polynomial with P(0) = secret.
+[[nodiscard]] Poly random_poly(Fe secret, std::size_t degree, Rng& rng);
+
+/// Deal n shares at x = 1..n of a fresh degree-`degree` polynomial.
+/// Requires n <= a few thousand and degree < n.
+[[nodiscard]] std::vector<Share> shamir_share(Fe secret, std::size_t degree,
+                                              std::size_t n, Rng& rng);
+
+/// Lagrange interpolation at 0.  Requires >= degree+1 CORRECT shares
+/// with distinct x (exactly degree+1 are used); no error handling.
+[[nodiscard]] Fe shamir_reconstruct(std::span<const Share> shares,
+                                    std::size_t degree);
+
+struct RobustDecodeResult {
+  bool ok = false;
+  Fe secret{};
+  Poly polynomial;              ///< recovered dealer polynomial
+  std::size_t errors_found = 0; ///< shares inconsistent with it
+};
+
+/// Berlekamp-Welch: recover the unique degree-`degree` polynomial
+/// agreeing with all but at most `max_errors` of the shares.  Requires
+/// shares.size() >= degree + 2*max_errors + 1 and distinct x.  Fails
+/// (ok = false) if no such polynomial exists.
+[[nodiscard]] RobustDecodeResult shamir_robust_reconstruct(
+    std::span<const Share> shares, std::size_t degree,
+    std::size_t max_errors);
+
+}  // namespace tg::bft

@@ -1,0 +1,37 @@
+#include "core/bootstrap.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tg::core {
+
+std::size_t bootstrap_group_count(std::size_t n) noexcept {
+  if (n < 3) return 1;
+  const double ln_n = std::log(static_cast<double>(n));
+  const double ln_ln_n = std::max(1.0, std::log(ln_n));
+  return static_cast<std::size_t>(std::ceil(ln_n / ln_ln_n));
+}
+
+BootstrapReport bootstrap_join(const GroupGraph& graph, Rng& rng) {
+  BootstrapReport report;
+  if (graph.size() == 0) return report;
+
+  report.groups_contacted = bootstrap_group_count(graph.size());
+  std::unordered_set<std::uint32_t> collected;
+  std::size_t bad = 0;
+  for (std::size_t k = 0; k < report.groups_contacted; ++k) {
+    const std::size_t gi = rng.below(graph.size());
+    for (const auto m : graph.group(gi).members) {
+      if (collected.insert(m).second && graph.member_pool().is_bad(m)) {
+        ++bad;
+      }
+    }
+  }
+  report.ids_collected = collected.size();
+  report.bad_ids = bad;
+  report.good_majority = 2 * bad < collected.size();
+  report.links = collected.size();
+  return report;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,28 @@
+// Bootstrapping a joiner (Appendix IX).
+//
+// A joining ID contacts O(log n / log log n) groups chosen uniformly
+// at random; the union of their O(log n) members has a good majority
+// w.h.p. and serves as the virtual bootstrap group G_boot.
+#pragma once
+
+#include "core/group_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tg::core {
+
+struct BootstrapReport {
+  std::size_t groups_contacted = 0;
+  std::size_t ids_collected = 0;
+  std::size_t bad_ids = 0;
+  bool good_majority = false;
+  /// State cost the joiner pays: links to every collected ID.
+  std::size_t links = 0;
+};
+
+/// Perform one bootstrap join against a group graph.
+[[nodiscard]] BootstrapReport bootstrap_join(const GroupGraph& graph, Rng& rng);
+
+/// Number of groups a joiner contacts: ceil(log n / log log n).
+[[nodiscard]] std::size_t bootstrap_group_count(std::size_t n) noexcept;
+
+}  // namespace tg::core

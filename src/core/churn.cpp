@@ -1,0 +1,58 @@
+#include "core/churn.hpp"
+
+#include <algorithm>
+
+namespace tg::core {
+
+ChurnReport apply_good_departures(GroupGraph& graph, double fraction,
+                                  Rng& rng) {
+  ChurnReport report;
+  const Population& pool = graph.member_pool();
+
+  // Choose the departing good member-pool IDs.
+  std::vector<std::uint32_t> good_ids;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!pool.is_bad(i)) good_ids.push_back(static_cast<std::uint32_t>(i));
+  }
+  const auto departures = static_cast<std::size_t>(
+      fraction * static_cast<double>(good_ids.size()));
+  std::vector<std::uint8_t> departed(pool.size(), 0);
+  for (const std::size_t pick : rng.sample_indices(good_ids.size(), departures)) {
+    departed[good_ids[pick]] = 1;
+  }
+  report.departed_good = departures;
+
+  for (std::size_t gi = 0; gi < graph.size(); ++gi) {
+    Group& grp = graph.mutable_group(gi);
+    const bool was_good = !grp.is_bad(graph.params());
+    const bool had_majority = grp.has_good_majority();
+    if (was_good && had_majority) ++report.initially_good_groups;
+
+    grp.members.erase(std::remove_if(grp.members.begin(), grp.members.end(),
+                                     [&](std::uint32_t m) {
+                                       return departed[m] != 0;
+                                     }),
+                      grp.members.end());
+    grp.bad_members = 0;
+    for (const auto m : grp.members) {
+      if (pool.is_bad(m)) ++grp.bad_members;
+    }
+
+    if (grp.members.empty()) ++report.groups_emptied;
+    if (was_good && had_majority) {
+      if (!grp.has_good_majority()) ++report.groups_lost_majority;
+      if (!grp.members.empty()) {
+        const double good_frac =
+            1.0 - static_cast<double>(grp.bad_members) /
+                      static_cast<double>(grp.members.size());
+        report.min_good_fraction = std::min(report.min_good_fraction, good_frac);
+      } else {
+        report.min_good_fraction = 0.0;
+      }
+    }
+  }
+  graph.reclassify();
+  return report;
+}
+
+}  // namespace tg::core

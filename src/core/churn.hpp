@@ -1,0 +1,33 @@
+// Intra-epoch churn (Section III, "Model of Joins and Departures").
+//
+// Good groups must retain a good majority over their lifetime; the
+// paper assumes at most an (eps'/2)-fraction of good IDs depart any
+// group per epoch, with eps' = 1 - 2(1+delta)beta.  This module
+// applies departures to a group graph and audits whether the majority
+// invariant survives — including past the bound, to locate the break
+// point empirically.
+#pragma once
+
+#include "core/group_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tg::core {
+
+struct ChurnReport {
+  std::size_t departed_good = 0;
+  std::size_t initially_good_groups = 0;
+  /// Initially-good groups that no longer hold a strict good majority.
+  std::size_t groups_lost_majority = 0;
+  /// Groups whose membership emptied entirely (paper: necessarily
+  /// all-bad under the churn bound; links to them become null).
+  std::size_t groups_emptied = 0;
+  double min_good_fraction = 1.0;  ///< over initially-good groups
+};
+
+/// Remove a `fraction` of the good IDs in the member pool from every
+/// group that contains them, then reclassify.  Departing IDs are
+/// chosen u.a.r. among good member-pool IDs.
+ChurnReport apply_good_departures(GroupGraph& graph, double fraction,
+                                  Rng& rng);
+
+}  // namespace tg::core

@@ -1,0 +1,44 @@
+#include "core/epoch_manager.hpp"
+
+namespace tg::core {
+
+EpochManager::EpochManager(const Params& params, BuilderConfig config)
+    : builder_(params, config) {}
+
+EpochRecord EpochManager::probe(std::size_t epoch, std::size_t searches,
+                                Rng& rng) const {
+  EpochRecord rec;
+  rec.epoch = epoch;
+  rec.red_fraction_g1 = current_.g1->red_fraction();
+  rec.red_fraction_g2 = current_.g2->red_fraction();
+  rec.bad_fraction_g1 = current_.g1->bad_fraction();
+  rec.confused_fraction_g1 = current_.g1->confused_fraction();
+  rec.majority_bad_fraction_g1 = current_.g1->majority_bad_fraction();
+  const RobustnessReport rob = measure_robustness(*current_.g1, searches, rng);
+  rec.q_f = rob.q_f;
+  rec.search_success = rob.search_success;
+  rec.dual_failure =
+      measure_dual_failure(*current_.g1, *current_.g2, searches, rng);
+  return rec;
+}
+
+std::vector<EpochRecord> EpochManager::run(std::size_t epochs,
+                                           std::size_t probe_searches,
+                                           Rng& rng) {
+  std::vector<EpochRecord> records;
+  records.reserve(epochs + 1);
+
+  current_ = builder_.initial(rng);
+  records.push_back(probe(0, probe_searches, rng));
+
+  for (std::size_t e = 1; e <= epochs; ++e) {
+    BuildStats stats;
+    current_ = builder_.build_next(current_, rng, &stats);
+    EpochRecord rec = probe(e, probe_searches, rng);
+    rec.build = stats;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,48 @@
+// Multi-epoch driver: runs the dynamic construction over many epochs
+// and records the per-epoch robustness trajectory (Theorem 3's
+// "polynomial number of join and departure events" — each epoch turns
+// over all n IDs).
+#pragma once
+
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/robustness.hpp"
+
+namespace tg::core {
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double red_fraction_g1 = 0.0;
+  double red_fraction_g2 = 0.0;
+  double bad_fraction_g1 = 0.0;
+  double confused_fraction_g1 = 0.0;
+  double majority_bad_fraction_g1 = 0.0;
+  double q_f = 0.0;           ///< single-search failure rate in g1
+  double dual_failure = 0.0;  ///< dual-search failure rate across g1/g2
+  double search_success = 0.0;
+  BuildStats build;           ///< zeroed for epoch 0 (trusted init)
+};
+
+class EpochManager {
+ public:
+  EpochManager(const Params& params, BuilderConfig config = {});
+
+  /// Run `epochs` epochs (epoch 0 = trusted init), probing each
+  /// generation with `probe_searches` random searches.
+  [[nodiscard]] std::vector<EpochRecord> run(std::size_t epochs,
+                                             std::size_t probe_searches,
+                                             Rng& rng);
+
+  /// The most recent generation (valid after run()).
+  [[nodiscard]] const EpochGraphs& current() const noexcept { return current_; }
+
+ private:
+  [[nodiscard]] EpochRecord probe(std::size_t epoch, std::size_t searches,
+                                  Rng& rng) const;
+
+  EpochBuilder builder_;
+  EpochGraphs current_;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,4 @@
+#include "core/group.hpp"
+
+// Header-only logic; this TU anchors the library target.
+namespace tg::core {}

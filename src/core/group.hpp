@@ -1,0 +1,58 @@
+// A single group G_w (Section I-C).
+//
+// Every ID w leads its own group G_w whose members are the IDs
+// suc(h(w, i)) drawn by a membership oracle.  A group is GOOD if it
+// has an acceptable size and at most (1+delta)*beta*|G| bad members;
+// it is CONFUSED if its neighbor set in the group graph was set up
+// incorrectly (Section III-B).  RED = bad or confused; red groups are
+// adversary-controlled for analysis purposes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace tg::core {
+
+struct Group {
+  std::size_t leader = 0;  ///< index of w in its population's ring table
+
+  /// Member indices into the *member population* (the same population
+  /// in the static case; the previous epoch's population in the
+  /// dynamic case — see builder.hpp).
+  std::vector<std::uint32_t> members;
+
+  std::size_t bad_members = 0;
+
+  /// A membership slot whose dual searches both failed: the adversary
+  /// chose the member (counted in bad_members as well).
+  std::size_t corrupted_slots = 0;
+
+  /// Membership slots lost to erroneous rejection (Lemma 7 case 3).
+  std::size_t rejected_slots = 0;
+
+  /// Neighbor set incorrectly established (Lemma 8).
+  bool confused = false;
+
+  [[nodiscard]] std::size_t size() const noexcept { return members.size(); }
+
+  /// Good-group predicate per Section I-C / III: size within bounds
+  /// and bad membership at most the threshold.
+  [[nodiscard]] bool is_bad(const Params& p) const noexcept {
+    return size() < p.group_min_size() ||
+           bad_members > p.bad_member_threshold(size());
+  }
+
+  /// Stricter condition needed for majority filtering to operate.
+  [[nodiscard]] bool has_good_majority() const noexcept {
+    return 2 * bad_members < size();
+  }
+
+  [[nodiscard]] bool is_red(const Params& p) const noexcept {
+    return is_bad(p) || confused;
+  }
+};
+
+}  // namespace tg::core

@@ -1,0 +1,112 @@
+#include "core/group_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tg::core {
+
+GroupGraph::GroupGraph(const Params& params,
+                       std::shared_ptr<const Population> leaders,
+                       std::shared_ptr<const Population> member_pool,
+                       std::vector<Group> groups)
+    : params_(params),
+      leaders_(std::move(leaders)),
+      member_pool_(std::move(member_pool)),
+      groups_(std::move(groups)) {
+  if (!leaders_ || !member_pool_) {
+    throw std::invalid_argument("GroupGraph: null population");
+  }
+  if (groups_.size() != leaders_->size()) {
+    throw std::invalid_argument("GroupGraph: one group per leader required");
+  }
+  topology_ = overlay::make_overlay(params_.overlay_kind, leaders_->table());
+  reclassify();
+}
+
+GroupGraph GroupGraph::pristine(const Params& params,
+                                std::shared_ptr<const Population> pop,
+                                const crypto::RandomOracle& membership_oracle) {
+  const std::size_t n = pop->size();
+  const std::size_t g = params.group_size();
+  std::vector<Group> groups(n);
+  std::vector<std::uint32_t> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    Group& grp = groups[i];
+    grp.leader = i;
+    scratch.clear();
+    const std::uint64_t w = pop->table().at(i).raw();
+    for (std::size_t slot = 0; slot < g; ++slot) {
+      const std::uint64_t point = membership_oracle.value_pair(w, slot);
+      const auto member = static_cast<std::uint32_t>(
+          pop->table().successor_index(ids::RingPoint{point}));
+      scratch.push_back(member);
+    }
+    // Deduplicate: a physical ID holds one membership per group.
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    grp.members = scratch;
+    for (const auto m : grp.members) {
+      if (pop->is_bad(m)) ++grp.bad_members;
+    }
+  }
+  return GroupGraph(params, pop, pop, std::move(groups));
+}
+
+void GroupGraph::mark_red_synthetic(double pf, Rng& rng) {
+  synthetic_red_.assign(groups_.size(), 0);
+  for (auto& flag : synthetic_red_) {
+    flag = rng.bernoulli(pf) ? 1 : 0;
+  }
+  synthetic_mode_ = true;
+}
+
+void GroupGraph::reclassify() {
+  composition_red_.assign(groups_.size(), 0);
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    composition_red_[i] = groups_[i].is_red(params_) ? 1 : 0;
+  }
+}
+
+std::size_t GroupGraph::red_count() const noexcept {
+  const auto& flags = synthetic_mode_ ? synthetic_red_ : composition_red_;
+  return static_cast<std::size_t>(
+      std::count(flags.begin(), flags.end(), std::uint8_t{1}));
+}
+
+double GroupGraph::red_fraction() const noexcept {
+  return groups_.empty() ? 0.0
+                         : static_cast<double>(red_count()) /
+                               static_cast<double>(groups_.size());
+}
+
+double GroupGraph::bad_fraction() const noexcept {
+  std::size_t bad = 0;
+  for (const auto& g : groups_) {
+    if (g.is_bad(params_)) ++bad;
+  }
+  return groups_.empty()
+             ? 0.0
+             : static_cast<double>(bad) / static_cast<double>(groups_.size());
+}
+
+double GroupGraph::confused_fraction() const noexcept {
+  std::size_t confused = 0;
+  for (const auto& g : groups_) {
+    if (g.confused) ++confused;
+  }
+  return groups_.empty() ? 0.0
+                         : static_cast<double>(confused) /
+                               static_cast<double>(groups_.size());
+}
+
+double GroupGraph::majority_bad_fraction() const noexcept {
+  std::size_t lost = 0;
+  for (const auto& g : groups_) {
+    if (!g.has_good_majority()) ++lost;
+  }
+  return groups_.empty()
+             ? 0.0
+             : static_cast<double>(lost) / static_cast<double>(groups_.size());
+}
+
+}  // namespace tg::core

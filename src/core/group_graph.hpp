@@ -1,0 +1,105 @@
+// The group graph G (Section II-A).
+//
+// One vertex per ID (property S1); edges mirror the input graph H over
+// the leader population.  Each group is classified blue or red:
+//   red  = bad composition (too many bad members / undersized) OR a
+//          confused neighbor set (S3's "incorrect neighbor set"),
+//   blue = everything else.
+// For the static model of Section II the classification can instead be
+// drawn synthetically: red independently with probability pf (S2) —
+// both modes are supported so Lemmas 1-4 can be validated exactly in
+// the model they are stated in, and then re-checked against the
+// composition-derived classification.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/params.hpp"
+#include "core/population.hpp"
+#include "crypto/oracle.hpp"
+#include "overlay/input_graph.hpp"
+#include "overlay/registry.hpp"
+#include "util/rng.hpp"
+
+namespace tg::core {
+
+class GroupGraph {
+ public:
+  /// Assemble from explicitly built groups (the epoch builder path).
+  /// `leaders` is this graph's population; `member_pool` the population
+  /// whose IDs fill the groups (previous epoch's IDs in the dynamic
+  /// construction; equal to `leaders` for pristine graphs).
+  GroupGraph(const Params& params,
+             std::shared_ptr<const Population> leaders,
+             std::shared_ptr<const Population> member_pool,
+             std::vector<Group> groups);
+
+  /// Trusted initialization (epoch 0; Appendix X): membership drawn
+  /// directly through the oracle, neighbor sets correct by fiat, so
+  /// red groups arise only from unlucky membership composition.
+  static GroupGraph pristine(const Params& params,
+                             std::shared_ptr<const Population> pop,
+                             const crypto::RandomOracle& membership_oracle);
+
+  GroupGraph(GroupGraph&&) noexcept = default;
+  GroupGraph& operator=(GroupGraph&&) noexcept = default;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const Population& leaders() const noexcept { return *leaders_; }
+  [[nodiscard]] const Population& member_pool() const noexcept {
+    return *member_pool_;
+  }
+  [[nodiscard]] const overlay::InputGraph& topology() const noexcept {
+    return *topology_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return groups_.size(); }
+  [[nodiscard]] const Group& group(std::size_t i) const { return groups_.at(i); }
+  [[nodiscard]] Group& mutable_group(std::size_t i) { return groups_.at(i); }
+
+  /// Red classification; honours synthetic mode when enabled.
+  [[nodiscard]] bool is_red(std::size_t i) const {
+    return synthetic_mode_ ? synthetic_red_.at(i) != 0
+                           : composition_red_.at(i) != 0;
+  }
+
+  /// S2: overwrite classification with iid coin flips (static model).
+  void mark_red_synthetic(double pf, Rng& rng);
+  /// Return to composition-derived classification.
+  void clear_synthetic() noexcept { synthetic_mode_ = false; }
+  /// Re-derive composition classification after group mutation (churn).
+  void reclassify();
+
+  [[nodiscard]] std::size_t red_count() const noexcept;
+  [[nodiscard]] double red_fraction() const noexcept;
+  [[nodiscard]] double bad_fraction() const noexcept;      ///< composition-bad
+  [[nodiscard]] double confused_fraction() const noexcept;
+  [[nodiscard]] double majority_bad_fraction() const noexcept;
+
+  /// Cost of one all-to-all exchange between groups a and b (messages).
+  [[nodiscard]] std::uint64_t pair_messages(std::size_t a, std::size_t b) const {
+    return static_cast<std::uint64_t>(groups_[a].size()) *
+           static_cast<std::uint64_t>(groups_[b].size());
+  }
+
+  /// Cost of one intra-group all-to-all round (group communication,
+  /// Section I item (i)): |G| * (|G| - 1).
+  [[nodiscard]] std::uint64_t intra_group_messages(std::size_t i) const {
+    const auto s = static_cast<std::uint64_t>(groups_[i].size());
+    return s * (s - 1);
+  }
+
+ private:
+  Params params_;
+  std::shared_ptr<const Population> leaders_;
+  std::shared_ptr<const Population> member_pool_;
+  std::unique_ptr<overlay::InputGraph> topology_;
+  std::vector<Group> groups_;
+  std::vector<std::uint8_t> composition_red_;
+  std::vector<std::uint8_t> synthetic_red_;
+  bool synthetic_mode_ = false;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,50 @@
+#include "core/population.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tg::core {
+
+Population::Population(RingTable table, std::vector<std::uint8_t> is_bad)
+    : table_(std::move(table)), is_bad_(std::move(is_bad)) {
+  if (is_bad_.size() != table_.size()) {
+    throw std::invalid_argument("Population: flag vector size mismatch");
+  }
+  bad_count_ = static_cast<std::size_t>(
+      std::count(is_bad_.begin(), is_bad_.end(), std::uint8_t{1}));
+}
+
+Population Population::uniform(std::size_t n, double beta, Rng& rng) {
+  RingTable table = RingTable::uniform(n, rng);
+  std::vector<std::uint8_t> flags(n, 0);
+  const auto bad = static_cast<std::size_t>(beta * static_cast<double>(n));
+  for (const std::size_t idx : rng.sample_indices(n, bad)) flags[idx] = 1;
+  return Population(std::move(table), std::move(flags));
+}
+
+Population Population::from_points(const std::vector<RingPoint>& good,
+                                   const std::vector<RingPoint>& bad) {
+  std::vector<RingPoint> all;
+  all.reserve(good.size() + bad.size());
+  all.insert(all.end(), good.begin(), good.end());
+  all.insert(all.end(), bad.begin(), bad.end());
+  RingTable table(std::move(all));
+
+  std::vector<std::uint8_t> flags(table.size(), 0);
+  for (const RingPoint p : bad) {
+    if (const auto idx = table.index_of(p)) flags[*idx] = 1;
+  }
+  return Population(std::move(table), std::move(flags));
+}
+
+std::size_t Population::random_good_index(Rng& rng) const {
+  if (bad_count_ >= size()) {
+    throw std::logic_error("Population: no good IDs to sample");
+  }
+  for (;;) {
+    const std::size_t idx = rng.below(size());
+    if (!is_bad(idx)) return idx;
+  }
+}
+
+}  // namespace tg::core

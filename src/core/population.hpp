@@ -1,0 +1,55 @@
+// The ID population of one epoch: the ring table of IDs plus the
+// good/bad labelling.
+//
+// Sections II-III assume "at most a beta fraction of bad IDs, u.a.r.
+// in [0,1)" — exactly what Population::uniform constructs.  Section IV
+// discharges that assumption via PoW; the pow module produces ID sets
+// that are converted into Populations (see pow/id_generation.hpp), and
+// an integration test verifies the two paths are statistically
+// indistinguishable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "idspace/ring_table.hpp"
+#include "util/rng.hpp"
+
+namespace tg::core {
+
+using ids::RingPoint;
+using ids::RingTable;
+
+class Population {
+ public:
+  Population() = default;
+  Population(RingTable table, std::vector<std::uint8_t> is_bad);
+
+  /// n IDs u.a.r.; exactly floor(beta*n) of them bad (also u.a.r.,
+  /// matching Lemma 5's N2 set).
+  static Population uniform(std::size_t n, double beta, Rng& rng);
+
+  /// Build from explicit good/bad point sets (used by the PoW pipeline
+  /// and by the omission adversary which withholds some bad IDs).
+  static Population from_points(const std::vector<RingPoint>& good,
+                                const std::vector<RingPoint>& bad);
+
+  [[nodiscard]] const RingTable& table() const noexcept { return table_; }
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] bool is_bad(std::size_t idx) const { return is_bad_.at(idx) != 0; }
+  [[nodiscard]] std::size_t bad_count() const noexcept { return bad_count_; }
+  [[nodiscard]] double bad_fraction() const noexcept {
+    return size() ? static_cast<double>(bad_count_) / static_cast<double>(size())
+                  : 0.0;
+  }
+
+  /// Index of a uniformly random good ID (for bootstrap starts).
+  [[nodiscard]] std::size_t random_good_index(Rng& rng) const;
+
+ private:
+  RingTable table_;
+  std::vector<std::uint8_t> is_bad_;  // parallel to table_.points()
+  std::size_t bad_count_ = 0;
+};
+
+}  // namespace tg::core

@@ -1,0 +1,59 @@
+#include "core/quarantine.hpp"
+
+namespace tg::core {
+
+void QuarantineTracker::report(std::size_t reporter, std::uint32_t suspect) {
+  if (reporter >= group_size_) return;
+  reports_[suspect].insert(reporter);
+}
+
+bool QuarantineTracker::is_quarantined(std::uint32_t suspect) const {
+  const auto it = reports_.find(suspect);
+  if (it == reports_.end()) return false;
+  return 2 * it->second.size() > group_size_;
+}
+
+std::size_t QuarantineTracker::report_count(std::uint32_t suspect) const {
+  const auto it = reports_.find(suspect);
+  return it == reports_.end() ? 0 : it->second.size();
+}
+
+std::size_t QuarantineTracker::quarantined_count() const {
+  std::size_t count = 0;
+  for (const auto& [suspect, reporters] : reports_) {
+    if (2 * reporters.size() > group_size_) ++count;
+  }
+  return count;
+}
+
+SpamOutcome simulate_spam_campaign(const Group& group, const Population& pool,
+                                   std::uint32_t spammer, std::size_t volume) {
+  SpamOutcome out;
+  QuarantineTracker tracker(group.size());
+  for (std::size_t request = 0; request < volume; ++request) {
+    if (tracker.is_quarantined(spammer)) {
+      out.quarantined = true;
+      return out;
+    }
+    ++out.processed_before_quarantine;
+    // Every good member that handles the bogus request reports it;
+    // bad members shield their colleague by staying silent.
+    for (std::size_t m = 0; m < group.size(); ++m) {
+      if (!pool.is_bad(group.members[m])) tracker.report(m, spammer);
+    }
+  }
+  out.quarantined = tracker.is_quarantined(spammer);
+  return out;
+}
+
+bool bad_minority_can_frame(const Group& group, const Population& pool,
+                            std::uint32_t honest_victim) {
+  QuarantineTracker tracker(group.size());
+  // Every bad member files a (false) report against the victim.
+  for (std::size_t m = 0; m < group.size(); ++m) {
+    if (pool.is_bad(group.members[m])) tracker.report(m, honest_victim);
+  }
+  return tracker.is_quarantined(honest_victim);
+}
+
+}  // namespace tg::core

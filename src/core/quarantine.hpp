@@ -1,0 +1,64 @@
+// Quarantining misbehaving IDs (footnote 2: "Members may agree to
+// ignore an ID if it misbehaves too often, hence reducing spamming").
+//
+// Each group keeps per-suspect misbehavior reports from its own
+// members; once a strict majority of members has reported a suspect,
+// the group agrees (one in-group BA round, here majority-counted) to
+// ignore it.  Reports from bad members are untrusted: a colluding
+// minority cannot quarantine an honest ID because it can never reach
+// the majority threshold by itself.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/group.hpp"
+#include "core/population.hpp"
+
+namespace tg::core {
+
+class QuarantineTracker {
+ public:
+  /// Tracks decisions for one group of `group_size` members.
+  explicit QuarantineTracker(std::size_t group_size)
+      : group_size_(group_size) {}
+
+  /// Member `reporter` (index within the group) reports `suspect` (a
+  /// member-pool ID).  Duplicate reports from the same member are
+  /// ignored — one vote per member.
+  void report(std::size_t reporter, std::uint32_t suspect);
+
+  /// Quarantined once reports exceed half the group.
+  [[nodiscard]] bool is_quarantined(std::uint32_t suspect) const;
+
+  [[nodiscard]] std::size_t report_count(std::uint32_t suspect) const;
+  [[nodiscard]] std::size_t quarantined_count() const;
+
+ private:
+  std::size_t group_size_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::size_t>> reports_;
+};
+
+/// Simulate a spam campaign against one group: `spammer` sends `volume`
+/// bogus requests; each delivery prompts every good member that
+/// observed it to file a report.  Returns how many requests were
+/// processed before the group quarantined the spammer (bounded spam —
+/// the footnote's point), or `volume` if it was never quarantined.
+struct SpamOutcome {
+  std::size_t processed_before_quarantine = 0;
+  bool quarantined = false;
+};
+
+[[nodiscard]] SpamOutcome simulate_spam_campaign(const Group& group,
+                                                 const Population& pool,
+                                                 std::uint32_t spammer,
+                                                 std::size_t volume);
+
+/// The converse safety property: colluding bad members alone cannot
+/// quarantine an honest ID (they lack a majority).
+[[nodiscard]] bool bad_minority_can_frame(const Group& group,
+                                          const Population& pool,
+                                          std::uint32_t honest_victim);
+
+}  // namespace tg::core

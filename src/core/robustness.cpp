@@ -1,0 +1,95 @@
+#include "core/robustness.hpp"
+
+#include <algorithm>
+
+namespace tg::core {
+
+RobustnessReport measure_robustness(const GroupGraph& graph,
+                                    std::size_t searches, Rng& rng) {
+  RobustnessReport report;
+  report.red_fraction = graph.red_fraction();
+  report.searches = searches;
+  if (graph.size() == 0 || searches == 0) return report;
+
+  std::size_t successes = 0;
+  for (std::size_t s = 0; s < searches; ++s) {
+    const std::size_t start = rng.below(graph.size());
+    const RingPoint key{rng.u64()};
+    const SearchOutcome out = secure_search(graph, start, key);
+    if (out.success) ++successes;
+    report.path_groups.add(static_cast<double>(out.path_groups));
+    report.route_hops.add(static_cast<double>(out.route_hops));
+    report.messages.add(static_cast<double>(out.messages));
+  }
+  report.search_success =
+      static_cast<double>(successes) / static_cast<double>(searches);
+  report.q_f = 1.0 - report.search_success;
+  return report;
+}
+
+double measure_dual_failure(const GroupGraph& g1, const GroupGraph& g2,
+                            std::size_t searches, Rng& rng) {
+  if (g1.size() == 0 || searches == 0) return 0.0;
+  std::size_t failures = 0;
+  for (std::size_t s = 0; s < searches; ++s) {
+    const std::size_t start = rng.below(g1.size());
+    const RingPoint key{rng.u64()};
+    if (!dual_secure_search(g1, g2, start, key).success) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(searches);
+}
+
+std::vector<double> measure_responsibility(const GroupGraph& graph,
+                                           std::size_t searches, Rng& rng) {
+  std::vector<std::size_t> traversed(graph.size(), 0);
+  for (std::size_t s = 0; s < searches; ++s) {
+    const std::size_t start = rng.below(graph.size());
+    const RingPoint key{rng.u64()};
+    const overlay::Route route = graph.topology().route(start, key);
+    // Walk the SEARCH PATH: stop after the first red group, which is
+    // counted as traversed (the search reached it) — matching the
+    // paper's definition of responsibility over search paths.
+    for (const std::size_t idx : route.path) {
+      ++traversed[idx];
+      if (graph.is_red(idx)) break;
+    }
+  }
+  std::vector<double> rho(graph.size(), 0.0);
+  const double denom = static_cast<double>(searches ? searches : 1);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    rho[i] = static_cast<double>(traversed[i]) / denom;
+  }
+  return rho;
+}
+
+StateCostReport measure_state_cost(const GroupGraph& graph) {
+  StateCostReport report;
+
+  // Memberships: count, per member-pool ID, the groups containing it.
+  std::vector<std::size_t> membership_count(graph.member_pool().size(), 0);
+  RunningStats group_size;
+  for (std::size_t gi = 0; gi < graph.size(); ++gi) {
+    const Group& grp = graph.group(gi);
+    group_size.add(static_cast<double>(grp.size()));
+    for (const auto m : grp.members) ++membership_count[m];
+  }
+  report.mean_group_size = group_size.mean();
+  for (std::size_t i = 0; i < membership_count.size(); ++i) {
+    const auto c = static_cast<double>(membership_count[i]);
+    report.memberships.add(c);
+    // Each membership requires links to the other |G|-1 members.
+    report.member_links.add(c * std::max(0.0, report.mean_group_size - 1.0));
+  }
+
+  // Neighbor state: |L_w| groups per leader and the wire links an
+  // all-to-all edge to each costs.
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto degree =
+        static_cast<double>(graph.topology().neighbors(i).size());
+    report.neighbor_groups.add(degree);
+    report.neighbor_links.add(degree * report.mean_group_size);
+  }
+  return report;
+}
+
+}  // namespace tg::core

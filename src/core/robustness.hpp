@@ -1,0 +1,53 @@
+// epsilon-robustness measurement (Section I-A definition and the
+// quantities of Lemmas 1-4).
+#pragma once
+
+#include <vector>
+
+#include "core/search.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tg::core {
+
+struct RobustnessReport {
+  double red_fraction = 0.0;
+  double search_success = 0.0;  ///< fraction of probe searches that succeed
+  double q_f = 0.0;             ///< failure probability (1 - success)
+  RunningStats path_groups;     ///< search-path lengths
+  RunningStats route_hops;      ///< full H route lengths (P1)
+  RunningStats messages;        ///< secure-routing message cost per search
+  std::size_t searches = 0;
+};
+
+/// Probe `searches` random (group, key) pairs, as in the paper:
+/// "any search from a random group to a random point in [0,1)".
+[[nodiscard]] RobustnessReport measure_robustness(const GroupGraph& graph,
+                                                  std::size_t searches,
+                                                  Rng& rng);
+
+/// Dual-search failure rate q_f^2-analogue across a graph pair.
+[[nodiscard]] double measure_dual_failure(const GroupGraph& g1,
+                                          const GroupGraph& g2,
+                                          std::size_t searches, Rng& rng);
+
+/// Empirical responsibility rho(G_v) (Section II-A): per-group
+/// probability of being traversed by a random search path.  Used to
+/// validate Lemma 1's O(log^c n / n) bound and Lemma 3's
+/// concentration.
+[[nodiscard]] std::vector<double> measure_responsibility(
+    const GroupGraph& graph, std::size_t searches, Rng& rng);
+
+/// State cost per ID (Section I item (iii), Lemma 10): how many groups
+/// an ID belongs to and how many member/neighbor links it maintains.
+struct StateCostReport {
+  RunningStats memberships;       ///< groups per member-pool ID
+  RunningStats member_links;      ///< intra-group links per member-pool ID
+  RunningStats neighbor_groups;   ///< |L_w| per leader
+  RunningStats neighbor_links;    ///< |L_w| * |G| wire links per leader
+  double mean_group_size = 0.0;
+};
+
+[[nodiscard]] StateCostReport measure_state_cost(const GroupGraph& graph);
+
+}  // namespace tg::core

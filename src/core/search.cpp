@@ -1,0 +1,52 @@
+#include "core/search.hpp"
+
+namespace tg::core {
+
+SearchOutcome evaluate_route(const GroupGraph& graph,
+                             const overlay::Route& route, SearchMode mode) {
+  SearchOutcome out;
+  out.route_hops = route.hops();
+  if (route.path.empty()) return out;
+
+  const std::size_t initiator = route.path.front();
+  std::size_t prev = initiator;
+  for (std::size_t k = 0; k < route.path.size(); ++k) {
+    const std::size_t idx = route.path[k];
+    if (k > 0) {
+      if (mode == SearchMode::recursive) {
+        out.messages += graph.pair_messages(prev, idx);
+      } else {
+        // Iterative: the initiator asks each hop directly and gets the
+        // next-hop answer back — a round trip per path group.
+        out.messages += 2 * graph.pair_messages(initiator, idx);
+      }
+    }
+    ++out.path_groups;
+    if (graph.is_red(idx)) return out;  // failed at the first red group
+    prev = idx;
+  }
+  out.success = route.ok;
+  return out;
+}
+
+SearchOutcome secure_search(const GroupGraph& graph, std::size_t start_leader,
+                            RingPoint key, SearchMode mode) {
+  const overlay::Route route = graph.topology().route(start_leader, key);
+  return evaluate_route(graph, route, mode);
+}
+
+DualOutcome dual_secure_search(const GroupGraph& g1, const GroupGraph& g2,
+                               std::size_t start_leader, RingPoint key) {
+  DualOutcome out;
+  // Both graphs share leader IDs, hence identical H routes; compute
+  // once and evaluate against each graph's red set.
+  const overlay::Route route = g1.topology().route(start_leader, key);
+  out.first = evaluate_route(g1, route);
+  out.second = (&g1 == &g2) ? out.first : evaluate_route(g2, route);
+  out.success = out.first.success || out.second.success;
+  out.messages = out.first.messages +
+                 ((&g1 == &g2) ? 0 : out.second.messages);
+  return out;
+}
+
+}  // namespace tg::core

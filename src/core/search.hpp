@@ -1,0 +1,64 @@
+// Secure search over the group graph (Section II).
+//
+// A search proceeds over group-graph edges exactly as it would in H,
+// with all-to-all exchange + majority filtering between consecutive
+// groups.  The SEARCH PATH halts at the first red group encountered
+// (the adversary may redirect arbitrarily beyond that point, so the
+// search has failed); a search succeeds iff its entire path — start
+// group included — is blue.
+#pragma once
+
+#include <cstdint>
+
+#include "core/group_graph.hpp"
+
+namespace tg::core {
+
+/// Appendix VI distinguishes RECURSIVE searches (the request is
+/// forwarded group to group) from ITERATIVE ones (the initiator group
+/// contacts each hop directly and is told the next hop).  Failure
+/// semantics are identical — the search dies at the first red group —
+/// but message costs differ: iterative pays a round trip between the
+/// initiator and every group on the path.
+enum class SearchMode { recursive, iterative };
+
+struct SearchOutcome {
+  bool success = false;
+  /// Groups on the search path (truncated at the first red group).
+  std::size_t path_groups = 0;
+  /// Hop count of the underlying H route (the full route, for P1
+  /// comparisons; >= path_groups - 1).
+  std::size_t route_hops = 0;
+  /// Inter-group all-to-all messages spent along the search path.
+  std::uint64_t messages = 0;
+};
+
+/// Evaluate an H route against one group graph's red classification.
+[[nodiscard]] SearchOutcome evaluate_route(
+    const GroupGraph& graph, const overlay::Route& route,
+    SearchMode mode = SearchMode::recursive);
+
+/// Single-graph secure search from the group led by `start_leader`.
+[[nodiscard]] SearchOutcome secure_search(
+    const GroupGraph& graph, std::size_t start_leader, RingPoint key,
+    SearchMode mode = SearchMode::recursive);
+
+/// Dual search of the dynamic construction (Section III-A): the same
+/// request is executed in both old group graphs; it fails only if BOTH
+/// fail.  The graphs must share a leader population (they do by
+/// construction: same IDs, different membership hash).  Passing the
+/// same graph twice degenerates to single-graph semantics — exactly
+/// the ablation of the naive design Section III warns about.
+struct DualOutcome {
+  SearchOutcome first;
+  SearchOutcome second;
+  bool success = false;
+  std::uint64_t messages = 0;
+};
+
+[[nodiscard]] DualOutcome dual_secure_search(const GroupGraph& g1,
+                                             const GroupGraph& g2,
+                                             std::size_t start_leader,
+                                             RingPoint key);
+
+}  // namespace tg::core

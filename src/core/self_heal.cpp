@@ -1,0 +1,92 @@
+#include "core/self_heal.hpp"
+
+#include <algorithm>
+
+namespace tg::core {
+
+bool rebuild_group(GroupGraph& graph, std::size_t index,
+                   const crypto::RandomOracle& membership_oracle,
+                   std::uint64_t salt) {
+  const Population& pool = graph.member_pool();
+  const std::size_t g = graph.params().group_size();
+  Group& grp = graph.mutable_group(index);
+  const std::uint64_t w = graph.leaders().table().at(grp.leader).raw();
+
+  std::vector<std::uint32_t> members;
+  members.reserve(g);
+  for (std::size_t slot = 0; slot < g; ++slot) {
+    // Salted redraw: same mechanism as the original membership draw,
+    // different points — the oracle's uniformity makes the rebuilt
+    // composition an independent sample.
+    const std::uint64_t point = membership_oracle.value_pair(w ^ salt, slot);
+    members.push_back(static_cast<std::uint32_t>(
+        pool.table().successor_index(ids::RingPoint{point})));
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  grp.members = std::move(members);
+  grp.bad_members = 0;
+  grp.confused = false;
+  for (const auto m : grp.members) {
+    if (pool.is_bad(m)) ++grp.bad_members;
+  }
+  graph.reclassify();
+  return !graph.is_red(index);
+}
+
+HealReport self_heal_round(GroupGraph& graph, const GroupGraph& partner,
+                           const crypto::RandomOracle& membership_oracle,
+                           std::uint64_t salt, std::size_t probes, Rng& rng) {
+  HealReport report;
+  report.red_before = graph.red_fraction();
+
+  std::vector<std::uint8_t> flagged(graph.size(), 0);
+  for (std::size_t p = 0; p < probes; ++p) {
+    ++report.probes;
+    const std::size_t start = rng.below(graph.size());
+    const ids::RingPoint key{rng.u64()};
+    const overlay::Route route = graph.topology().route(start, key);
+    const SearchOutcome mine = evaluate_route(graph, route);
+    const SearchOutcome theirs = evaluate_route(partner, route);
+    report.messages += mine.messages + theirs.messages;
+    // Disagreement <=> exactly one of the two paths died at a red
+    // group; the clean result exposes the corrupted one.
+    if (mine.success == theirs.success) continue;
+    ++report.disagreements;
+    if (theirs.success && !mine.success) {
+      // Localize: walk the failed path, cross-checking each hop
+      // against the partner graph (one pair exchange per hop), and
+      // flag the first red group.
+      std::size_t prev = route.path.front();
+      for (const std::size_t idx : route.path) {
+        report.messages += graph.pair_messages(prev, idx) +
+                           partner.pair_messages(prev, idx);
+        if (graph.is_red(idx)) {
+          if (!flagged[idx]) {
+            flagged[idx] = 1;
+            ++report.localized;
+          }
+          break;
+        }
+        prev = idx;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (!flagged[i]) continue;
+    ++report.rebuilds;
+    // Rebuild cost: one dual search per membership slot.
+    report.messages += 2ULL * graph.params().group_size() *
+                       graph.intra_group_messages(i);
+    if (rebuild_group(graph, i, membership_oracle, salt)) {
+      ++report.healed;
+    }
+  }
+
+  report.red_after = graph.red_fraction();
+  return report;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,61 @@
+// Self-healing of red groups — the quarantine line of work the paper
+// cites ([27] "Self-Healing of Byzantine Faults", [43] "Self-Healing
+// Computation") adapted to the two-graph construction.
+//
+// A red group is invisible while it stays silent: unlucky composition
+// cannot be tested directly (badness of an ID is not observable).  It
+// becomes DETECTABLE the moment it corrupts a search, because the
+// initiator runs every search in BOTH group graphs (Section III-A):
+// when the two results disagree, something on one path lied.  The
+// healer then LOCALIZES the fault by walking the failed path hop by
+// hop, cross-checking each hop's claim against the partner graph, and
+// flags the first divergent group — which is exactly the first red
+// group on the path.  Flagged groups are REBUILT: membership is
+// re-drawn through the membership oracle under a fresh salt (the
+// in-protocol equivalent of re-running the group-membership requests
+// of Section III-A), which is good w.h.p. like any fresh group.
+//
+// Healing cannot beat the composition floor: a rebuild is another
+// random draw, red with probability ~pf.  What it removes is the
+// PERSISTENCE of red groups — detected ones stop being red forever,
+// rather than staying red until their epoch expires.
+#pragma once
+
+#include <cstdint>
+
+#include "core/group_graph.hpp"
+#include "core/search.hpp"
+#include "crypto/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace tg::core {
+
+struct HealReport {
+  std::size_t probes = 0;         ///< dual probe searches issued
+  std::size_t disagreements = 0;  ///< dual results diverged
+  std::size_t localized = 0;      ///< red groups pinpointed
+  std::size_t rebuilds = 0;       ///< membership redraws performed
+  std::size_t healed = 0;         ///< rebuilds that came out blue
+  std::uint64_t messages = 0;     ///< probes + localization + rebuild
+  double red_before = 0.0;
+  double red_after = 0.0;
+};
+
+/// One healing round over `graph`, using `partner` as the cross-check
+/// graph (the other graph of the epoch pair).  `salt` must be fresh
+/// per round (e.g. the epoch random string) so redraws are
+/// independent; `probes` is the number of random dual searches driving
+/// detection.
+[[nodiscard]] HealReport self_heal_round(
+    GroupGraph& graph, const GroupGraph& partner,
+    const crypto::RandomOracle& membership_oracle, std::uint64_t salt,
+    std::size_t probes, Rng& rng);
+
+/// Rebuild one group's membership under a salted oracle draw; returns
+/// true if the rebuilt group is blue (composition-good).  Exposed for
+/// tests and for epoch managers that heal on their own schedule.
+bool rebuild_group(GroupGraph& graph, std::size_t index,
+                   const crypto::RandomOracle& membership_oracle,
+                   std::uint64_t salt);
+
+}  // namespace tg::core

@@ -1,0 +1,38 @@
+#include "crypto/commitment.hpp"
+
+namespace tg::crypto {
+
+Commitment commit(std::span<const std::uint8_t> data, std::uint64_t nonce) {
+  Sha256 ctx;
+  ctx.update("tinygroups/commit");
+  ctx.update(data);
+  ctx.update_u64(nonce);
+  return Commitment{ctx.finish()};
+}
+
+bool open(const Commitment& c, std::span<const std::uint8_t> data,
+          std::uint64_t nonce) {
+  return commit(data, nonce) == c;
+}
+
+ZkPreimageProof prove_pow_preimage(std::uint64_t sigma,
+                                   std::uint64_t sigma_nonce,
+                                   std::uint64_t g_of_input,
+                                   std::uint64_t f_of_g,
+                                   const PowStatement& stmt) {
+  ZkPreimageProof proof;
+  proof.stmt_ = stmt;
+  std::uint8_t sigma_bytes[8];
+  std::uint64_t v = sigma;
+  for (int i = 7; i >= 0; --i) {
+    sigma_bytes[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  proof.commitment_ =
+      commit(std::span<const std::uint8_t>(sigma_bytes, 8), sigma_nonce);
+  proof.witness_ok_ = (g_of_input == stmt.claimed_g_output) &&
+                      (f_of_g == stmt.claimed_id);
+  return proof;
+}
+
+}  // namespace tg::crypto

@@ -1,0 +1,17 @@
+// Hex encoding/decoding for digests and test vectors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg::crypto {
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> from_hex(
+    std::string_view hex);
+
+}  // namespace tg::crypto

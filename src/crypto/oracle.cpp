@@ -1,0 +1,38 @@
+#include "crypto/oracle.hpp"
+
+namespace tg::crypto {
+
+RandomOracle::RandomOracle(std::string_view domain, std::uint64_t seed)
+    : domain_(domain), seed_(seed) {}
+
+Sha256 RandomOracle::seeded_context() const {
+  Sha256 ctx;
+  ctx.update(domain_);
+  ctx.update_u64(seed_);
+  return ctx;
+}
+
+Digest RandomOracle::digest(std::span<const std::uint8_t> data) const {
+  Sha256 ctx = seeded_context();
+  ctx.update(data);
+  return ctx.finish();
+}
+
+std::uint64_t RandomOracle::value(std::span<const std::uint8_t> data) const {
+  return digest_to_u64(digest(data));
+}
+
+std::uint64_t RandomOracle::value_u64(std::uint64_t x) const {
+  Sha256 ctx = seeded_context();
+  ctx.update_u64(x);
+  return digest_to_u64(ctx.finish());
+}
+
+std::uint64_t RandomOracle::value_pair(std::uint64_t a, std::uint64_t b) const {
+  Sha256 ctx = seeded_context();
+  ctx.update_u64(a);
+  ctx.update_u64(b);
+  return digest_to_u64(ctx.finish());
+}
+
+}  // namespace tg::crypto

@@ -1,0 +1,65 @@
+// Random oracles (Bellare-Rogaway model), as assumed by the paper.
+//
+// The paper uses five named hash functions, all with domain and range
+// [0,1):
+//   - h1, h2 : group-membership hashes for the two group graphs
+//              (Section III-A, "Making a Group-Membership Request"),
+//   - f, g   : the composed pair for PoW ID generation
+//              (Section IV-A, "Why Use Two Hash Functions?"),
+//   - h      : the epoch-string lottery hash (Appendix VIII).
+//
+// Each is realized as SHA-256 with a domain-separation prefix plus an
+// experiment seed, so different experiments see independent oracles
+// while remaining reproducible.  Outputs are 64-bit fixed-point values
+// in [0,1) (the paper notes O(log n) bits of precision suffice).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace tg::crypto {
+
+class RandomOracle {
+ public:
+  RandomOracle(std::string_view domain, std::uint64_t seed);
+
+  /// Full digest of (domain || seed || data).
+  [[nodiscard]] Digest digest(std::span<const std::uint8_t> data) const;
+
+  /// Oracle output as 64-bit fixed point in [0, 2^64) ~ [0,1).
+  [[nodiscard]] std::uint64_t value(std::span<const std::uint8_t> data) const;
+  [[nodiscard]] std::uint64_t value_u64(std::uint64_t x) const;
+  /// Two-argument form, e.g. h1(w, i) of Section III-A.
+  [[nodiscard]] std::uint64_t value_pair(std::uint64_t a, std::uint64_t b) const;
+
+  [[nodiscard]] const std::string& domain() const noexcept { return domain_; }
+
+ private:
+  [[nodiscard]] Sha256 seeded_context() const;
+
+  std::string domain_;
+  std::uint64_t seed_;
+};
+
+/// The full set of named oracles from the paper, derived from a single
+/// experiment seed.
+struct OracleSuite {
+  explicit OracleSuite(std::uint64_t seed)
+      : h1("tinygroups/h1", seed),
+        h2("tinygroups/h2", seed),
+        f("tinygroups/f", seed),
+        g("tinygroups/g", seed),
+        h("tinygroups/h", seed) {}
+
+  RandomOracle h1;  ///< membership hash, group graph 1
+  RandomOracle h2;  ///< membership hash, group graph 2
+  RandomOracle f;   ///< outer PoW hash (ID = f(g(sigma xor r)))
+  RandomOracle g;   ///< inner PoW hash (puzzle: g(sigma xor r) <= tau)
+  RandomOracle h;   ///< epoch-string lottery hash
+};
+
+}  // namespace tg::crypto

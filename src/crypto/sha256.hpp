@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The paper assumes hash functions in the random-oracle model ("in
+// practice, h may be a cryptographic hash function, such as SHA-2").
+// All oracles in this repository (f, g, h1, h2, h of Sections I-C/IV)
+// are domain-separated instantiations of this primitive.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+  void update_u64(std::uint64_t value) noexcept;  // big-endian encoding
+
+  /// Finalize; the context may not be updated afterwards without reset().
+  [[nodiscard]] Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t bit_length_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot helpers.
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] Digest sha256(std::string_view text) noexcept;
+
+/// First 8 bytes of the digest as a big-endian uint64 — the canonical
+/// "hash output in [0,1)" used throughout (64-bit fixed point).
+[[nodiscard]] std::uint64_t digest_to_u64(const Digest& d) noexcept;
+
+}  // namespace tg::crypto

@@ -1,0 +1,37 @@
+#include "crypto/signature.hpp"
+
+namespace tg::crypto {
+
+Digest SignatureAuthority::mac(SignerId signer, std::uint64_t message) const {
+  Sha256 ctx;
+  ctx.update("tinygroups/sig");
+  ctx.update_u64(seed_);
+  ctx.update_u64(signer);
+  ctx.update_u64(message);
+  return ctx.finish();
+}
+
+Signature SignatureAuthority::sign(SignerId caller, SignerId signer,
+                                   std::uint64_t message) const {
+  Signature sig;
+  sig.signer = signer;
+  if (caller == signer) {
+    sig.mac = mac(signer, message);
+  } else {
+    // Forgery attempt: return a deterministic but invalid MAC.
+    Sha256 ctx;
+    ctx.update("tinygroups/forgery");
+    ctx.update_u64(caller);
+    ctx.update_u64(signer);
+    ctx.update_u64(message);
+    sig.mac = ctx.finish();
+  }
+  return sig;
+}
+
+bool SignatureAuthority::verify(const Signature& sig,
+                                std::uint64_t message) const {
+  return sig.mac == mac(sig.signer, message);
+}
+
+}  // namespace tg::crypto

@@ -1,0 +1,42 @@
+// Simulated digital signatures for authenticated Byzantine agreement
+// (Dolev-Strong in src/bft/).
+//
+// Substitution: instead of public-key cryptography we use keyed hashes
+// with per-signer secrets held by a SignatureAuthority.  Inside the
+// simulator this gives exactly the properties BA needs: unforgeability
+// (only the authority signs, and it refuses to sign for a signer on
+// behalf of another caller identity) and public verifiability.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.hpp"
+
+namespace tg::crypto {
+
+using SignerId = std::uint64_t;
+
+struct Signature {
+  Digest mac{};
+  SignerId signer = 0;
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class SignatureAuthority {
+ public:
+  explicit SignatureAuthority(std::uint64_t seed) : seed_(seed) {}
+
+  /// `caller` must equal `signer` for the signature to be minted
+  /// honestly; a Byzantine caller asking to sign for someone else gets
+  /// a garbage (unverifiable) signature — modeling forgery failure.
+  [[nodiscard]] Signature sign(SignerId caller, SignerId signer,
+                               std::uint64_t message) const;
+
+  [[nodiscard]] bool verify(const Signature& sig, std::uint64_t message) const;
+
+ private:
+  [[nodiscard]] Digest mac(SignerId signer, std::uint64_t message) const;
+  std::uint64_t seed_;
+};
+
+}  // namespace tg::crypto

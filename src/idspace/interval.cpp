@@ -1,0 +1,13 @@
+#include "idspace/interval.hpp"
+
+#include <cmath>
+
+namespace tg::ids {
+
+std::uint64_t arc_length_from_fraction(double fraction) noexcept {
+  if (fraction <= 0.0) return 0;
+  if (fraction >= 1.0) return ~0ULL;
+  return static_cast<std::uint64_t>(std::ldexp(fraction, 64));
+}
+
+}  // namespace tg::ids

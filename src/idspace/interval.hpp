@@ -1,0 +1,56 @@
+// Clockwise arcs on the unit ring.
+#pragma once
+
+#include <cstdint>
+
+#include "idspace/ring_point.hpp"
+
+namespace tg::ids {
+
+/// The half-open clockwise arc [start, start + length).  Because
+/// arithmetic is mod 2^64, arcs may wrap through 0.  A length of 0 is
+/// the empty arc; the full ring cannot be represented (callers use
+/// length 2^64-1 which is off by one point — irrelevant at our scales
+/// and asserted nowhere reachable).
+class Arc {
+ public:
+  constexpr Arc() noexcept = default;
+  constexpr Arc(RingPoint start, std::uint64_t length) noexcept
+      : start_(start), length_(length) {}
+
+  /// Arc from a (inclusive) clockwise to b (exclusive).
+  static constexpr Arc between(RingPoint a, RingPoint b) noexcept {
+    return Arc{a, a.cw_distance_to(b)};
+  }
+
+  [[nodiscard]] constexpr RingPoint start() const noexcept { return start_; }
+  [[nodiscard]] constexpr RingPoint end() const noexcept {
+    return start_.advanced(length_);
+  }
+  [[nodiscard]] constexpr std::uint64_t length() const noexcept { return length_; }
+  [[nodiscard]] double length_fraction() const noexcept {
+    return static_cast<double>(length_) * 0x1.0p-64;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return length_ == 0; }
+
+  [[nodiscard]] constexpr bool contains(RingPoint p) const noexcept {
+    return start_.cw_distance_to(p) < length_;
+  }
+
+  /// Do two arcs share at least one point?
+  [[nodiscard]] constexpr bool intersects(const Arc& other) const noexcept {
+    if (empty() || other.empty()) return false;
+    return contains(other.start_) || other.contains(start_);
+  }
+
+  friend constexpr bool operator==(const Arc&, const Arc&) noexcept = default;
+
+ private:
+  RingPoint start_{};
+  std::uint64_t length_ = 0;
+};
+
+/// Fraction-of-ring to raw length (e.g. arc_length(ln(n)/n)).
+[[nodiscard]] std::uint64_t arc_length_from_fraction(double fraction) noexcept;
+
+}  // namespace tg::ids

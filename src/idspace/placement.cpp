@@ -1,0 +1,48 @@
+#include "idspace/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tg::ids {
+
+SpreadReport check_well_spread(const RingTable& table, double lambda) {
+  SpreadReport report;
+  report.lambda = lambda;
+  const std::size_t m = table.size();
+  if (m < 2) return report;
+
+  const double ln_m = std::log(static_cast<double>(m));
+  report.expected = lambda * ln_m;
+  const double frac = std::min(lambda * ln_m / static_cast<double>(m), 1.0);
+  const std::uint64_t len = arc_length_from_fraction(frac);
+
+  report.min_count = m;
+  report.max_count = 0;
+  // Interval counts change only when an endpoint crosses an ID, so
+  // anchoring at each ID (and just after each ID) covers the extremes.
+  for (std::size_t i = 0; i < m; ++i) {
+    const RingPoint anchor = table.at(i);
+    for (const RingPoint start : {anchor, anchor.advanced(1)}) {
+      const std::size_t count = table.count_in(Arc{start, len});
+      report.min_count = std::min(report.min_count, count);
+      report.max_count = std::max(report.max_count, count);
+      ++report.intervals_checked;
+    }
+  }
+  report.well_spread =
+      static_cast<double>(report.min_count) >= report.expected / 2.0 &&
+      static_cast<double>(report.max_count) <= 1.5 * report.expected;
+  return report;
+}
+
+double max_responsibility_times_m(const RingTable& table) {
+  const std::size_t m = table.size();
+  if (m < 2) return 0.0;
+  std::uint64_t max_len = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    max_len = std::max(max_len, table.responsibility_arc(i).length());
+  }
+  return static_cast<double>(max_len) * 0x1.0p-64 * static_cast<double>(m);
+}
+
+}  // namespace tg::ids

@@ -1,0 +1,33 @@
+#include "idspace/ring_point.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace tg::ids {
+
+RingPoint RingPoint::from_double(double x) noexcept {
+  if (x < 0.0) x = 0.0;
+  if (x >= 1.0) x = std::nextafter(1.0, 0.0);
+  return RingPoint{static_cast<std::uint64_t>(x * 0x1.0p64)};
+}
+
+double RingPoint::to_double() const noexcept {
+  return static_cast<double>(raw_) * 0x1.0p-64;
+}
+
+std::string RingPoint::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, RingPoint p) {
+  std::ostringstream tmp;
+  tmp.precision(8);
+  tmp << std::fixed << p.to_double();
+  os << tmp.str();
+  return os;
+}
+
+}  // namespace tg::ids

@@ -1,0 +1,83 @@
+// The ID space [0,1) viewed as a unit ring (Section I-C).
+//
+// IDs are 64-bit fixed-point fractions: RingPoint{v} represents
+// v / 2^64.  The paper notes O(log n) bits of precision suffice; 64
+// bits exceed that for every n we simulate and make wrap-around
+// arithmetic exact (mod 2^64 == mod 1.0 on the ring).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace tg::ids {
+
+class RingPoint {
+ public:
+  constexpr RingPoint() noexcept = default;
+  constexpr explicit RingPoint(std::uint64_t raw) noexcept : raw_(raw) {}
+
+  /// From a double in [0,1) (clamped); mainly for tests and display.
+  static RingPoint from_double(double x) noexcept;
+
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return raw_; }
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string str() const;  ///< short fixed-point rendering
+
+  /// Clockwise distance from *this to other: the length of the arc
+  /// travelled moving from 0 towards 1 (paper's orientation).
+  [[nodiscard]] constexpr std::uint64_t cw_distance_to(
+      RingPoint other) const noexcept {
+    return other.raw_ - raw_;  // mod 2^64 wrap is exactly mod-1 on the ring
+  }
+
+  /// Minimum of clockwise and counter-clockwise distances.
+  [[nodiscard]] constexpr std::uint64_t ring_distance_to(
+      RingPoint other) const noexcept {
+    const std::uint64_t cw = cw_distance_to(other);
+    const std::uint64_t ccw = other.cw_distance_to(*this);
+    return cw < ccw ? cw : ccw;
+  }
+
+  /// Move clockwise by a raw offset (wraps).
+  [[nodiscard]] constexpr RingPoint advanced(std::uint64_t offset) const noexcept {
+    return RingPoint{raw_ + offset};
+  }
+
+  /// The de Bruijn "prepend bit" map: x -> x/2 (+ 1/2 when bit set).
+  /// Foundation of the D2B and distance-halving overlays (Section I-C
+  /// cites both as valid input graphs).
+  [[nodiscard]] constexpr RingPoint halved(bool high_bit) const noexcept {
+    return RingPoint{(raw_ >> 1) | (high_bit ? 0x8000000000000000ULL : 0ULL)};
+  }
+
+  /// The inverse map: x -> 2x mod 1 (drops the top bit).
+  [[nodiscard]] constexpr RingPoint doubled() const noexcept {
+    return RingPoint{raw_ << 1};
+  }
+
+  friend constexpr bool operator==(RingPoint, RingPoint) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(RingPoint a,
+                                                    RingPoint b) noexcept {
+    return a.raw_ <=> b.raw_;
+  }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, RingPoint p);
+
+/// Half of the ring; used for majority-direction reasoning.
+inline constexpr std::uint64_t kHalfRing = 0x8000000000000000ULL;
+
+}  // namespace tg::ids
+
+template <>
+struct std::hash<tg::ids::RingPoint> {
+  std::size_t operator()(tg::ids::RingPoint p) const noexcept {
+    // Raw values are already uniform (they come from oracles/RNG).
+    return static_cast<std::size_t>(p.raw());
+  }
+};

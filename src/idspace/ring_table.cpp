@@ -1,0 +1,111 @@
+#include "idspace/ring_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tg::ids {
+
+RingTable::RingTable(std::vector<RingPoint> points) : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end());
+  points_.erase(std::unique(points_.begin(), points_.end()), points_.end());
+}
+
+RingTable RingTable::uniform(std::size_t n, Rng& rng) {
+  std::vector<RingPoint> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.emplace_back(rng.u64());
+  RingTable table(std::move(pts));
+  // Regenerate on the (astronomically unlikely) collision.
+  while (table.size() < n) {
+    table.insert(RingPoint{rng.u64()});
+  }
+  return table;
+}
+
+std::size_t RingTable::successor_index(RingPoint x) const {
+  const auto it = std::lower_bound(points_.begin(), points_.end(), x);
+  if (it == points_.end()) return 0;  // wrap to the smallest ID
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+RingPoint RingTable::successor(RingPoint x) const {
+  return points_[successor_index(x)];
+}
+
+RingPoint RingTable::predecessor(RingPoint x) const {
+  const auto it = std::lower_bound(points_.begin(), points_.end(), x);
+  if (it == points_.begin()) return points_.back();
+  return *(it - 1);
+}
+
+bool RingTable::contains(RingPoint x) const {
+  return std::binary_search(points_.begin(), points_.end(), x);
+}
+
+std::optional<std::size_t> RingTable::index_of(RingPoint x) const {
+  const auto it = std::lower_bound(points_.begin(), points_.end(), x);
+  if (it != points_.end() && *it == x) {
+    return static_cast<std::size_t>(it - points_.begin());
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> RingTable::indices_in(const Arc& arc) const {
+  std::vector<std::size_t> out;
+  if (points_.empty() || arc.empty()) return out;
+  std::size_t idx = successor_index(arc.start());
+  for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+    if (!arc.contains(points_[idx])) break;
+    out.push_back(idx);
+    idx = (idx + 1) % points_.size();
+  }
+  return out;
+}
+
+std::size_t RingTable::count_in(const Arc& arc) const {
+  if (points_.empty() || arc.empty()) return 0;
+  // Count members in [start, end) via two binary searches, handling wrap.
+  const RingPoint lo = arc.start();
+  const RingPoint hi = arc.end();
+  const auto rank = [this](RingPoint p) {
+    return static_cast<std::size_t>(
+        std::lower_bound(points_.begin(), points_.end(), p) - points_.begin());
+  };
+  if (lo < hi || arc.length() == 0) {
+    return rank(hi) - rank(lo);
+  }
+  // wraps through zero
+  return (points_.size() - rank(lo)) + rank(hi);
+}
+
+Arc RingTable::responsibility_arc(std::size_t i) const {
+  const RingPoint me = points_.at(i);
+  const RingPoint pred = predecessor(me);
+  if (pred == me) return Arc{};  // single ID owns (almost) everything
+  // Keys in (pred, me] resolve to me; we represent the half-open arc
+  // starting just after pred.
+  const RingPoint open_start = pred.advanced(1);
+  return Arc::between(open_start, me.advanced(1));
+}
+
+void RingTable::insert(RingPoint x) {
+  const auto it = std::lower_bound(points_.begin(), points_.end(), x);
+  if (it != points_.end() && *it == x) return;
+  points_.insert(it, x);
+}
+
+void RingTable::erase(RingPoint x) {
+  const auto it = std::lower_bound(points_.begin(), points_.end(), x);
+  if (it != points_.end() && *it == x) points_.erase(it);
+}
+
+double RingTable::estimate_ln_n(std::size_t i) const {
+  if (points_.size() < 2) return 0.0;
+  const RingPoint me = points_.at(i);
+  const RingPoint next = points_[(i + 1) % points_.size()];
+  const double d = static_cast<double>(me.cw_distance_to(next)) * 0x1.0p-64;
+  if (d <= 0.0) return 0.0;
+  return std::log(1.0 / d);
+}
+
+}  // namespace tg::ids

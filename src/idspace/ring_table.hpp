@@ -1,0 +1,73 @@
+// RingTable: the set of live IDs with successor queries.
+//
+// suc(x) — "the first ID encountered moving clockwise from x" — is the
+// paper's fundamental primitive (Section I-C): it resolves key values
+// to responsible IDs, selects group members suc(h1(w,i)), and defines
+// overlay linking rules.  Backed by a sorted vector for cache-friendly
+// binary search; bulk-built once per epoch, so mutation is rare.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "idspace/interval.hpp"
+#include "idspace/ring_point.hpp"
+#include "util/rng.hpp"
+
+namespace tg::ids {
+
+class RingTable {
+ public:
+  RingTable() = default;
+  explicit RingTable(std::vector<RingPoint> points);
+
+  /// Draw n u.a.r. IDs (deduplicated; collisions at 64 bits are ~never).
+  static RingTable uniform(std::size_t n, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<RingPoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// suc(x): first ID at or after x moving clockwise (wraps past 1->0).
+  /// Note suc(x) == x when x itself is an ID, matching the paper's
+  /// "first ID encountered" with searches keyed on hash outputs that
+  /// never exactly hit an ID.
+  [[nodiscard]] RingPoint successor(RingPoint x) const;
+  /// Index into points() of successor(x).
+  [[nodiscard]] std::size_t successor_index(RingPoint x) const;
+  /// First ID strictly before x (counter-clockwise).
+  [[nodiscard]] RingPoint predecessor(RingPoint x) const;
+
+  [[nodiscard]] bool contains(RingPoint x) const;
+  /// Index of an exact member; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(RingPoint x) const;
+
+  [[nodiscard]] RingPoint at(std::size_t i) const { return points_.at(i); }
+
+  /// All IDs within the clockwise arc.
+  [[nodiscard]] std::vector<std::size_t> indices_in(const Arc& arc) const;
+  [[nodiscard]] std::size_t count_in(const Arc& arc) const;
+
+  /// The arc of key space owned by points_[i]: [predecessor, point_i)
+  /// under the closest-clockwise-successor responsibility rule
+  /// (Appendix VI).  Length 0 only if the table has a single ID.
+  [[nodiscard]] Arc responsibility_arc(std::size_t i) const;
+
+  /// Insert/erase for churn simulations; O(n) each, used sparingly.
+  void insert(RingPoint x);
+  void erase(RingPoint x);
+
+  /// The paper's decentralized size estimator (Section III-A "How is
+  /// ln ln n estimated?"): from the distance between an ID and its
+  /// successor, ln(1/d) = Theta(ln n) w.h.p.  Returns the estimate of
+  /// ln n derived from the ID at index i.
+  [[nodiscard]] double estimate_ln_n(std::size_t i) const;
+
+ private:
+  std::vector<RingPoint> points_;  // sorted ascending by raw value
+};
+
+}  // namespace tg::ids

@@ -1,0 +1,58 @@
+#include "net/mailbox.hpp"
+
+namespace tg::net {
+
+bool Mailbox::push(Message m) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_) return false;
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  const std::scoped_lock lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::vector<Message> Mailbox::drain() {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Message> out(std::make_move_iterator(queue_.begin()),
+                           std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return out;
+}
+
+std::optional<Message> Mailbox::pop_wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+void Mailbox::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::size() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+bool Mailbox::closed() const {
+  const std::scoped_lock lock(mutex_);
+  return closed_;
+}
+
+}  // namespace tg::net

@@ -1,0 +1,53 @@
+// Thread-safe mailbox: the per-node MPSC inbox of the message-passing
+// runtime.
+//
+// Many producer threads (the delivery workers of net::Network) push
+// concurrently; one consumer (the node's handler turn) drains.  A
+// plain mutex + deque keeps the invariants obvious (CP.20: RAII locks,
+// no double-checked cleverness); inbox contention is not the
+// bottleneck at simulated-WAN message rates.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace tg::net {
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue; returns false (and drops) if the mailbox is closed.
+  bool push(Message m);
+
+  /// Non-blocking pop.
+  [[nodiscard]] std::optional<Message> try_pop();
+
+  /// Drain everything currently queued (single lock acquisition).
+  [[nodiscard]] std::vector<Message> drain();
+
+  /// Blocking pop; returns nullopt once closed AND empty.
+  [[nodiscard]] std::optional<Message> pop_wait();
+
+  /// Close: wakes blocked consumers; further pushes are dropped.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace tg::net

@@ -1,0 +1,28 @@
+// The wire format of the message-passing runtime.
+//
+// Payloads are small u64 vectors: every protocol in this repository
+// exchanges IDs, hash outputs, votes or shares — all 64-bit values —
+// so a schema-free word vector keeps the runtime protocol-agnostic
+// without type erasure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tg::net {
+
+using NodeId = std::uint32_t;
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Protocol-defined discriminator (e.g. relay stage, echo round).
+  std::uint64_t tag = 0;
+  std::vector<std::uint64_t> payload;
+  /// Round in which the message was sent (stamped by the network).
+  std::uint64_t sent_round = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace tg::net

@@ -1,0 +1,109 @@
+#include "net/min_gossip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tg::net {
+namespace {
+
+constexpr std::uint64_t kGossipTag = 0x60551;
+
+/// Injector node: sits outside the topology and releases one value
+/// into its single neighbor after a delay (the Appendix VIII
+/// late-release adversary, which "controls when this string is
+/// released into the giant component").
+class LateReleaseNode final : public Node {
+ public:
+  LateReleaseNode(NodeId target, std::uint64_t value, std::size_t round)
+      : target_(target), value_(value), round_(round) {}
+
+  void on_message(const Message&, Context&) override {}
+  void on_round_end(Context& ctx) override {
+    if (!fired_ && round_ != 0 && ctx.round() >= round_) {
+      fired_ = true;
+      ctx.send(target_, kGossipTag, {value_});
+    }
+  }
+
+ private:
+  NodeId target_;
+  std::uint64_t value_;
+  std::size_t round_;
+  bool fired_ = false;
+};
+
+}  // namespace
+
+MinGossipNode::MinGossipNode(std::vector<NodeId> neighbors,
+                             std::uint64_t initial, std::size_t budget)
+    : neighbors_(std::move(neighbors)), min_(initial), budget_(budget) {}
+
+void MinGossipNode::flood(Context& ctx, NodeId except) {
+  if (forwards_ >= budget_) return;  // the c0 ln n counter cap
+  ++forwards_;
+  for (const NodeId nb : neighbors_) {
+    if (nb != except) ctx.send(nb, kGossipTag, {min_});
+  }
+}
+
+void MinGossipNode::on_start(Context& ctx) {
+  flood(ctx, ctx.self());  // self is not a neighbor: floods everywhere
+}
+
+void MinGossipNode::on_message(const Message& m, Context& ctx) {
+  if (m.tag != kGossipTag || m.payload.empty()) return;
+  const std::uint64_t value = m.payload.front();
+  if (value >= min_) return;  // not a record: ignored, not forwarded
+  min_ = value;
+  flood(ctx, m.src);
+}
+
+MinGossipRun run_min_gossip(const MinGossipConfig& config) {
+  const std::size_t n = config.adjacency.size();
+  if (config.initials.size() != n)
+    throw std::invalid_argument("run_min_gossip: initials size mismatch");
+
+  DeliveryPolicy policy;
+  policy.drop_prob = config.drop_prob;
+  Network net(std::move(policy), config.seed, config.threads);
+
+  std::vector<MinGossipNode*> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<NodeId> nbs(config.adjacency[i].begin(),
+                            config.adjacency[i].end());
+    auto node = std::make_unique<MinGossipNode>(std::move(nbs),
+                                                config.initials[i],
+                                                config.forward_budget);
+    nodes.push_back(node.get());
+    net.add_node(std::move(node));
+  }
+  if (config.attack_round != 0) {
+    net.add_node(std::make_unique<LateReleaseNode>(
+        config.attack_node, config.attack_value, config.attack_round));
+  }
+
+  net.start();
+  net.run_until_quiescent(config.max_rounds);
+
+  MinGossipRun run;
+  run.rounds = net.round();
+  run.messages = net.stats().delivered;
+  run.global_min = *std::min_element(config.initials.begin(),
+                                     config.initials.end());
+  if (config.attack_round != 0) {
+    run.global_min = std::min(run.global_min, config.attack_value);
+  }
+  std::size_t forwards_total = 0;
+  for (const auto* node : nodes) {
+    if (node->minimum() != run.global_min) ++run.dissenters;
+    forwards_total += node->forwards_used();
+    run.max_forwards = std::max(run.max_forwards, node->forwards_used());
+  }
+  run.converged = run.dissenters == 0;
+  run.mean_forwards =
+      static_cast<double>(forwards_total) / static_cast<double>(n);
+  return run;
+}
+
+}  // namespace tg::net

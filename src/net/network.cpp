@@ -1,0 +1,180 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace tg::net {
+namespace {
+
+void default_corrupt(Message& m) {
+  for (auto& word : m.payload) word ^= 1ULL;
+}
+
+}  // namespace
+
+Network::Network(DeliveryPolicy policy, std::uint64_t seed,
+                 std::size_t threads)
+    : policy_(std::move(policy)),
+      policy_rng_(seed),
+      threads_(threads == 0 ? 1 : threads) {
+  if (!policy_.corrupt) policy_.corrupt = default_corrupt;
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+Network::~Network() {
+  for (auto& mb : mailboxes_) mb->close();
+}
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+  if (started_)
+    throw std::logic_error("Network: add_node after start()");
+  nodes_.push_back(std::move(node));
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::inject(Message m) {
+  if (m.dst >= nodes_.size())
+    throw std::out_of_range("Network: inject to unknown node");
+  ++stats_.sent;
+  m.sent_round = round_;
+  mailboxes_[m.dst]->push(std::move(m));
+}
+
+void Network::absorb_trace(const Message& m) noexcept {
+  const auto mix = [&](std::uint64_t word) {
+    trace_hash_ ^= word;
+    trace_hash_ *= 1099511628211ULL;  // FNV prime
+  };
+  mix(m.src);
+  mix(m.dst);
+  mix(m.tag);
+  mix(m.sent_round);
+  for (const auto w : m.payload) mix(w);
+}
+
+void Network::route_outbox(std::vector<Message>&& outbox) {
+  for (Message& m : outbox) {
+    if (m.dst >= nodes_.size()) continue;  // misaddressed: dropped
+    ++stats_.sent;
+    const bool byz = m.src < policy_.byzantine.size() &&
+                     policy_.byzantine[m.src] != 0;
+    if (byz) {
+      policy_.corrupt(m);
+      ++stats_.corrupted;
+    }
+    if (policy_.drop_prob > 0.0 && policy_rng_.bernoulli(policy_.drop_prob)) {
+      ++stats_.dropped;
+      continue;
+    }
+    std::size_t delay = 0;
+    if (policy_.max_delay_rounds > 0) {
+      delay = policy_rng_.below(policy_.max_delay_rounds + 1);
+    }
+    if (delay == 0) {
+      mailboxes_[m.dst]->push(std::move(m));
+    } else {
+      ++stats_.delayed;
+      const std::size_t slot = static_cast<std::size_t>(round_) + delay;
+      if (delayed_.size() <= slot) delayed_.resize(slot + 1);
+      delayed_[slot].push_back(std::move(m));
+    }
+  }
+}
+
+void Network::start() {
+  started_ = true;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    Context ctx(i, round_);
+    nodes_[i]->on_start(ctx);
+    route_outbox(std::move(ctx.outbox()));
+  }
+}
+
+std::size_t Network::run_round() {
+  ++round_;
+  ++stats_.rounds;
+
+  // Release messages whose delay expires this round.
+  if (round_ < delayed_.size()) {
+    for (Message& m : delayed_[round_]) {
+      mailboxes_[m.dst]->push(std::move(m));
+    }
+    delayed_[round_].clear();
+  }
+
+  // Sequential drain in node order: the determinism anchor (the trace
+  // hash and the per-node delivery order are fixed here, before any
+  // parallelism starts).
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<Message>> deliveries(n);
+  std::size_t delivered = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    deliveries[i] = mailboxes_[i]->drain();
+    delivered += deliveries[i].size();
+    for (const Message& m : deliveries[i]) absorb_trace(m);
+  }
+  stats_.delivered += delivered;
+
+  // Parallel handler phase: node i's handlers touch only node i's
+  // state and a private Context, so sharding by node is race-free;
+  // outboxes are merged in node order afterwards, making results
+  // independent of the shard count.
+  std::vector<std::vector<Message>> outboxes(n);
+  const auto process = [&](NodeId i) {
+    Context ctx(i, round_);
+    for (const Message& m : deliveries[i]) {
+      nodes_[i]->on_message(m, ctx);
+    }
+    nodes_[i]->on_round_end(ctx);
+    outboxes[i] = std::move(ctx.outbox());
+  };
+  if (!pool_ || n < 2) {
+    for (NodeId i = 0; i < n; ++i) process(i);
+  } else {
+    for (std::size_t shard = 0; shard < threads_; ++shard) {
+      pool_->submit([&, shard] {
+        for (std::size_t i = shard; i < n; i += threads_) {
+          process(static_cast<NodeId>(i));
+        }
+      });
+    }
+    pool_->wait_idle();
+  }
+
+  // Sequential merge in node order.
+  for (NodeId i = 0; i < n; ++i) {
+    route_outbox(std::move(outboxes[i]));
+  }
+  return delivered;
+}
+
+std::size_t Network::run_until_quiescent(std::size_t max_rounds) {
+  std::size_t rounds = 0;
+  while (rounds < max_rounds) {
+    const std::size_t delivered = run_round();
+    ++rounds;
+    if (delivered != 0) continue;
+    bool pending = false;
+    for (const auto& mb : mailboxes_) {
+      if (mb->size() != 0) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) {
+      for (std::size_t slot = static_cast<std::size_t>(round_) + 1;
+           slot < delayed_.size(); ++slot) {
+        if (!delayed_[slot].empty()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending) break;
+  }
+  return rounds;
+}
+
+}  // namespace tg::net

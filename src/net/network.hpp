@@ -1,0 +1,117 @@
+// The message-passing runtime: rounds, delivery policy, and a
+// deterministic parallel executor.
+//
+// The simulator elsewhere in this repository counts messages
+// analytically; this module EXECUTES protocols — real mailboxes, real
+// handler code, real threads — which is where a deployment of the
+// paper would spend its engineering budget (the repro cost the
+// calibration notes flag as "networking/concurrency boilerplate").
+//
+// Execution model: synchronous rounds (matching the paper's model,
+// Section I-C).  Per round the runtime
+//   1. drains every mailbox,
+//   2. applies the delivery policy (drop, bounded delay, Byzantine
+//      source corruption) with a per-edge deterministic RNG,
+//   3. runs every node's handlers — in parallel across nodes, since a
+//      handler only touches its own node's state and its Context
+//      outbox (sharded, merged in node order afterwards: identical
+//      results at any thread count),
+//   4. routes the merged outboxes into mailboxes for the next round.
+//
+// Determinism is load-bearing: tests assert byte-identical traces
+// between 1-thread and N-thread executions, which is what makes the
+// concurrent runtime trustworthy as an experimental instrument.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/mailbox.hpp"
+#include "net/node.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tg::net {
+
+/// Per-message delivery fate, decided by the policy RNG.
+struct DeliveryPolicy {
+  double drop_prob = 0.0;
+  /// Uniform extra delay in [0, max_delay_rounds] rounds.
+  std::size_t max_delay_rounds = 0;
+  /// Messages FROM these nodes pass through corrupt() first (the
+  /// Byzantine channel model: the adversary owns its members' links).
+  std::vector<std::uint8_t> byzantine;  // indexed by NodeId; may be empty
+  /// Payload corruption applied to Byzantine sources; default flips
+  /// the low bit of every word.
+  std::function<void(Message&)> corrupt;
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t rounds = 0;
+};
+
+class Network {
+ public:
+  /// `threads` is the executor width; 1 = sequential.  Determinism
+  /// holds for ANY width given the same seed.
+  explicit Network(DeliveryPolicy policy, std::uint64_t seed,
+                   std::size_t threads = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a node; returns its id.  All nodes must be added before
+  /// the first run call.
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  /// Inject a message from outside the node set (test harness, client).
+  void inject(Message m);
+
+  /// Run on_start for every node and route the resulting sends.
+  void start();
+
+  /// Execute one synchronous round; returns the number of messages
+  /// delivered (0 = quiescent, if also no delayed messages remain).
+  std::size_t run_round();
+
+  /// Run rounds until quiescence or `max_rounds`; returns rounds run.
+  std::size_t run_until_quiescent(std::size_t max_rounds = 1024);
+
+  /// FNV-1a hash over every delivered message in delivery order —
+  /// the determinism fingerprint used by tests.
+  [[nodiscard]] std::uint64_t trace_hash() const noexcept {
+    return trace_hash_;
+  }
+
+ private:
+  void route_outbox(std::vector<Message>&& outbox);
+  void absorb_trace(const Message& m) noexcept;
+
+  DeliveryPolicy policy_;
+  Rng policy_rng_;
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  ///< persistent; only if threads_ > 1
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Messages scheduled for future rounds: slot = round index.
+  std::vector<std::vector<Message>> delayed_;
+  NetworkStats stats_;
+  std::uint64_t round_ = 0;
+  std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV offset
+  bool started_ = false;
+};
+
+}  // namespace tg::net

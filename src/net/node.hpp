@@ -1,0 +1,55 @@
+// Node: the actor interface of the message-passing runtime.
+//
+// A node owns private state and reacts to delivered messages by
+// mutating that state and emitting sends through its Context.  The
+// runtime guarantees a node's handlers never run concurrently with
+// each other, so node state needs no locking (the actor discipline;
+// CP.2 by construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace tg::net {
+
+/// Handler-side view of the network: collects outgoing sends so the
+/// runtime can apply delivery policy and parallelize without handing
+/// nodes a mutable network reference.
+class Context {
+ public:
+  Context(NodeId self, std::uint64_t round) noexcept
+      : self_(self), round_(round) {}
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  void send(NodeId dst, std::uint64_t tag,
+            std::vector<std::uint64_t> payload = {}) {
+    outbox_.push_back(Message{self_, dst, tag, std::move(payload), round_});
+  }
+
+  [[nodiscard]] std::vector<Message>& outbox() noexcept { return outbox_; }
+
+ private:
+  NodeId self_;
+  std::uint64_t round_;
+  std::vector<Message> outbox_;
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once before the first round.
+  virtual void on_start(Context& ctx) { (void)ctx; }
+
+  /// Called for each delivered message.
+  virtual void on_message(const Message& m, Context& ctx) = 0;
+
+  /// Called at the end of every round (timers, retransmits).
+  virtual void on_round_end(Context& ctx) { (void)ctx; }
+};
+
+}  // namespace tg::net

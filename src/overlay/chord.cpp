@@ -1,0 +1,56 @@
+#include "overlay/chord.hpp"
+
+namespace tg::overlay {
+
+ChordOverlay::ChordOverlay(const RingTable& table)
+    : InputGraph(table), finger_bits_(bits_for_size(table.size()) + 1) {}
+
+std::vector<RingPoint> ChordOverlay::link_targets(RingPoint x) const {
+  std::vector<RingPoint> targets;
+  targets.reserve(static_cast<std::size_t>(finger_bits_) + 2);
+  // Fingers at exponentially increasing clockwise distances 2^-i, from
+  // the half-ring down to the finest scale that still separates IDs.
+  for (int i = 1; i <= finger_bits_; ++i) {
+    targets.push_back(x.advanced(1ULL << (64 - i)));
+  }
+  targets.push_back(x.advanced(1));  // immediate successor
+  // Predecessor link: Chord maintains it for stabilization; we model it
+  // as the target just counter-clockwise (its successor is x itself, so
+  // neighbors() drops it; kept for P3 verification symmetry).
+  targets.push_back(x.advanced(~0ULL));
+  return targets;
+}
+
+Route ChordOverlay::route(std::size_t start, RingPoint key) const {
+  Route r;
+  const std::size_t target = table_->successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+  const std::size_t cap = hop_cap();
+  while (cur != target) {
+    if (r.path.size() > cap) return r;  // ok stays false
+    const RingPoint cur_pt = table_->at(cur);
+    const std::uint64_t dist_to_key = cur_pt.cw_distance_to(key);
+    // Closest preceding finger: neighbor with the largest clockwise
+    // advance that does not pass the key.
+    std::size_t best = table_->successor_index(cur_pt.advanced(1));
+    std::uint64_t best_advance = 0;
+    for (int i = 1; i <= finger_bits_; ++i) {
+      const std::size_t nb =
+          table_->successor_index(cur_pt.advanced(1ULL << (64 - i)));
+      const std::uint64_t advance = cur_pt.cw_distance_to(table_->at(nb));
+      if (advance > best_advance && advance <= dist_to_key) {
+        best_advance = advance;
+        best = nb;
+      }
+    }
+    // If no finger lands inside (cur, key], the immediate successor is
+    // responsible (it is the first ID past the key).
+    cur = best;
+    r.path.push_back(cur);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace tg::overlay

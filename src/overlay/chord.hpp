@@ -1,0 +1,31 @@
+// Chord overlay [48] — the paper's running example of an input graph
+// with O(log n) degree (footnote 11 describes exactly this linking
+// rule: successor/predecessor plus successors of w + Delta(i) for
+// exponentially growing Delta).
+#pragma once
+
+#include "overlay/input_graph.hpp"
+
+namespace tg::overlay {
+
+class ChordOverlay final : public InputGraph {
+ public:
+  explicit ChordOverlay(const RingTable& table);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "chord";
+  }
+
+  /// Targets: x + 2^-i for i = 1..bits (fingers), the point just past x
+  /// (immediate successor) and just before x (predecessor proxy).
+  [[nodiscard]] std::vector<RingPoint> link_targets(
+      RingPoint x) const override;
+
+  /// Greedy closest-preceding-finger routing; O(log N) hops w.h.p.
+  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
+
+ private:
+  int finger_bits_;
+};
+
+}  // namespace tg::overlay

@@ -1,0 +1,60 @@
+#include "overlay/chordpp.hpp"
+
+#include "util/rng.hpp"
+
+namespace tg::overlay {
+
+ChordPPOverlay::ChordPPOverlay(const RingTable& table)
+    : InputGraph(table), finger_bits_(bits_for_size(table.size()) + 1) {}
+
+std::uint64_t ChordPPOverlay::finger_offset(RingPoint x, int i) const noexcept {
+  const std::uint64_t base = 1ULL << (64 - i);  // 2^-i of the ring
+  // rho(x, i): deterministic uniform fraction of the same scale.
+  const std::uint64_t rho =
+      mix64(x.raw() ^ (0xC50DD0FFULL + static_cast<std::uint64_t>(i)));
+  // base + rho scaled into [0, base): offset in [2^-i, 2^-i+1).
+  return base + (i < 64 ? (rho >> i) : 0);
+}
+
+std::vector<RingPoint> ChordPPOverlay::link_targets(RingPoint x) const {
+  std::vector<RingPoint> targets;
+  targets.reserve(static_cast<std::size_t>(finger_bits_) + 2);
+  for (int i = 1; i <= finger_bits_; ++i) {
+    targets.push_back(x.advanced(finger_offset(x, i)));
+  }
+  targets.push_back(x.advanced(1));      // immediate successor
+  targets.push_back(x.advanced(~0ULL));  // predecessor proxy (see chord.cpp)
+  return targets;
+}
+
+Route ChordPPOverlay::route(std::size_t start, RingPoint key) const {
+  Route r;
+  const std::size_t target = table_->successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+  const std::size_t cap = hop_cap();
+  while (cur != target) {
+    if (r.path.size() > cap) return r;
+    const RingPoint cur_pt = table_->at(cur);
+    const std::uint64_t dist_to_key = cur_pt.cw_distance_to(key);
+    // Greedy closest-preceding finger, exactly as Chord, but over the
+    // perturbed finger set of the CURRENT node.
+    std::size_t best = table_->successor_index(cur_pt.advanced(1));
+    std::uint64_t best_advance = 0;
+    for (int i = 1; i <= finger_bits_; ++i) {
+      const std::size_t nb = table_->successor_index(
+          cur_pt.advanced(finger_offset(cur_pt, i)));
+      const std::uint64_t advance = cur_pt.cw_distance_to(table_->at(nb));
+      if (advance > best_advance && advance <= dist_to_key) {
+        best_advance = advance;
+        best = nb;
+      }
+    }
+    cur = best;
+    r.path.push_back(cur);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace tg::overlay

@@ -1,0 +1,59 @@
+#include "overlay/debruijn.hpp"
+
+namespace tg::overlay {
+
+DeBruijnOverlay::DeBruijnOverlay(const RingTable& table)
+    : InputGraph(table), route_bits_(bits_for_size(table.size()) + 2) {}
+
+std::vector<RingPoint> DeBruijnOverlay::link_targets(RingPoint x) const {
+  return {
+      x.halved(false),   // sigma_0 child
+      x.halved(true),    // sigma_1 child
+      x.doubled(),       // de Bruijn parent (preimage)
+      x.advanced(1),     // ring successor (correction edges)
+      x.advanced(~0ULL)  // ring predecessor proxy
+  };
+}
+
+Route DeBruijnOverlay::route(std::size_t start, RingPoint key) const {
+  Route r;
+  const std::size_t target = table_->successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+
+  // Imaginary-point phase: after t prepends, the imaginary point agrees
+  // with the key on its top t bits.  Bits must be injected in reverse
+  // (bit t of the key first, MSB last) so they stack correctly.
+  RingPoint imaginary = table_->at(cur);
+  for (int j = route_bits_; j >= 1; --j) {
+    if (cur == target) break;
+    const bool bit = (key.raw() >> (64 - j)) & 1ULL;
+    imaginary = imaginary.halved(bit);
+    const std::size_t next = table_->successor_index(imaginary);
+    if (next != cur) {
+      cur = next;
+      r.path.push_back(cur);
+    }
+  }
+  // Correction phase: imaginary is now within 2^-t < 1/(2m) of the key
+  // (possibly on either side), so a short walk along ring links —
+  // successor or predecessor, whichever arc is shorter — reaches the
+  // responsible node.
+  const std::size_t cap = hop_cap();
+  const std::size_t m = table_->size();
+  while (cur != target) {
+    if (r.path.size() > cap) return r;
+    const RingPoint cur_pt = table_->at(cur);
+    const RingPoint tgt_pt = table_->at(target);
+    if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
+      cur = (cur + 1) % m;
+    } else {
+      cur = (cur + m - 1) % m;
+    }
+    r.path.push_back(cur);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace tg::overlay

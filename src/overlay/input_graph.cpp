@@ -1,0 +1,33 @@
+#include "overlay/input_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tg::overlay {
+
+std::vector<std::size_t> InputGraph::neighbors(std::size_t i) const {
+  std::vector<std::size_t> out;
+  const RingPoint x = table_->at(i);
+  for (const RingPoint target : link_targets(x)) {
+    const std::size_t idx = table_->successor_index(target);
+    if (idx != i) out.push_back(idx);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool InputGraph::should_link(std::size_t w, std::size_t u) const {
+  const RingPoint x = table_->at(w);
+  for (const RingPoint target : link_targets(x)) {
+    if (table_->successor_index(target) == u) return true;
+  }
+  return false;
+}
+
+int bits_for_size(std::size_t m) noexcept {
+  if (m <= 1) return 1;
+  return std::bit_width(m - 1);
+}
+
+}  // namespace tg::overlay

@@ -1,0 +1,86 @@
+// Input graph H abstraction (Section I-C, properties P1-P4).
+//
+// An input graph is any DHT-style overlay over the live ID set that
+// provides:
+//   P1 search functionality in D = O(log N) traversed IDs,
+//   P2 load balancing of key responsibility,
+//   P3 verifiable linking rules (S_w computable by searches),
+//   P4 congestion C = O(log^c N / N).
+//
+// The paper stresses H provides NO security by itself — it is a
+// topology template that the group-graph construction hardens.  All
+// implementations here are bound to a RingTable of IDs owned by the
+// caller; they are stateless routing/linking oracles over that table.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "idspace/ring_table.hpp"
+
+namespace tg::overlay {
+
+using ids::Arc;
+using ids::RingPoint;
+using ids::RingTable;
+
+/// Outcome of routing toward a key: the sequence of traversed node
+/// indices (start first, responsible node last).
+struct Route {
+  std::vector<std::size_t> path;
+  bool ok = false;
+
+  [[nodiscard]] std::size_t hops() const noexcept {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+class InputGraph {
+ public:
+  explicit InputGraph(const RingTable& table) : table_(&table) {}
+  virtual ~InputGraph() = default;
+
+  InputGraph(const InputGraph&) = delete;
+  InputGraph& operator=(const InputGraph&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// P3 linking rule: the target points node x links to; the actual
+  /// neighbor set is the successor of each target.
+  [[nodiscard]] virtual std::vector<RingPoint> link_targets(
+      RingPoint x) const = 0;
+
+  /// P1 search: route from the node at index `start` to the node
+  /// responsible for `key` (its successor).  Deterministic given the
+  /// table; adversarial behaviour is layered on top by the group
+  /// graph, which truncates routes at the first red group.
+  [[nodiscard]] virtual Route route(std::size_t start, RingPoint key) const = 0;
+
+  /// Neighbor indices of node i (deduplicated, excludes i itself
+  /// unless the table is tiny).
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const;
+
+  /// P3 verification: would u appear in S_w under the linking rule?
+  /// Implemented exactly as the paper prescribes — by searching for
+  /// each of w's targets and checking whether the result is u.
+  [[nodiscard]] bool should_link(std::size_t w, std::size_t u) const;
+
+  [[nodiscard]] const RingTable& table() const noexcept { return *table_; }
+  [[nodiscard]] std::size_t size() const noexcept { return table_->size(); }
+
+ protected:
+  /// Shared hop cap: any correct route is far shorter; exceeding it
+  /// marks the route failed instead of looping.
+  [[nodiscard]] std::size_t hop_cap() const noexcept {
+    return 8 * 64 + table_->size();
+  }
+
+  const RingTable* table_;
+};
+
+/// Number of bits needed so that 2^bits >= m (routing precision).
+[[nodiscard]] int bits_for_size(std::size_t m) noexcept;
+
+}  // namespace tg::overlay

@@ -1,0 +1,145 @@
+#include "overlay/kautz.hpp"
+
+#include <stdexcept>
+
+namespace tg::overlay {
+namespace {
+
+/// The two symbols != prev, in increasing order.
+constexpr std::array<std::array<int, 2>, 3> kAllowed = {{
+    {1, 2},  // after 0
+    {0, 2},  // after 1
+    {0, 1},  // after 2
+}};
+
+/// Rank of symbol `a` among the two allowed after `prev` (0 or 1).
+int rank_after(int prev, int a) noexcept {
+  return kAllowed[static_cast<std::size_t>(prev)][0] == a ? 0 : 1;
+}
+
+/// A symbol that differs from both arguments (the detour symbol).
+int third_symbol(int a, int b) noexcept {
+  for (int s = 0; s < 3; ++s) {
+    if (s != a && s != b) return s;
+  }
+  return 0;  // unreachable for a != b
+}
+
+}  // namespace
+
+KautzOverlay::KautzOverlay(const RingTable& table)
+    : InputGraph(table), digits_(bits_for_size(table.size()) + 2) {}
+
+KautzString KautzOverlay::encode(RingPoint x) const {
+  KautzString s;
+  s.reserve(static_cast<std::size_t>(digits_));
+  // First symbol: which third of the ring; remainder rescaled to [0,1).
+  const auto acc = static_cast<unsigned __int128>(x.raw()) * 3u;
+  s.push_back(static_cast<int>(acc >> 64));
+  std::uint64_t r = static_cast<std::uint64_t>(acc);
+  // Later symbols: one bit each, picking among the two allowed.
+  for (int i = 1; i < digits_; ++i) {
+    const int bit = static_cast<int>(r >> 63);
+    r <<= 1;
+    s.push_back(kAllowed[static_cast<std::size_t>(s.back())]
+                        [static_cast<std::size_t>(bit)]);
+  }
+  return s;
+}
+
+RingPoint KautzOverlay::decode(const KautzString& s) const {
+  if (static_cast<int>(s.size()) != digits_)
+    throw std::invalid_argument("KautzOverlay: string length mismatch");
+  std::uint64_t r = 0;
+  for (std::size_t i = s.size() - 1; i >= 1; --i) {
+    const auto bit =
+        static_cast<std::uint64_t>(rank_after(s[i - 1], s[i]));
+    r = (r >> 1) | (bit << 63);
+  }
+  // Ceiling division: the smallest x whose encode() reproduces s (a
+  // floor here could land one cell short of the corner).
+  const auto acc =
+      (static_cast<unsigned __int128>(s.front()) << 64) | r;
+  return RingPoint{static_cast<std::uint64_t>((acc + 2u) / 3u)};
+}
+
+KautzString kautz_shift(const KautzString& s, int a) {
+  if (a == s.back())
+    throw std::invalid_argument("kautz_shift: would repeat a symbol");
+  KautzString out(s.begin() + 1, s.end());
+  out.push_back(a);
+  return out;
+}
+
+std::vector<RingPoint> KautzOverlay::link_targets(RingPoint x) const {
+  const KautzString s = encode(x);
+  std::vector<RingPoint> targets;
+  targets.reserve(6);
+  // Out-edges: the two Kautz shifts.
+  for (const int a : kAllowed[static_cast<std::size_t>(s.back())]) {
+    targets.push_back(decode(kautz_shift(s, a)));
+  }
+  // In-edges (preimages): prepend either symbol != s.front().
+  for (const int b : kAllowed[static_cast<std::size_t>(s.front())]) {
+    KautzString pre;
+    pre.reserve(s.size());
+    pre.push_back(b);
+    pre.insert(pre.end(), s.begin(), s.end() - 1);
+    targets.push_back(decode(pre));
+  }
+  // Ring edges, as in the other constant-degree overlays.
+  targets.push_back(x.advanced(1));
+  targets.push_back(x.advanced(~0ULL));
+  return targets;
+}
+
+Route KautzOverlay::route(std::size_t start, RingPoint key) const {
+  Route r;
+  const std::size_t target = table_->successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+
+  // Digit injection: append the key's Kautz string one symbol per hop.
+  // If the junction would repeat (first key symbol == current last
+  // symbol), one detour symbol restores the Kautz property.
+  KautzString virt = encode(table_->at(cur));
+  const KautzString tgt = encode(key);
+  std::vector<int> inject;
+  inject.reserve(tgt.size() + 1);
+  if (tgt.front() == virt.back()) {
+    // Detour must differ from the current last symbol (valid shift)
+    // and from tgt[0] (so the next append is valid); tgt[1] != tgt[0]
+    // already, so one detour never cascades.
+    inject.push_back(third_symbol(virt.back(), tgt.front()));
+  }
+  inject.insert(inject.end(), tgt.begin(), tgt.end());
+
+  for (const int a : inject) {
+    if (cur == target) break;
+    virt = kautz_shift(virt, a);
+    const std::size_t next = table_->successor_index(decode(virt));
+    if (next != cur) {
+      cur = next;
+      r.path.push_back(cur);
+    }
+  }
+
+  // Grid pitch is < 1/(4m), so the correction walk is O(1) expected.
+  const std::size_t cap = hop_cap();
+  const std::size_t m = table_->size();
+  while (cur != target) {
+    if (r.path.size() > cap) return r;
+    const RingPoint cur_pt = table_->at(cur);
+    const RingPoint tgt_pt = table_->at(target);
+    if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
+      cur = (cur + 1) % m;
+    } else {
+      cur = (cur + m - 1) % m;
+    }
+    r.path.push_back(cur);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace tg::overlay

@@ -1,0 +1,65 @@
+#include "overlay/properties.hpp"
+
+#include <algorithm>
+
+#include "idspace/placement.hpp"
+
+namespace tg::overlay {
+
+PropertyReport measure_properties(const InputGraph& graph,
+                                  std::size_t searches, Rng& rng) {
+  PropertyReport report;
+  const std::size_t n = graph.size();
+  report.n = n;
+  report.searches = searches;
+  if (n == 0) return report;
+
+  // P1 + P4: random searches, tallying hops and per-node traversals.
+  RunningStats hops;
+  Quantiles hop_quantiles;
+  std::vector<std::size_t> traversals(n, 0);
+  std::size_t failures = 0;
+  for (std::size_t s = 0; s < searches; ++s) {
+    const std::size_t start = rng.below(n);
+    const RingPoint key{rng.u64()};
+    const Route route = graph.route(start, key);
+    if (!route.ok) {
+      ++failures;
+      continue;
+    }
+    hops.add(static_cast<double>(route.hops()));
+    hop_quantiles.add(static_cast<double>(route.hops()));
+    for (const std::size_t idx : route.path) ++traversals[idx];
+  }
+  report.mean_hops = hops.mean();
+  report.max_hops = hops.max();
+  report.p99_hops = hop_quantiles.quantile(0.99);
+  report.failure_rate =
+      static_cast<double>(failures) / static_cast<double>(std::max<std::size_t>(searches, 1));
+
+  std::size_t max_traversed = 0;
+  double sum_traversed = 0.0;
+  for (const auto t : traversals) {
+    max_traversed = std::max(max_traversed, t);
+    sum_traversed += static_cast<double>(t);
+  }
+  const double denom = static_cast<double>(std::max<std::size_t>(searches, 1));
+  report.max_congestion_times_n =
+      static_cast<double>(max_traversed) / denom * static_cast<double>(n);
+  report.mean_congestion_times_n =
+      sum_traversed / static_cast<double>(n) / denom * static_cast<double>(n);
+
+  // P2: responsibility balance.
+  report.max_load_times_n = ids::max_responsibility_times_m(graph.table());
+
+  // P3: degree statistics.
+  RunningStats degree;
+  for (std::size_t i = 0; i < n; ++i) {
+    degree.add(static_cast<double>(graph.neighbors(i).size()));
+  }
+  report.mean_degree = degree.mean();
+  report.max_degree = degree.max();
+  return report;
+}
+
+}  // namespace tg::overlay

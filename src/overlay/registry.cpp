@@ -1,0 +1,46 @@
+#include "overlay/registry.hpp"
+
+#include "overlay/chord.hpp"
+#include "overlay/chordpp.hpp"
+#include "overlay/debruijn.hpp"
+#include "overlay/distance_halving.hpp"
+#include "overlay/kautz.hpp"
+#include "overlay/tapestry.hpp"
+#include "overlay/viceroy.hpp"
+
+namespace tg::overlay {
+
+std::unique_ptr<InputGraph> make_overlay(Kind kind, const RingTable& table) {
+  switch (kind) {
+    case Kind::chord:
+      return std::make_unique<ChordOverlay>(table);
+    case Kind::debruijn:
+      return std::make_unique<DeBruijnOverlay>(table);
+    case Kind::distance_halving:
+      return std::make_unique<DistanceHalvingOverlay>(table);
+    case Kind::viceroy:
+      return std::make_unique<ViceroyOverlay>(table);
+    case Kind::kautz:
+      return std::make_unique<KautzOverlay>(table);
+    case Kind::tapestry:
+      return std::make_unique<TapestryOverlay>(table);
+    case Kind::chordpp:
+      return std::make_unique<ChordPPOverlay>(table);
+  }
+  return nullptr;
+}
+
+std::string_view kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::chord: return "chord";
+    case Kind::debruijn: return "debruijn";
+    case Kind::distance_halving: return "distance-halving";
+    case Kind::viceroy: return "viceroy";
+    case Kind::kautz: return "kautz";
+    case Kind::tapestry: return "tapestry";
+    case Kind::chordpp: return "chord++";
+  }
+  return "?";
+}
+
+}  // namespace tg::overlay

@@ -1,0 +1,36 @@
+// Factory for input graphs, keyed by kind — lets experiments sweep
+// over the overlays named in Corollary 1 uniformly.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "overlay/input_graph.hpp"
+
+namespace tg::overlay {
+
+enum class Kind {
+  chord,
+  debruijn,
+  distance_halving,
+  viceroy,
+  kautz,
+  tapestry,
+  chordpp,
+};
+
+[[nodiscard]] std::unique_ptr<InputGraph> make_overlay(Kind kind,
+                                                       const RingTable& table);
+[[nodiscard]] std::string_view kind_name(Kind kind) noexcept;
+[[nodiscard]] constexpr std::array<Kind, 7> all_kinds() noexcept {
+  return {Kind::chord, Kind::debruijn, Kind::distance_halving, Kind::viceroy,
+          Kind::kautz, Kind::tapestry, Kind::chordpp};
+}
+/// The O(1)-degree families Corollary 1 relies on ([19], [32], [39],
+/// [29]) — excludes the log-degree Chord/Tapestry.
+[[nodiscard]] constexpr std::array<Kind, 4> constant_degree_kinds() noexcept {
+  return {Kind::debruijn, Kind::distance_halving, Kind::viceroy, Kind::kautz};
+}
+
+}  // namespace tg::overlay

@@ -1,0 +1,92 @@
+#include "overlay/viceroy.hpp"
+
+#include "util/rng.hpp"
+
+namespace tg::overlay {
+
+ViceroyOverlay::ViceroyOverlay(const RingTable& table)
+    : InputGraph(table), levels_(bits_for_size(table.size())) {
+  if (levels_ < 1) levels_ = 1;
+}
+
+int ViceroyOverlay::level_of(RingPoint x) const noexcept {
+  // Deterministic pseudo-random level; geometric-like weighting as in
+  // Viceroy (half the nodes at the last level would under-populate
+  // early levels, so uniform over levels is the standard emulation).
+  return 1 + static_cast<int>(mix64(x.raw() ^ 0x51CE50FULL) %
+                              static_cast<std::uint64_t>(levels_));
+}
+
+std::vector<RingPoint> ViceroyOverlay::link_targets(RingPoint x) const {
+  const int level = level_of(x);
+  std::vector<RingPoint> targets;
+  targets.reserve(6);
+  // Ring edges (successor/predecessor) — Viceroy's "general ring".
+  targets.push_back(x.advanced(1));
+  targets.push_back(x.advanced(~0ULL));
+  // Down-left: level+1 node at distance ~ 2^-level.
+  if (level < levels_) {
+    targets.push_back(x.advanced(1ULL << (64 - level)));
+    // Down-right: level+1 node at distance ~ 1/2.
+    targets.push_back(x.advanced(ids::kHalfRing));
+  }
+  // Up edge: a nearby node expected to sit one level up.
+  if (level > 1) {
+    targets.push_back(x.advanced(1ULL << (64 - levels_ + 1)));
+  }
+  return targets;
+}
+
+Route ViceroyOverlay::route(std::size_t start, RingPoint key) const {
+  Route r;
+  const std::size_t target = table_->successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+  const std::size_t cap = hop_cap();
+  const std::size_t m = table_->size();
+
+  // Butterfly descent: from the current node, repeatedly take the
+  // largest distance-halving step that does not overshoot the key —
+  // emulating the down-left/down-right choice per level.  This is the
+  // butterfly's greedy descent on the ring embedding.
+  int level = 1;
+  while (cur != target && level <= levels_) {
+    if (r.path.size() > cap) return r;
+    const RingPoint cur_pt = table_->at(cur);
+    const std::uint64_t dist = cur_pt.cw_distance_to(key);
+    // Down-left covers 2^-level of the ring; down-right covers 1/2.
+    const std::uint64_t down_left = 1ULL << (64 - level);
+    std::size_t next = cur;
+    if (dist >= ids::kHalfRing) {
+      next = table_->successor_index(cur_pt.advanced(ids::kHalfRing));
+    } else if (dist >= down_left) {
+      next = table_->successor_index(cur_pt.advanced(down_left));
+    } else {
+      ++level;  // this level's edges overshoot; descend
+      continue;
+    }
+    if (next != cur) {
+      cur = next;
+      r.path.push_back(cur);
+    } else {
+      ++level;
+    }
+  }
+  // Final ring walk (shorter arc direction), as in the other O(1)
+  // degree overlays.
+  while (cur != target) {
+    if (r.path.size() > cap) return r;
+    const RingPoint cur_pt = table_->at(cur);
+    const RingPoint tgt_pt = table_->at(target);
+    if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
+      cur = (cur + 1) % m;
+    } else {
+      cur = (cur + m - 1) % m;
+    }
+    r.path.push_back(cur);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace tg::overlay

@@ -1,0 +1,133 @@
+#include "pow/gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace tg::pow {
+
+std::vector<std::vector<std::uint32_t>> make_gossip_topology(
+    std::size_t nodes, std::size_t degree, Rng& rng) {
+  std::vector<std::unordered_set<std::uint32_t>> adj(nodes);
+  if (nodes < 2) return {nodes, std::vector<std::uint32_t>{}};
+  // Ring backbone guarantees connectivity; random chords give the
+  // expander-like expansion that keeps the diameter O(log n).
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    const auto next = static_cast<std::uint32_t>((i + 1) % nodes);
+    adj[i].insert(next);
+    adj[next].insert(i);
+  }
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    while (adj[i].size() < degree) {
+      const auto peer = static_cast<std::uint32_t>(rng.below(nodes));
+      if (peer == i) continue;
+      adj[i].insert(peer);
+      adj[peer].insert(i);
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> out(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    out[i].assign(adj[i].begin(), adj[i].end());
+    std::sort(out[i].begin(), out[i].end());
+  }
+  return out;
+}
+
+GossipOutcome run_string_protocol(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    const GossipParams& params, const std::vector<LateRelease>& attacks,
+    Rng& rng) {
+  GossipOutcome out;
+  const std::size_t n = adjacency.size();
+  if (n == 0) return out;
+
+  const double ln_n = std::log(static_cast<double>(std::max<std::size_t>(n, 3)));
+  const std::size_t phase2 =
+      params.phase2_steps ? params.phase2_steps
+                          : static_cast<std::size_t>(std::ceil(params.d_prime * ln_n));
+  const std::size_t phase3 =
+      params.phase3_steps ? params.phase3_steps
+                          : static_cast<std::size_t>(std::ceil(params.d_prime * ln_n));
+  const auto counter_cap =
+      static_cast<std::size_t>(std::ceil(params.c0 * ln_n));
+  const auto rset_size = static_cast<std::size_t>(std::ceil(params.d0 * ln_n));
+  const auto bins = static_cast<std::size_t>(std::ceil(
+      params.b * std::log(static_cast<double>(n) *
+                          static_cast<double>(params.epoch_T))));
+
+  // ---- Phase 1: local generation.  The minimum of A uniforms has
+  // CDF 1-(1-x)^A; inverse-sample it per node.
+  std::uint32_t uid = 0;
+  std::vector<BinTable> tables(n, BinTable(bins, counter_cap));
+  std::vector<LotteryString> own_min(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    const double x = 1.0 - std::pow(1.0 - u,
+                                    1.0 / static_cast<double>(
+                                              params.phase1_attempts));
+    own_min[i] = LotteryString{x, static_cast<std::uint32_t>(i), uid++};
+  }
+
+  // ---- Phases 2+3: synchronous flooding with bin/counter filtering.
+  // outbox[i] = strings node i accepted this step (to deliver next step).
+  std::vector<std::vector<LotteryString>> outbox(n), next_outbox(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tables[i].accept(own_min[i])) outbox[i].push_back(own_min[i]);
+  }
+
+  std::vector<LotteryString> selected(n);  // s^{i*}: chosen at end of Phase 2
+  const std::size_t total_steps = phase2 + phase3;
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    // Adversarial injections scheduled for this step.
+    for (const LateRelease& atk : attacks) {
+      if (atk.release_step == step && atk.at_node < n) {
+        const LotteryString s{atk.output, atk.at_node, uid++};
+        if (tables[atk.at_node].accept(s)) outbox[atk.at_node].push_back(s);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) next_outbox[i].clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (outbox[i].empty()) continue;
+      for (const auto nb : adjacency[i]) {
+        for (const LotteryString& s : outbox[i]) {
+          ++out.forward_events;
+          if (tables[nb].accept(s)) next_outbox[nb].push_back(s);
+        }
+      }
+    }
+    std::swap(outbox, next_outbox);
+    if (step + 1 == phase2) {
+      // End of Phase 2: every node selects its current minimum.
+      for (std::size_t i = 0; i < n; ++i) {
+        selected[i] = tables[i].minimum().value_or(own_min[i]);
+      }
+    }
+  }
+  out.steps_run = total_steps;
+
+  // ---- Evaluation (Lemma 12).
+  double sum_sizes = 0.0;
+  std::vector<std::unordered_set<std::uint32_t>> rset_uids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto rset = tables[i].solution_set(rset_size);
+    sum_sizes += static_cast<double>(rset.size());
+    out.max_solution_set = std::max(out.max_solution_set, rset.size());
+    auto& set = rset_uids[i];
+    set.reserve(rset.size());
+    for (const auto& s : rset) set.insert(s.uid);
+  }
+  out.mean_solution_set = sum_sizes / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n && out.agreement; ++i) {
+    out.global_minimum = std::min(out.global_minimum, selected[i].output);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!rset_uids[j].contains(selected[i].uid)) {
+        out.agreement = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tg::pow

@@ -1,0 +1,83 @@
+#include "pow/id_generation.hpp"
+
+#include <cmath>
+
+namespace tg::pow {
+
+std::uint64_t calibrate_tau(const GenerationConfig& cfg) noexcept {
+  // Sub-puzzle difficulty: one sub-solution expected every
+  // T/(2K) steps, so the composed ID takes T/2 in expectation.
+  const double expected_attempts =
+      static_cast<double>(cfg.half_epoch_steps) *
+      static_cast<double>(cfg.attempts_per_step) /
+      static_cast<double>(cfg.sub_puzzles);
+  return tau_for_expected_attempts(expected_attempts);
+}
+
+GenerationReport simulate_generation(const GenerationConfig& cfg, Rng& rng) {
+  GenerationReport report;
+  report.tau = calibrate_tau(cfg);
+
+  const auto good_machines = static_cast<std::size_t>(
+      (1.0 - cfg.beta) * static_cast<double>(cfg.n));
+
+  // Good machines: a machine completes its ID once it has found all K
+  // sub-solutions; the completion time is the sum of K geometrics
+  // (Erlang-like), which concentrates within (1+eps)T/2 for
+  // eps >> 1/sqrt(K).
+  const auto window_attempts = static_cast<std::uint64_t>(
+      (1.0 + cfg.eps) * static_cast<double>(cfg.half_epoch_steps) *
+      static_cast<double>(cfg.attempts_per_step));
+  const double p = attempt_success_probability(report.tau);
+  for (std::size_t i = 0; i < good_machines; ++i) {
+    // Sum of K geometric inter-solution gaps, sampled in aggregate via
+    // a normal approximation (K >= 100 makes this exact to ~1%).
+    const double mean = static_cast<double>(cfg.sub_puzzles) / p;
+    const double sd = std::sqrt(static_cast<double>(cfg.sub_puzzles)) / p;
+    const double total_attempts = mean + sd * rng.normal();
+    if (total_attempts <= static_cast<double>(window_attempts)) {
+      ++report.good_ids;
+    }
+  }
+
+  // The adversary: beta fraction of TOTAL compute over the T/2-step
+  // generation window; each K sub-solutions yield one ID.
+  const double total_rate_attempts =
+      static_cast<double>(cfg.n) * static_cast<double>(cfg.attempts_per_step);
+  const auto adv_attempts = static_cast<std::uint64_t>(
+      cfg.beta * total_rate_attempts *
+      static_cast<double>(cfg.half_epoch_steps));
+  const std::uint64_t adv_sub_solutions =
+      PuzzleOracle::solution_count(adv_attempts, report.tau, rng);
+  const std::uint64_t adv_count = adv_sub_solutions / cfg.sub_puzzles;
+  report.adversary_ids = adv_count;
+  for (const auto pt : PuzzleOracle::draw_ids(adv_count, rng)) {
+    report.adversary_positions.push_back(pt.to_double());
+  }
+
+  report.adversary_bound =
+      (1.0 + cfg.eps) * cfg.beta * static_cast<double>(cfg.n);
+  report.within_bound =
+      static_cast<double>(report.adversary_ids) <= report.adversary_bound;
+  return report;
+}
+
+std::vector<Solution> solve_real_batch(const crypto::OracleSuite& oracles,
+                                       std::size_t machines, std::uint64_t r,
+                                       std::uint64_t tau,
+                                       std::uint64_t max_attempts_per_machine,
+                                       Rng& rng) {
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  std::vector<Solution> out;
+  out.reserve(machines);
+  for (std::size_t i = 0; i < machines; ++i) {
+    Rng machine_rng = rng.fork();
+    if (const auto sol =
+            solver.solve(r, tau, max_attempts_per_machine, machine_rng)) {
+      out.push_back(*sol);
+    }
+  }
+  return out;
+}
+
+}  // namespace tg::pow

@@ -1,0 +1,63 @@
+#include "pow/puzzle.hpp"
+
+#include <cmath>
+
+namespace tg::pow {
+
+std::uint64_t tau_for_expected_attempts(double expected_attempts) noexcept {
+  if (expected_attempts <= 1.0) return ~0ULL;
+  const double p = 1.0 / expected_attempts;
+  return static_cast<std::uint64_t>(std::ldexp(p, 64));
+}
+
+double attempt_success_probability(std::uint64_t tau) noexcept {
+  // P[g(x) <= tau] with g uniform on [0, 2^64); off-by-one negligible.
+  return static_cast<double>(tau) * 0x1.0p-64;
+}
+
+std::optional<Solution> PuzzleSolver::solve(std::uint64_t r, std::uint64_t tau,
+                                            std::uint64_t max_attempts,
+                                            Rng& rng) const {
+  for (std::uint64_t a = 1; a <= max_attempts; ++a) {
+    const std::uint64_t sigma = rng.u64();
+    const std::uint64_t g_out = g_->value_u64(sigma ^ r);
+    if (g_out <= tau) {
+      Solution s;
+      s.sigma = sigma;
+      s.g_output = g_out;
+      s.id = f_->value_u64(g_out);
+      s.attempts = a;
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+Solution PuzzleSolver::evaluate(std::uint64_t sigma, std::uint64_t r) const {
+  Solution s;
+  s.sigma = sigma;
+  s.g_output = g_->value_u64(sigma ^ r);
+  s.id = f_->value_u64(s.g_output);
+  s.attempts = 1;
+  return s;
+}
+
+bool PuzzleSolver::check(std::uint64_t sigma, std::uint64_t r,
+                         std::uint64_t tau) const {
+  return g_->value_u64(sigma ^ r) <= tau;
+}
+
+std::uint64_t PuzzleOracle::solution_count(std::uint64_t attempts,
+                                           std::uint64_t tau, Rng& rng) {
+  return rng.binomial(attempts, attempt_success_probability(tau));
+}
+
+std::vector<ids::RingPoint> PuzzleOracle::draw_ids(std::uint64_t count,
+                                                   Rng& rng) {
+  std::vector<ids::RingPoint> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.emplace_back(rng.u64());
+  return out;
+}
+
+}  // namespace tg::pow

@@ -1,0 +1,63 @@
+#include "pow/verification.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace tg::pow {
+
+std::uint64_t string_tag(const LotteryString& s) noexcept {
+  crypto::Sha256 ctx;
+  ctx.update("tinygroups/string-tag");
+  ctx.update_u64(static_cast<std::uint64_t>(s.output * 0x1.0p64));
+  ctx.update_u64(s.origin);
+  ctx.update_u64(s.uid);
+  return crypto::digest_to_u64(ctx.finish());
+}
+
+IdCredential make_credential(const Solution& solution,
+                             const LotteryString& signing_string,
+                             std::uint64_t r_tag, std::uint64_t tau,
+                             std::uint64_t sigma_nonce) {
+  crypto::PowStatement stmt;
+  stmt.epoch_string_tag = r_tag;
+  stmt.claimed_g_output = solution.g_output;
+  stmt.claimed_id = solution.id;
+  stmt.tau = tau;
+
+  IdCredential cred;
+  cred.proof = crypto::prove_pow_preimage(solution.sigma, sigma_nonce,
+                                          solution.g_output, solution.id, stmt);
+  cred.string_tag = string_tag(signing_string);
+  cred.id = solution.id;
+  return cred;
+}
+
+IdCredential forge_credential(std::uint64_t claimed_id,
+                              const LotteryString& signing_string,
+                              std::uint64_t r_tag, std::uint64_t tau) {
+  crypto::PowStatement stmt;
+  stmt.epoch_string_tag = r_tag;
+  stmt.claimed_g_output = 0;  // "solved" with the smallest conceivable output
+  stmt.claimed_id = claimed_id;
+  stmt.tau = tau;
+  IdCredential cred;
+  // The forger has no witness: the true evaluations it can produce do
+  // not match its claimed statement, so witness_ok is false.
+  cred.proof = crypto::prove_pow_preimage(/*sigma=*/0, /*nonce=*/0,
+                                          /*g_of_input=*/~0ULL,
+                                          /*f_of_g=*/~claimed_id, stmt);
+  cred.string_tag = string_tag(signing_string);
+  cred.id = claimed_id;
+  return cred;
+}
+
+bool verify_credential(const IdCredential& credential,
+                       const std::vector<LotteryString>& r_set) {
+  if (!credential.proof.verify()) return false;
+  if (credential.proof.statement().claimed_id != credential.id) return false;
+  for (const auto& s : r_set) {
+    if (string_tag(s) == credential.string_tag) return true;
+  }
+  return false;  // signed by an unknown/expired string
+}
+
+}  // namespace tg::pow

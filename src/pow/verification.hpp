@@ -1,0 +1,52 @@
+// ID verification (Section IV-A "ID Verification" + Appendix VIII
+// "Verifying IDs").
+//
+// An ID credential carries the public PoW statement, the zero-
+// knowledge proof object (see crypto/commitment.hpp for the ZKP
+// substitution) and the lottery string that signed it.  A verifier u
+// accepts iff the proof checks AND the signing string appears in u's
+// solution set R_u — which Lemma 12 guarantees for honestly-selected
+// strings.  Credentials signed with the previous epoch's string fail
+// (ID expiry).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/commitment.hpp"
+#include "crypto/oracle.hpp"
+#include "pow/epoch_string.hpp"
+#include "pow/puzzle.hpp"
+
+namespace tg::pow {
+
+struct IdCredential {
+  crypto::ZkPreimageProof proof;
+  /// Tag of the epoch string used (hash identity of s^{i*}).
+  std::uint64_t string_tag = 0;
+  std::uint64_t id = 0;  ///< claimed ID (must equal proof statement)
+};
+
+/// Tag under which a lottery string is referenced in credentials.
+[[nodiscard]] std::uint64_t string_tag(const LotteryString& s) noexcept;
+
+/// Mint a credential from a genuine solution (prover side).
+[[nodiscard]] IdCredential make_credential(const Solution& solution,
+                                           const LotteryString& signing_string,
+                                           std::uint64_t r_tag,
+                                           std::uint64_t tau,
+                                           std::uint64_t sigma_nonce);
+
+/// Forge attempt: a credential claiming `claimed_id` without a valid
+/// witness (used by tests to confirm rejection).
+[[nodiscard]] IdCredential forge_credential(std::uint64_t claimed_id,
+                                            const LotteryString& signing_string,
+                                            std::uint64_t r_tag,
+                                            std::uint64_t tau);
+
+/// Verifier side: proof must verify and the signing string must be in
+/// the verifier's solution set.
+[[nodiscard]] bool verify_credential(const IdCredential& credential,
+                                     const std::vector<LotteryString>& r_set);
+
+}  // namespace tg::pow

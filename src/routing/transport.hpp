@@ -1,0 +1,96 @@
+// Secure-routing transport modes — the footnote-3 design space.
+//
+// The paper's base mechanism is ALL-TO-ALL exchange + majority
+// filtering per group-graph edge: O(D |G|^2) messages per search.
+// Footnote 3 records two cheaper alternatives from prior work, each
+// with a caveat this module makes measurable:
+//
+//   * SAMPLED ([18], [45]): each member forwards to s random members
+//     of the next group — O(D |G| s) messages in expectation, but a
+//     receiver can be unlucky (or targeted: colluding bad senders
+//     concentrate their forged copies on the thinnest receivers), so
+//     a hop across two BLUE groups can still corrupt or starve.
+//   * CERTIFIED ([51]): after a one-time threshold setup (DKG per
+//     group, certificate exchange per edge — the poly(|G|) table-
+//     update cost the footnote warns about), a single certified copy
+//     crosses each edge: O(D) per search.  Red groups can only DROP
+//     it (certificates make forgery detectable), never corrupt it.
+//
+// All three modes fail at the first red group, matching the search-
+// path semantics of Section II; what differs is cost and the failure
+// surface INSIDE blue chains.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/group_graph.hpp"
+#include "core/search.hpp"
+#include "util/rng.hpp"
+
+namespace tg::routing {
+
+enum class Mode { all_to_all, sampled, certified };
+
+[[nodiscard]] std::string_view mode_name(Mode m) noexcept;
+
+/// How bad senders aim their forged copies in sampled mode.
+///   oblivious — random targets, like everyone else (a weak adversary,
+///               or one without timing visibility);
+///   rushing   — observes where the true copies landed this hop and
+///               concentrates its budget on the thinnest receivers.
+/// The gap between the two is exactly why [18]/[45] need a non-trivial
+/// expander construction rather than naive random relay.
+enum class SampledAdversary { oblivious, rushing };
+
+struct TransportParams {
+  Mode mode = Mode::all_to_all;
+  /// Copies each sender emits in sampled mode (s).
+  std::size_t sample_size = 3;
+  SampledAdversary adversary = SampledAdversary::rushing;
+};
+
+struct TransportOutcome {
+  /// The responsible group decoded the true payload.
+  bool delivered = false;
+  /// A forged value won at the responsible group (sampled-mode hazard;
+  /// impossible in the other modes, which fail cleanly instead).
+  bool corrupted = false;
+  /// The payload starved en route (no copies reached a majority) or a
+  /// red group was hit; exclusive with the two flags above.
+  std::size_t hops_completed = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Drive one payload along an H route through the group graph.
+[[nodiscard]] TransportOutcome transmit(const core::GroupGraph& graph,
+                                        const overlay::Route& route,
+                                        const TransportParams& params,
+                                        Rng& rng);
+
+/// Convenience: route from `start_leader` toward `key`, then transmit.
+[[nodiscard]] TransportOutcome transmit_to_key(const core::GroupGraph& graph,
+                                               std::size_t start_leader,
+                                               ids::RingPoint key,
+                                               const TransportParams& params,
+                                               Rng& rng);
+
+/// One-time setup cost of the certified mode: per group, a DKG
+/// (3 all-to-all rounds); per edge, a certificate exchange — the
+/// poly(|G|) routing-table-update cost of [51].
+[[nodiscard]] std::uint64_t certified_setup_messages(
+    const core::GroupGraph& graph);
+
+struct ModeStats {
+  double success_rate = 0;
+  double corrupt_rate = 0;
+  double mean_messages = 0;
+  double mean_hops = 0;
+};
+
+/// Monte-Carlo over random (start, key) pairs.
+[[nodiscard]] ModeStats run_mode_experiment(const core::GroupGraph& graph,
+                                            const TransportParams& params,
+                                            std::size_t searches, Rng& rng);
+
+}  // namespace tg::routing

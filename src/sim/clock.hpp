@@ -1,0 +1,46 @@
+// Epoch/step clock (Section III: "time is divided into disjoint
+// consecutive windows of T steps called epochs").
+//
+// The paper's protocol schedule within an epoch of length T:
+//   step T/2        : ID generation for the next epoch begins (IV-A),
+//   string protocol : Phase 1 = [1, T/2 - 2 d' ln n],
+//                     Phase 2 = next d' ln n steps,
+//                     Phase 3 = final d' ln n steps of the half-epoch.
+#pragma once
+
+#include <cstdint>
+
+namespace tg::sim {
+
+class EpochClock {
+ public:
+  explicit EpochClock(std::uint64_t steps_per_epoch) noexcept
+      : epoch_steps_(steps_per_epoch) {}
+
+  void tick() noexcept { ++step_; }
+  void advance(std::uint64_t steps) noexcept { step_ += steps; }
+
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return step_ / epoch_steps_;
+  }
+  [[nodiscard]] std::uint64_t step_in_epoch() const noexcept {
+    return step_ % epoch_steps_;
+  }
+  [[nodiscard]] std::uint64_t epoch_length() const noexcept {
+    return epoch_steps_;
+  }
+  [[nodiscard]] bool past_half_epoch() const noexcept {
+    return step_in_epoch() >= epoch_steps_ / 2;
+  }
+  /// Steps remaining until the next epoch boundary.
+  [[nodiscard]] std::uint64_t remaining_in_epoch() const noexcept {
+    return epoch_steps_ - step_in_epoch();
+  }
+
+ private:
+  std::uint64_t epoch_steps_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace tg::sim

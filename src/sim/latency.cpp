@@ -1,0 +1,63 @@
+#include "sim/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tg::sim {
+
+double LatencyModel::sample_message_ms(Rng& rng) const {
+  return std::exp(mu_log + sigma_log * rng.normal());
+}
+
+double LatencyModel::sample_hop_ms(std::size_t senders, std::size_t receivers,
+                                   Rng& rng) const {
+  if (senders == 0 || receivers == 0) return 0.0;
+  const std::size_t majority = senders / 2 + 1;
+  double slowest_receiver = 0.0;
+  std::vector<double> delays(senders);
+  for (std::size_t r = 0; r < receivers; ++r) {
+    for (auto& d : delays) d = sample_message_ms(rng);
+    std::nth_element(delays.begin(),
+                     delays.begin() + static_cast<std::ptrdiff_t>(majority - 1),
+                     delays.end());
+    slowest_receiver = std::max(slowest_receiver, delays[majority - 1]);
+  }
+  // Endpoint work scales with the copy count: each sender pushes
+  // `receivers` copies onto the wire; each receiver authenticates the
+  // `majority` copies it needed before it can decode.
+  const double endpoint_ms =
+      tx_ms_per_copy * static_cast<double>(receivers) +
+      verify_ms_per_copy * static_cast<double>(majority);
+  return slowest_receiver + endpoint_ms;
+}
+
+double LatencyModel::sample_search_ms(std::size_t hops,
+                                      std::size_t group_size,
+                                      Rng& rng) const {
+  double total = 0.0;
+  for (std::size_t h = 0; h < hops; ++h) {
+    total += sample_hop_ms(group_size, group_size, rng);
+  }
+  return total;
+}
+
+LatencyReport measure_search_latency(const LatencyModel& model,
+                                     std::size_t hops, std::size_t group_size,
+                                     std::size_t samples, Rng& rng) {
+  LatencyReport report;
+  RunningStats stats;
+  Quantiles quantiles;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double ms = model.sample_search_ms(hops, group_size, rng);
+    stats.add(ms);
+    quantiles.add(ms);
+  }
+  report.mean_ms = stats.mean();
+  report.p50_ms = quantiles.quantile(0.5);
+  report.p95_ms = quantiles.quantile(0.95);
+  report.p99_ms = quantiles.quantile(0.99);
+  return report;
+}
+
+}  // namespace tg::sim

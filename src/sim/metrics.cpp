@@ -1,0 +1,4 @@
+#include "sim/metrics.hpp"
+
+// Header-only logic; this TU anchors the library target.
+namespace tg::sim {}

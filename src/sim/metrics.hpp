@@ -1,0 +1,63 @@
+// Message and state accounting.
+//
+// Every cost claimed by the paper (Section I items (i)-(iii),
+// Corollary 1, Lemma 12(iii)) is a count of messages or stored links;
+// the simulator increments these ledgers at the exact points the
+// protocol would transmit, so bench output is an exact message-
+// complexity measurement rather than a wall-clock proxy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tg::sim {
+
+enum class MsgCat : std::size_t {
+  group_communication,  ///< intra-group all-to-all (key gen, RNG, BA)
+  secure_routing,       ///< inter-group all-to-all along search paths
+  membership,           ///< group-membership requests + verification
+  neighbor_setup,       ///< neighbor requests + verification
+  gossip,               ///< epoch-string propagation
+  pow,                  ///< ID announcements / proofs
+  kCount
+};
+
+[[nodiscard]] constexpr std::string_view msg_cat_name(MsgCat c) noexcept {
+  switch (c) {
+    case MsgCat::group_communication: return "group_comm";
+    case MsgCat::secure_routing: return "secure_routing";
+    case MsgCat::membership: return "membership";
+    case MsgCat::neighbor_setup: return "neighbor_setup";
+    case MsgCat::gossip: return "gossip";
+    case MsgCat::pow: return "pow";
+    case MsgCat::kCount: break;
+  }
+  return "?";
+}
+
+class MessageLedger {
+ public:
+  void add(MsgCat cat, std::uint64_t count) noexcept {
+    counts_[static_cast<std::size_t>(cat)] += count;
+  }
+  [[nodiscard]] std::uint64_t get(MsgCat cat) const noexcept {
+    return counts_[static_cast<std::size_t>(cat)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto c : counts_) sum += c;
+    return sum;
+  }
+  void merge(const MessageLedger& other) noexcept {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+  void reset() noexcept { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgCat::kCount)> counts_{};
+};
+
+}  // namespace tg::sim

@@ -1,0 +1,56 @@
+#include "sim/trial_runner.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace tg::sim {
+
+RunningStats run_trials(std::size_t trials, std::uint64_t seed,
+                        const std::function<double(Rng&, std::size_t)>& trial,
+                        std::size_t threads) {
+  const auto multi = run_trials_multi(
+      trials, 1, seed,
+      [&trial](Rng& rng, std::size_t index, std::vector<double>& out) {
+        out[0] = trial(rng, index);
+      },
+      threads);
+  return multi.front();
+}
+
+std::vector<RunningStats> run_trials_multi(
+    std::size_t trials, std::size_t metric_count, std::uint64_t seed,
+    const std::function<void(Rng&, std::size_t, std::vector<double>&)>& trial,
+    std::size_t threads) {
+  std::vector<RunningStats> totals(metric_count);
+  if (trials == 0 || metric_count == 0) return totals;
+
+  std::mutex merge_mutex;
+  const std::size_t shard_count =
+      std::min<std::size_t>(trials, threads == 0 ? 8 : threads);
+
+  parallel_for_shards(
+      shard_count,
+      [&](std::size_t shard) {
+        std::vector<RunningStats> local(metric_count);
+        std::vector<double> metrics(metric_count, 0.0);
+        for (std::size_t t = shard; t < trials; t += shard_count) {
+          // Seed depends only on (seed, t): sharding-invariant.
+          Rng rng(mix64(seed ^ (0x9e3779b97f4a7c15ULL * (t + 1))));
+          std::fill(metrics.begin(), metrics.end(), 0.0);
+          trial(rng, t, metrics);
+          for (std::size_t m = 0; m < metric_count; ++m) {
+            local[m].add(metrics[m]);
+          }
+        }
+        const std::lock_guard lock(merge_mutex);
+        for (std::size_t m = 0; m < metric_count; ++m) {
+          totals[m].merge(local[m]);
+        }
+      },
+      threads);
+  return totals;
+}
+
+}  // namespace tg::sim

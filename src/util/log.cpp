@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace tg::log {
+
+namespace {
+std::atomic<Level> g_level{Level::info};
+std::mutex g_mutex;
+
+constexpr std::string_view name(Level level) noexcept {
+  switch (level) {
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level); }
+Level level() noexcept { return g_level.load(); }
+
+void write(Level lvl, std::string_view message) {
+  if (lvl < g_level.load()) return;
+  const std::lock_guard lock(g_mutex);
+  std::cerr << "[" << name(lvl) << "] " << message << "\n";
+}
+
+}  // namespace tg::log

@@ -1,0 +1,48 @@
+// Leveled logging.  Benches default to `warn` so experiment tables stay
+// clean; examples raise verbosity to narrate what the protocol does.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tg::log {
+
+enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+
+void write(Level level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::debug)
+    write(Level::debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::info)
+    write(Level::info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::warn)
+    write(Level::warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::error)
+    write(Level::error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace tg::log

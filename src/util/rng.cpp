@@ -1,0 +1,125 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tg {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method with rejection for exactness.
+  __uint128_t m = static_cast<__uint128_t>(u64()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(u64()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - binomial(n, 1.0 - p);
+
+  const double mean = static_cast<double>(n) * p;
+  if (mean < 64.0) {
+    // BINV inversion: O(mean) expected iterations.
+    const double q = 1.0 - p;
+    const double s = p / q;
+    const double a = static_cast<double>(n + 1) * s;
+    double r = std::pow(q, static_cast<double>(n));
+    if (r <= 0.0) {
+      // Underflow guard for very large n with small p: Poisson limit.
+      const double lambda = mean;
+      double l = std::exp(-lambda);
+      std::uint64_t k = 0;
+      double prod = uniform();
+      while (prod > l && k < n) {
+        ++k;
+        prod *= uniform();
+      }
+      return k;
+    }
+    double u = uniform();
+    std::uint64_t x = 0;
+    while (u > r && x < n) {
+      u -= r;
+      ++x;
+      r *= (a / static_cast<double>(x)) - s;
+    }
+    return x;
+  }
+  // Normal approximation with continuity correction.
+  const double sd = std::sqrt(mean * (1.0 - p));
+  double draw = std::round(mean + sd * normal());
+  if (draw < 0.0) draw = 0.0;
+  const auto cap = static_cast<double>(n);
+  if (draw > cap) draw = cap;
+  return static_cast<std::uint64_t>(draw);
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 < n) {
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      const std::size_t idx = below(n);
+      if (seen.insert(idx).second) out.push_back(idx);
+    }
+    return out;
+  }
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + below(n - i)]);
+    out.push_back(all[i]);
+  }
+  return out;
+}
+
+}  // namespace tg

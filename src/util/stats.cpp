@@ -1,0 +1,155 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tg {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(bins_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(bins_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const auto c : bins_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out += "[";
+    out += std::to_string(bin_lo(i)).substr(0, 6);
+    out += ") ";
+    out.append(bar, '#');
+    out += " ";
+    out += std::to_string(bins_[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+double Quantiles::quantile(double q) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double ks_statistic_uniform(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double x = samples[i];
+    const double above = (static_cast<double>(i) + 1.0) / n - x;
+    const double below = x - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  return d;
+}
+
+double ks_critical_value(std::size_t n, double alpha) {
+  double c;
+  if (alpha <= 0.01) {
+    c = 1.63;
+  } else if (alpha <= 0.05) {
+    c = 1.36;
+  } else {
+    c = 1.22;
+  }
+  return c / std::sqrt(static_cast<double>(n));
+}
+
+double chi_square_uniform(const std::vector<double>& samples, std::size_t bins) {
+  if (samples.empty() || bins == 0) return 0.0;
+  std::vector<std::size_t> counts(bins, 0);
+  for (const double x : samples) {
+    auto idx = static_cast<std::size_t>(x * static_cast<double>(bins));
+    if (idx >= bins) idx = bins - 1;
+    ++counts[idx];
+  }
+  const double expected =
+      static_cast<double>(samples.size()) / static_cast<double>(bins);
+  double stat = 0.0;
+  for (const auto c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double wilson_half_width(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return 0.0;
+  constexpr double z = 1.96;
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  return z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) /
+         (1.0 + z * z / n);
+}
+
+}  // namespace tg

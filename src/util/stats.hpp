@@ -1,0 +1,92 @@
+// Streaming statistics, histograms, quantiles and goodness-of-fit
+// tests used by the experiment harness to report the paper's series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+/// Welford online mean/variance with min/max tracking.  Mergeable so
+/// parallel Monte-Carlo shards can be combined.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to
+/// the edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  /// Render a compact ASCII sparkline-style dump (for examples/logs).
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+/// Retains samples for exact quantiles; suitable for the trial counts
+/// used here (<= a few million doubles).
+class Quantiles {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// One-sample Kolmogorov-Smirnov statistic against Uniform[0,1).
+/// Used to validate Lemma 11's claim that adversarial PoW IDs are
+/// uniform on the ring.
+[[nodiscard]] double ks_statistic_uniform(std::vector<double> samples);
+
+/// Critical value for the KS test at significance alpha (asymptotic
+/// formula c(alpha) / sqrt(n)); alpha in {0.10, 0.05, 0.01}.
+[[nodiscard]] double ks_critical_value(std::size_t n, double alpha);
+
+/// Pearson chi-square statistic of samples in [0,1) against the
+/// uniform distribution over `bins` equal cells.
+[[nodiscard]] double chi_square_uniform(const std::vector<double>& samples,
+                                        std::size_t bins);
+
+/// Binomial-proportion Wilson score interval half-width (95%).
+[[nodiscard]] double wilson_half_width(std::size_t successes, std::size_t trials);
+
+}  // namespace tg

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tg {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell) {
+  struct Visitor {
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(double d) const {
+      std::ostringstream os;
+      const double mag = std::fabs(d);
+      if (d != 0.0 && (mag < 1e-3 || mag >= 1e7)) {
+        os << std::scientific << std::setprecision(3) << d;
+      } else {
+        os << std::fixed << std::setprecision(4) << d;
+      }
+      return os.str();
+    }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(std::uint64_t v) const { return std::to_string(v); }
+  };
+  return std::visit(Visitor{}, cell);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto rule = [&] {
+    os << "+";
+    for (const auto w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  rule();
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << " " << std::setw(static_cast<int>(widths[c])) << std::left
+       << headers_[c] << " |";
+  }
+  os << "\n";
+  rule();
+  for (const auto& r : rendered) {
+    os << "|";
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << " " << std::setw(static_cast<int>(widths[c])) << std::right << r[c]
+         << " |";
+    }
+    os << "\n";
+  }
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << render(row[c]) << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace tg

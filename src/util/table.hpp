@@ -1,0 +1,43 @@
+// ASCII table / CSV emission for the benchmark harness.  Every bench
+// binary prints the paper-shaped series through this class so output
+// stays uniform and machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tg {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table (e.g. the experiment id).
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  void add_row(std::vector<Cell> cells);
+
+  /// Pretty print with column alignment.
+  void print(std::ostream& os) const;
+  /// Comma-separated emission for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Render a cell to its display string (fixed precision for doubles).
+  static std::string render(const Cell& cell);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace tg

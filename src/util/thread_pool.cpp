@@ -1,0 +1,69 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tg {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_shards(std::size_t shards,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t threads) {
+  if (shards == 0) return;
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < shards; ++i) {
+    pool.submit([&body, i] { body(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace tg

@@ -1,0 +1,52 @@
+// Minimal work-stealing-free thread pool for Monte-Carlo fan-out.
+//
+// Experiments shard independent trials across workers; each shard owns
+// a forked Rng so results are deterministic regardless of scheduling
+// (per C++ Core Guidelines CP.2: no data races — shards never share
+// mutable state; results are merged after join).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tg {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `body(shard_index)` for shard_index in [0, shards) across a
+/// transient pool; blocks until all shards complete.
+void parallel_for_shards(std::size_t shards,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t threads = 0);
+
+}  // namespace tg

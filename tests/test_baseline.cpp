@@ -1,0 +1,117 @@
+// Tests for the baselines: Theta(log n) groups, the cuckoo rules, and
+// the single-graph ablation plumbing.
+#include <gtest/gtest.h>
+
+#include "baseline/commensal_cuckoo.hpp"
+#include "baseline/cuckoo.hpp"
+#include "baseline/logn_groups.hpp"
+#include "baseline/single_graph.hpp"
+#include "util/rng.hpp"
+
+namespace tg::baseline {
+namespace {
+
+TEST(LognBaseline, OverridesGroupSize) {
+  core::Params p;
+  p.n = 1 << 14;
+  const core::Params b = logn_baseline(p);
+  EXPECT_EQ(b.group_size(), p.baseline_group_size());
+  EXPECT_GT(b.group_size(), p.group_size() + 8);
+}
+
+TEST(LognBaseline, PredictCostsFormulas) {
+  const CostModel m = predict_costs(10, 5.0, 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(m.group_communication, 90.0);
+  EXPECT_DOUBLE_EQ(m.secure_routing, 500.0);
+  EXPECT_DOUBLE_EQ(m.state_per_id, 140.0);
+}
+
+TEST(Cuckoo, PopulationConserved) {
+  CuckooParams p;
+  p.n = 1024;
+  p.beta = 0.05;
+  p.group_size = 32;
+  Rng rng(1);
+  CuckooSimulation sim(p, rng);
+  (void)sim.run(200, rng);
+  // Node count per group sums to n (checked via mean group size).
+  const auto outcome = sim.run(0, rng);
+  EXPECT_NEAR(outcome.mean_group_size * static_cast<double>(sim.group_count()),
+              static_cast<double>(p.n), 1e-6);
+}
+
+TEST(Cuckoo, ZeroAdversaryNeverFails) {
+  CuckooParams p;
+  p.n = 512;
+  p.beta = 0.0;
+  p.group_size = 16;
+  Rng rng(2);
+  CuckooSimulation sim(p, rng);
+  const auto out = sim.run(500, rng);
+  EXPECT_FALSE(out.first_failure_round.has_value());
+  EXPECT_EQ(out.max_bad_fraction_seen, 0.0);
+}
+
+TEST(Cuckoo, TinyGroupsFailFasterThanLargeGroups) {
+  // The central finding of [47]: under join-leave churn, small groups
+  // lose their majority quickly while large groups survive.
+  Rng rng(3);
+  CuckooParams small;
+  small.n = 2048;
+  small.beta = 0.02;
+  small.group_size = 8;
+  CuckooParams large = small;
+  large.group_size = 64;
+  std::size_t small_failures = 0, large_failures = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    CuckooSimulation s(small, rng), l(large, rng);
+    small_failures += s.run(3000, rng).first_failure_round.has_value();
+    large_failures += l.run(3000, rng).first_failure_round.has_value();
+  }
+  EXPECT_GT(small_failures, large_failures);
+  EXPECT_EQ(small_failures, 5u);  // |G|=8 at beta=0.02 always breaks
+}
+
+TEST(Commensal, PopulationConserved) {
+  CommensalParams p;
+  p.n = 1024;
+  p.group_size = 32;
+  Rng rng(4);
+  CommensalCuckooSimulation sim(p, rng);
+  (void)sim.run(500, rng);
+  EXPECT_LE(sim.max_bad_fraction(), 1.0);
+}
+
+TEST(Commensal, GroupSizeGradientInSurvival) {
+  Rng rng(5);
+  CommensalParams small;
+  small.n = 2048;
+  small.beta = 0.02;
+  small.group_size = 8;
+  CommensalParams large = small;
+  large.group_size = 64;
+  std::size_t small_failures = 0, large_failures = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    CommensalCuckooSimulation s(small, rng), l(large, rng);
+    small_failures += s.run(3000, rng).first_failure_round.has_value();
+    large_failures += l.run(3000, rng).first_failure_round.has_value();
+  }
+  EXPECT_GE(small_failures, large_failures);
+  EXPECT_GT(small_failures, 0u);
+}
+
+TEST(SingleGraph, ManagersWireTheRightModes) {
+  core::Params p;
+  p.n = 256;
+  p.seed = 6;
+  auto single = make_single_graph_manager(p);
+  auto dual = make_dual_graph_manager(p);
+  Rng rng_a(7), rng_b(7);
+  (void)single.run(1, 100, rng_a);
+  (void)dual.run(1, 100, rng_b);
+  EXPECT_FALSE(single.current().dual());
+  EXPECT_TRUE(dual.current().dual());
+}
+
+}  // namespace
+}  // namespace tg::baseline

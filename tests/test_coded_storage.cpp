@@ -1,0 +1,119 @@
+// Tests for erasure-coded group storage: Reed-Solomon fragments over
+// GF(2^61-1), Byzantine-tolerant reads via Berlekamp-Welch.
+#include <gtest/gtest.h>
+
+#include "bft/coded_storage.hpp"
+#include "util/rng.hpp"
+
+namespace tg::bft {
+namespace {
+
+std::vector<std::uint64_t> random_words(std::size_t k, Rng& rng) {
+  std::vector<std::uint64_t> words(k);
+  for (auto& w : words) w = rng.u64() % kFieldPrime;
+  return words;
+}
+
+TEST(CodedStorage, EncodeProducesOneFragmentPerMember) {
+  Rng rng(1);
+  const auto item = encode_item(random_words(4, rng), 13);
+  EXPECT_EQ(item.data.size(), 4u);
+  EXPECT_EQ(item.fragments.size(), 13u);
+  // Fragment x-coordinates are the member slots 1..g.
+  for (std::size_t i = 0; i < 13; ++i) {
+    EXPECT_EQ(item.fragments[i].x.v, i + 1);
+  }
+}
+
+TEST(CodedStorage, HonestReadRoundTrips) {
+  Rng rng(2);
+  for (const std::size_t k : {1u, 3u, 7u, 12u}) {
+    const auto words = random_words(k, rng);
+    const auto item = encode_item(words, 17);
+    const auto read = read_item(item, std::vector<std::uint8_t>(17, 0), rng);
+    ASSERT_TRUE(read.ok) << "k=" << k;
+    EXPECT_EQ(read.words, words) << "k=" << k;
+    EXPECT_EQ(read.liars_corrected, 0u);
+  }
+}
+
+TEST(CodedStorage, ToleratesLiarsUpToCapacity) {
+  Rng rng(3);
+  const std::size_t g = 17, k = 5;
+  const std::size_t capacity = coded_fault_tolerance(g, k);  // (17-5)/2 = 6
+  ASSERT_EQ(capacity, 6u);
+  const auto words = random_words(k, rng);
+  const auto item = encode_item(words, g);
+  for (std::size_t liars = 1; liars <= capacity; ++liars) {
+    std::vector<std::uint8_t> is_liar(g, 0);
+    for (std::size_t i = 0; i < liars; ++i) is_liar[i] = 1;
+    const auto read = read_item(item, is_liar, rng);
+    ASSERT_TRUE(read.ok) << liars << " liars";
+    EXPECT_EQ(read.words, words) << liars << " liars";
+    EXPECT_EQ(read.liars_corrected, liars);
+  }
+}
+
+TEST(CodedStorage, FailsClosedBeyondCapacity) {
+  Rng rng(4);
+  const std::size_t g = 11, k = 5;  // capacity (11-5)/2 = 3
+  const auto words = random_words(k, rng);
+  const auto item = encode_item(words, g);
+  std::vector<std::uint8_t> is_liar(g, 0);
+  for (std::size_t i = 0; i < 5; ++i) is_liar[i] = 1;  // 5 > 3
+  const auto read = read_item(item, is_liar, rng);
+  // Either the decode fails outright or it flags disagreements; it
+  // must never return wrong words silently as an error-free read.
+  if (read.ok) {
+    EXPECT_TRUE(read.words != words ? read.liars_corrected > 0 : true);
+  }
+}
+
+TEST(CodedStorage, GroupScaleParametersWork) {
+  // theta = 0.3 composition: k = ceil(g/3) leaves capacity >= bad.
+  Rng rng(5);
+  for (const std::size_t g : {9u, 15u, 21u, 27u}) {
+    const std::size_t k = (g + 2) / 3;
+    const auto bad = static_cast<std::size_t>(0.3 * g);
+    ASSERT_GE(coded_fault_tolerance(g, k), bad) << g;
+    const auto words = random_words(k, rng);
+    const auto item = encode_item(words, g);
+    std::vector<std::uint8_t> is_liar(g, 0);
+    for (std::size_t i = 0; i < bad; ++i) is_liar[g - 1 - i] = 1;
+    const auto read = read_item(item, is_liar, rng);
+    ASSERT_TRUE(read.ok) << g;
+    EXPECT_EQ(read.words, words) << g;
+  }
+}
+
+TEST(CodedStorage, OverheadBeatsReplication) {
+  // Replication stores g copies; coding stores g/k "copies".
+  EXPECT_DOUBLE_EQ(coded_overhead(21, 7), 3.0);
+  EXPECT_DOUBLE_EQ(coded_overhead(21, 1), 21.0);  // k=1 IS replication
+  EXPECT_LT(coded_overhead(27, 9), 27.0);
+}
+
+TEST(CodedStorage, Validation) {
+  Rng rng(6);
+  EXPECT_THROW((void)encode_item({}, 5), std::invalid_argument);
+  EXPECT_THROW((void)encode_item(random_words(6, rng), 5),
+               std::invalid_argument);
+  const auto item = encode_item(random_words(2, rng), 5);
+  EXPECT_THROW((void)read_item(item, std::vector<std::uint8_t>(4, 0), rng),
+               std::invalid_argument);
+}
+
+TEST(CodedStorage, WordsSurviveCanonicalization) {
+  // Payload words >= p are canonicalized on encode; the read returns
+  // the canonical form.
+  Rng rng(7);
+  const std::vector<std::uint64_t> words = {kFieldPrime + 3, ~0ULL};
+  const auto item = encode_item(words, 7);
+  const auto read = read_item(item, std::vector<std::uint8_t>(7, 0), rng);
+  ASSERT_TRUE(read.ok);
+  EXPECT_EQ(read.words[0], 3u);
+  EXPECT_EQ(read.words[1], (~0ULL) % kFieldPrime);
+}
+
+}  // namespace
+}  // namespace tg::bft

@@ -1,0 +1,240 @@
+// Unit tests for crypto: SHA-256 against FIPS 180-4 vectors, hex,
+// random oracles, commitments/ZK proof objects, simulated signatures.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/commitment.hpp"
+#include "crypto/hex.hpp"
+#include "crypto/oracle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+
+namespace tg::crypto {
+namespace {
+
+// --- SHA-256 test vectors (FIPS 180-4 / NIST CAVS) ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongMessage896Bits) {
+  EXPECT_EQ(
+      to_hex(sha256("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                    "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionAs) {
+  // FIPS 180-4 pseudo-vector; exercises many block iterations.
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 ctx;
+  ctx.update("hello ");
+  ctx.update("world");
+  EXPECT_EQ(ctx.finish(), sha256("hello world"));
+}
+
+TEST(Sha256, BoundarySizedInputs) {
+  // Lengths that straddle the 55/56/64-byte padding boundaries.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    // Byte-at-a-time must agree.
+    Sha256 b;
+    for (const char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.update("garbage");
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update("abc");
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, UpdateU64BigEndian) {
+  Sha256 a;
+  a.update_u64(0x0102030405060708ULL);
+  const std::uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  Sha256 b;
+  b.update(std::span<const std::uint8_t>(bytes, 8));
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(Sha256, DigestToU64TakesLeadingBytes) {
+  Digest d{};
+  for (int i = 0; i < 32; ++i) d[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
+  EXPECT_EQ(digest_to_u64(d), 0x0102030405060708ULL);
+}
+
+// --- Hex codec ---
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0xff, 0x12, 0xab};
+  const auto hex = to_hex(bytes);
+  EXPECT_EQ(hex, "00ff12ab");
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(Hex, AcceptsUppercase) {
+  const auto back = from_hex("AbCd");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)[0], 0xab);
+  EXPECT_EQ((*back)[1], 0xcd);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // bad digit
+  EXPECT_TRUE(from_hex("").has_value());       // empty is fine
+}
+
+// --- Random oracles ---
+
+TEST(Oracle, Deterministic) {
+  const RandomOracle o("test", 42);
+  EXPECT_EQ(o.value_u64(7), o.value_u64(7));
+  EXPECT_EQ(o.value_pair(1, 2), o.value_pair(1, 2));
+}
+
+TEST(Oracle, DomainSeparation) {
+  const RandomOracle a("domain-a", 42), b("domain-b", 42);
+  EXPECT_NE(a.value_u64(7), b.value_u64(7));
+}
+
+TEST(Oracle, SeedSeparation) {
+  const RandomOracle a("d", 1), b("d", 2);
+  EXPECT_NE(a.value_u64(7), b.value_u64(7));
+}
+
+TEST(Oracle, PairIsNotConcatenationCollision) {
+  const RandomOracle o("d", 1);
+  // (1, 2) and (different split of the same bytes) must differ because
+  // inputs are length-prefixed by fixed-width encoding.
+  EXPECT_NE(o.value_pair(1, 2), o.value_pair(2, 1));
+  EXPECT_NE(o.value_pair(0, 1), o.value_u64(1));
+}
+
+TEST(Oracle, OutputLooksUniform) {
+  const RandomOracle o("uniformity", 3);
+  // Crude equidistribution check: mean of normalized outputs.
+  double sum = 0.0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    sum += static_cast<double>(o.value_u64(static_cast<std::uint64_t>(i))) *
+           0x1.0p-64;
+  }
+  EXPECT_NEAR(sum / samples, 0.5, 0.02);
+}
+
+TEST(OracleSuite, FiveIndependentOracles) {
+  const OracleSuite suite(99);
+  const std::uint64_t x = 1234;
+  std::set<std::uint64_t> outputs = {
+      suite.h1.value_u64(x), suite.h2.value_u64(x), suite.f.value_u64(x),
+      suite.g.value_u64(x), suite.h.value_u64(x)};
+  EXPECT_EQ(outputs.size(), 5u);  // all distinct
+}
+
+// --- Commitments and the ZK proof object ---
+
+TEST(Commitment, OpensWithCorrectData) {
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  const auto c = commit(data, 777);
+  EXPECT_TRUE(open(c, data, 777));
+}
+
+TEST(Commitment, RejectsWrongNonceOrData) {
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  const auto c = commit(data, 777);
+  EXPECT_FALSE(open(c, data, 778));
+  const std::vector<std::uint8_t> other = {1, 2, 4};
+  EXPECT_FALSE(open(c, other, 777));
+}
+
+TEST(ZkProof, AcceptsHonestStatement) {
+  PowStatement stmt;
+  stmt.claimed_g_output = 100;
+  stmt.claimed_id = 555;
+  stmt.tau = 1000;
+  const auto proof = prove_pow_preimage(42, 9, 100, 555, stmt);
+  EXPECT_TRUE(proof.verify());
+}
+
+TEST(ZkProof, RejectsMismatchedWitness) {
+  PowStatement stmt;
+  stmt.claimed_g_output = 100;
+  stmt.claimed_id = 555;
+  stmt.tau = 1000;
+  // Prover's true evaluations disagree with the claim.
+  const auto proof = prove_pow_preimage(42, 9, 101, 555, stmt);
+  EXPECT_FALSE(proof.verify());
+}
+
+TEST(ZkProof, RejectsAboveThreshold) {
+  PowStatement stmt;
+  stmt.claimed_g_output = 5000;  // exceeds tau
+  stmt.claimed_id = 555;
+  stmt.tau = 1000;
+  const auto proof = prove_pow_preimage(42, 9, 5000, 555, stmt);
+  EXPECT_FALSE(proof.verify());
+}
+
+// --- Simulated signatures ---
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const SignatureAuthority auth(31337);
+  const auto sig = auth.sign(/*caller=*/5, /*signer=*/5, /*message=*/900);
+  EXPECT_TRUE(auth.verify(sig, 900));
+}
+
+TEST(Signature, WrongMessageFails) {
+  const SignatureAuthority auth(31337);
+  const auto sig = auth.sign(5, 5, 900);
+  EXPECT_FALSE(auth.verify(sig, 901));
+}
+
+TEST(Signature, ForgeryFails) {
+  const SignatureAuthority auth(31337);
+  // Byzantine caller 6 tries to sign on behalf of 5.
+  const auto forged = auth.sign(6, 5, 900);
+  EXPECT_FALSE(auth.verify(forged, 900));
+}
+
+TEST(Signature, AuthoritiesAreIndependent) {
+  const SignatureAuthority a(1), b(2);
+  const auto sig = a.sign(5, 5, 900);
+  EXPECT_FALSE(b.verify(sig, 900));
+}
+
+}  // namespace
+}  // namespace tg::crypto

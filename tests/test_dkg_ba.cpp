@@ -1,0 +1,254 @@
+// Tests for distributed key generation and randomized BA — the
+// group-communication workloads layered on the Shamir substrate.
+#include <gtest/gtest.h>
+
+#include "bft/dkg.hpp"
+#include "bft/randomized_ba.hpp"
+#include "bft/shamir.hpp"
+#include "core/population.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tg::bft {
+namespace {
+
+core::Group make_group(const core::Population& pop, std::size_t size,
+                       Rng& rng) {
+  core::Group g;
+  g.leader = 0;
+  std::vector<std::uint8_t> used(pop.size(), 0);
+  while (g.members.size() < size) {
+    const auto idx = static_cast<std::uint32_t>(rng.below(pop.size()));
+    if (used[idx]) continue;
+    used[idx] = 1;
+    g.members.push_back(idx);
+    if (pop.is_bad(idx)) ++g.bad_members;
+  }
+  return g;
+}
+
+// ---------- PolyCommitment ----------
+
+TEST(PolyCommitment, VerifiesOnlyTrueEvaluations) {
+  Rng rng(1);
+  const Poly p = random_poly(Fe{321}, 3, rng);
+  const PolyCommitment c = commit_poly(p);
+  EXPECT_EQ(c.degree(), 3u);
+  for (std::uint64_t x = 1; x < 10; ++x) {
+    EXPECT_TRUE(c.verify(Fe{x}, poly_eval(p, Fe{x})));
+    EXPECT_FALSE(c.verify(Fe{x}, fadd(poly_eval(p, Fe{x}), Fe{1})));
+  }
+}
+
+TEST(PolyCommitment, DefaultConstructedRejectsEverything) {
+  const PolyCommitment c;
+  EXPECT_FALSE(c.verify(Fe{1}, Fe{0}));
+}
+
+// ---------- DKG ----------
+
+TEST(Dkg, AllHonestProducesConsistentKey) {
+  Rng rng(2);
+  const auto pop = core::Population::uniform(500, 0.0, rng);
+  const auto group = make_group(pop, 13, rng);
+  const auto result = run_dkg(group, pop, DealerFault::none, rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.qualified, 13u);
+  EXPECT_EQ(result.disqualified, 0u);
+  EXPECT_EQ(result.complaints, 0u);
+  EXPECT_TRUE(result.shares_consistent);
+  EXPECT_EQ(result.good_key_shares.size(), 13u);
+}
+
+TEST(Dkg, WrongShareDealersAreDisqualified) {
+  Rng rng(3);
+  const auto pop = core::Population::uniform(500, 0.3, rng);
+  const auto group = make_group(pop, 15, rng);
+  const auto result = run_dkg(group, pop, DealerFault::wrong_shares, rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.disqualified, group.bad_members);
+  EXPECT_EQ(result.qualified, 15u - group.bad_members);
+  EXPECT_TRUE(result.shares_consistent);
+}
+
+TEST(Dkg, WithholdingDealersAreDisqualified) {
+  Rng rng(4);
+  const auto pop = core::Population::uniform(500, 0.25, rng);
+  const auto group = make_group(pop, 13, rng);
+  const auto result = run_dkg(group, pop, DealerFault::no_deal, rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.disqualified, group.bad_members);
+  EXPECT_TRUE(result.shares_consistent);
+}
+
+TEST(Dkg, HonestDealersSurviveSpuriousComplaints) {
+  Rng rng(5);
+  // Force at least one bad member so spurious complaints occur.
+  auto pop = core::Population::uniform(500, 0.4, rng);
+  core::Group group = make_group(pop, 13, rng);
+  if (group.bad_members == 0) GTEST_SKIP() << "no bad members drawn";
+  const auto result = run_dkg(group, pop, DealerFault::none, rng);
+  ASSERT_TRUE(result.ok);
+  // Honest dealing: nobody is disqualified, spurious complaints or not.
+  EXPECT_EQ(result.disqualified, 0u);
+  EXPECT_TRUE(result.shares_consistent);
+}
+
+TEST(Dkg, KeySharesSurviveByzantineReconstruction) {
+  // After DKG, reconstruction with bad members corrupting their shares
+  // still yields the group secret via Berlekamp-Welch.
+  Rng rng(6);
+  const auto pop = core::Population::uniform(500, 0.3, rng);
+  const auto group = make_group(pop, 16, rng);
+  const auto result = run_dkg(group, pop, DealerFault::none, rng);
+  ASSERT_TRUE(result.ok);
+
+  const std::size_t n = group.members.size();
+  const std::size_t degree = (n - 1) / 3;
+  // Rebuild the full share vector: good members report honestly, bad
+  // members lie.  (good_key_shares only holds good members' shares; a
+  // bad member's true share is reconstructable but it reports garbage.)
+  std::vector<Share> reported = result.good_key_shares;
+  std::size_t lies = 0;
+  for (std::size_t i = 0; i < n && lies + reported.size() < n; ++i) {
+    if (!pop.is_bad(group.members[i])) continue;
+    reported.push_back(
+        Share{Fe{static_cast<std::uint64_t>(i + 1)}, fe(rng.u64())});
+    ++lies;
+  }
+  if (reported.size() < degree + 2 * lies + 1) {
+    GTEST_SKIP() << "drawn composition leaves no BW redundancy";
+  }
+  const auto decoded = shamir_robust_reconstruct(reported, degree, lies);
+  ASSERT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.secret, result.group_secret);
+}
+
+TEST(Dkg, MessageCostIsQuadraticInGroupSize) {
+  Rng rng(7);
+  const auto pop = core::Population::uniform(2000, 0.0, rng);
+  std::vector<double> per_pair;
+  for (const std::size_t g : {8u, 16u, 32u}) {
+    const auto group = make_group(pop, g, rng);
+    const auto result = run_dkg(group, pop, DealerFault::none, rng);
+    per_pair.push_back(static_cast<double>(result.messages) /
+                       static_cast<double>(g * g));
+  }
+  // messages / |G|^2 should be flat (Theta(|G|^2) scaling).
+  EXPECT_NEAR(per_pair[0], per_pair[2], per_pair[0] * 0.5);
+}
+
+TEST(Dkg, EmptyGroupFailsCleanly) {
+  Rng rng(8);
+  const auto pop = core::Population::uniform(10, 0.0, rng);
+  core::Group g;
+  EXPECT_FALSE(run_dkg(g, pop, DealerFault::none, rng).ok);
+}
+
+// ---------- Randomized BA ----------
+
+class RandomizedBaSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, CoinAdversary>> {
+};
+
+TEST_P(RandomizedBaSweep, AgreementAndValidityBelowNOverFive) {
+  const auto [n, adversary] = GetParam();
+  const std::size_t t = (n - 1) / 5;
+  Rng rng(9000 + n);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> is_bad(n, 0);
+    for (std::size_t i = 0; i < t; ++i) is_bad[rng.below(n)] = 1;
+    std::vector<int> inputs(n);
+    for (auto& v : inputs) v = static_cast<int>(rng.u64() & 1);
+    auto coin = rng.fork();
+    const auto result = randomized_ba(n, is_bad, inputs, adversary, coin);
+    EXPECT_TRUE(result.terminated) << "n=" << n << " trial=" << trial;
+    EXPECT_TRUE(result.agreement) << "n=" << n << " trial=" << trial;
+    EXPECT_TRUE(result.validity) << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizedBaSweep,
+    ::testing::Combine(::testing::Values(std::size_t{6}, std::size_t{11},
+                                         std::size_t{16}, std::size_t{26}),
+                       ::testing::Values(CoinAdversary::split,
+                                         CoinAdversary::against_coin)),
+    [](const auto& info) {
+      const auto n = std::get<0>(info.param);
+      const bool split = std::get<1>(info.param) == CoinAdversary::split;
+      return std::string(split ? "split" : "anticoin") + "_n" +
+             std::to_string(n);
+    });
+
+TEST(RandomizedBa, UnanimousInputDecidesInOneRound) {
+  Rng rng(10);
+  const std::size_t n = 15, t = 2;
+  std::vector<std::uint8_t> is_bad(n, 0);
+  is_bad[3] = is_bad[7] = 1;
+  for (const int v : {0, 1}) {
+    std::vector<int> inputs(n, v);
+    auto coin = rng.fork();
+    const auto result =
+        randomized_ba(n, is_bad, inputs, CoinAdversary::split, coin);
+    EXPECT_TRUE(result.agreement);
+    EXPECT_TRUE(result.validity);
+    EXPECT_EQ(result.rounds, 1u) << "v=" << v;
+    for (const int out : result.outputs) EXPECT_EQ(out, v);
+  }
+  (void)t;
+}
+
+TEST(RandomizedBa, NoFaultsTrivial) {
+  Rng rng(11);
+  const std::size_t n = 9;
+  std::vector<std::uint8_t> is_bad(n, 0);
+  std::vector<int> inputs = {0, 1, 0, 1, 1, 1, 0, 1, 1};
+  auto coin = rng.fork();
+  const auto result =
+      randomized_ba(n, is_bad, inputs, CoinAdversary::split, coin);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_TRUE(result.terminated);
+}
+
+TEST(RandomizedBa, ExpectedRoundsIsSmall) {
+  Rng rng(12);
+  const std::size_t n = 21, t = 4;
+  RunningStats rounds;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> is_bad(n, 0);
+    std::size_t placed = 0;
+    while (placed < t) {
+      const auto i = rng.below(n);
+      if (!is_bad[i]) {
+        is_bad[i] = 1;
+        ++placed;
+      }
+    }
+    std::vector<int> inputs(n);
+    for (auto& v : inputs) v = static_cast<int>(rng.u64() & 1);
+    auto coin = rng.fork();
+    const auto result =
+        randomized_ba(n, is_bad, inputs, CoinAdversary::against_coin, coin);
+    ASSERT_TRUE(result.terminated);
+    rounds.add(static_cast<double>(result.rounds));
+  }
+  // Expected constant rounds: a common coin resolves each undecided
+  // round with probability >= 1/2, so the mean sits well under 8.
+  EXPECT_LT(rounds.mean(), 8.0);
+}
+
+TEST(RandomizedBa, MessageCountMatchesRounds) {
+  Rng rng(13);
+  const std::size_t n = 10;
+  std::vector<std::uint8_t> is_bad(n, 0);
+  std::vector<int> inputs(n, 1);
+  auto coin = rng.fork();
+  const auto result =
+      randomized_ba(n, is_bad, inputs, CoinAdversary::split, coin);
+  EXPECT_EQ(result.messages,
+            static_cast<std::uint64_t>(result.rounds) * n * (n - 1));
+}
+
+}  // namespace
+}  // namespace tg::bft

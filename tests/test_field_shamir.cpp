@@ -1,0 +1,259 @@
+// Tests for GF(2^61-1) arithmetic and Shamir sharing with
+// Berlekamp-Welch robust reconstruction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bft/field.hpp"
+#include "bft/shamir.hpp"
+#include "util/rng.hpp"
+
+namespace tg::bft {
+namespace {
+
+// ---------- Field axioms ----------
+
+TEST(Field, CanonicalizationWrapsModP) {
+  EXPECT_EQ(fe(0).v, 0u);
+  EXPECT_EQ(fe(kFieldPrime).v, 0u);
+  EXPECT_EQ(fe(kFieldPrime + 7).v, 7u);
+  EXPECT_EQ(fe(~0ULL).v, (~0ULL) % kFieldPrime);
+}
+
+TEST(Field, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Fe a = fe(rng.u64()), b = fe(rng.u64());
+    EXPECT_EQ(fsub(fadd(a, b), b), a);
+    EXPECT_EQ(fadd(fsub(a, b), b), a);
+    EXPECT_EQ(fadd(a, fneg(a)).v, 0u);
+  }
+}
+
+TEST(Field, MulMatchesRepeatedAddSmall) {
+  for (std::uint64_t a = 0; a < 20; ++a) {
+    Fe acc{0};
+    for (std::uint64_t k = 0; k < 15; ++k) {
+      EXPECT_EQ(fmul(Fe{a}, Fe{k}), acc) << a << "*" << k;
+      acc = fadd(acc, Fe{a});
+    }
+  }
+}
+
+TEST(Field, MulIsCommutativeAssociativeDistributive) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Fe a = fe(rng.u64()), b = fe(rng.u64()), c = fe(rng.u64());
+    EXPECT_EQ(fmul(a, b), fmul(b, a));
+    EXPECT_EQ(fmul(fmul(a, b), c), fmul(a, fmul(b, c)));
+    EXPECT_EQ(fmul(a, fadd(b, c)), fadd(fmul(a, b), fmul(a, c)));
+  }
+}
+
+TEST(Field, InverseIsInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    Fe a = fe(rng.u64());
+    if (a.v == 0) a = Fe{1};
+    EXPECT_EQ(fmul(a, finv(a)).v, 1u);
+  }
+  EXPECT_EQ(finv(Fe{0}).v, 0u);  // documented convention
+}
+
+TEST(Field, FermatLittleTheorem) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    Fe a = fe(rng.u64());
+    if (a.v == 0) continue;
+    EXPECT_EQ(fpow(a, kFieldPrime - 1).v, 1u);
+  }
+}
+
+TEST(Field, MulNearBoundary) {
+  const Fe pm1{kFieldPrime - 1};  // == -1
+  EXPECT_EQ(fmul(pm1, pm1).v, 1u);                    // (-1)^2 = 1
+  EXPECT_EQ(fmul(pm1, Fe{2}).v, kFieldPrime - 2);     // -2
+}
+
+// ---------- Polynomials ----------
+
+TEST(Poly, EvalMatchesHandComputation) {
+  // p(x) = 3 + 2x + x^2
+  const Poly p = {Fe{3}, Fe{2}, Fe{1}};
+  EXPECT_EQ(poly_eval(p, Fe{0}).v, 3u);
+  EXPECT_EQ(poly_eval(p, Fe{1}).v, 6u);
+  EXPECT_EQ(poly_eval(p, Fe{10}).v, 123u);
+}
+
+TEST(Poly, RandomPolyHasRequestedDegreeAndSecret) {
+  Rng rng(5);
+  const Poly p = random_poly(Fe{42}, 7, rng);
+  EXPECT_EQ(p.size(), 8u);
+  EXPECT_EQ(p[0].v, 42u);
+}
+
+// ---------- Shamir basics ----------
+
+TEST(Shamir, ReconstructFromExactThreshold) {
+  Rng rng(6);
+  for (std::size_t degree : {0u, 1u, 3u, 7u}) {
+    const Fe secret = fe(rng.u64());
+    const auto shares = shamir_share(secret, degree, degree + 1, rng);
+    EXPECT_EQ(shamir_reconstruct(shares, degree), secret) << degree;
+  }
+}
+
+TEST(Shamir, ReconstructFromAnySubset) {
+  Rng rng(7);
+  const Fe secret = fe(rng.u64());
+  const std::size_t degree = 4, n = 15;
+  auto shares = shamir_share(secret, degree, n, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(shares.begin(), shares.end(), rng);
+    EXPECT_EQ(shamir_reconstruct(shares, degree), secret);
+  }
+}
+
+TEST(Shamir, FewerThanThresholdSharesRevealNothing) {
+  // Information-theoretic privacy: for ANY candidate secret s', there
+  // is a polynomial consistent with d observed shares — demonstrated
+  // by interpolating the d shares plus (0, s') and checking degree.
+  Rng rng(8);
+  const std::size_t degree = 3;
+  const auto shares = shamir_share(Fe{1234}, degree, 10, rng);
+  // Take `degree` shares (one fewer than threshold) + forced secret.
+  for (std::uint64_t fake = 1; fake < 6; ++fake) {
+    std::vector<Share> view(shares.begin(), shares.begin() + degree);
+    view.push_back(Share{Fe{0}, Fe{fake}});
+    // Interpolation through degree+1 points always exists; its value
+    // at 0 is the fake secret by construction.
+    EXPECT_EQ(shamir_reconstruct(view, degree).v, fake);
+  }
+}
+
+TEST(Shamir, ShareValidation) {
+  Rng rng(9);
+  EXPECT_THROW((void)shamir_share(Fe{1}, 5, 5, rng), std::invalid_argument);
+  EXPECT_THROW((void)shamir_reconstruct(std::vector<Share>{}, 1),
+               std::invalid_argument);
+}
+
+// ---------- Berlekamp-Welch robust reconstruction ----------
+
+class BerlekampWelch
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BerlekampWelch, CorrectsUpToMaxErrors) {
+  const auto [degree, errors] = GetParam();
+  const std::size_t n = degree + 2 * errors + 1;
+  Rng rng(100 + degree * 31 + errors);
+  const Fe secret = fe(rng.u64());
+  auto shares = shamir_share(secret, degree, n, rng);
+
+  // Corrupt `errors` distinct shares with random garbage.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::shuffle(idx.begin(), idx.end(), rng);
+  for (std::size_t e = 0; e < errors; ++e) {
+    shares[idx[e]].y = fadd(shares[idx[e]].y, fe(rng.u64() | 1));
+  }
+
+  const auto result = shamir_robust_reconstruct(shares, degree, errors);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.secret, secret);
+  EXPECT_LE(result.errors_found, errors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BerlekampWelch,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{7}),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{4})),
+    [](const auto& info) {
+      return "deg" + std::to_string(std::get<0>(info.param)) + "_err" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BerlekampWelchEdge, NoErrorsIsPlainInterpolation) {
+  Rng rng(11);
+  const auto shares = shamir_share(Fe{77}, 3, 4, rng);
+  const auto result = shamir_robust_reconstruct(shares, 3, 0);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.secret.v, 77u);
+  EXPECT_EQ(result.errors_found, 0u);
+}
+
+TEST(BerlekampWelchEdge, InsufficientRedundancyFails) {
+  Rng rng(12);
+  const auto shares = shamir_share(Fe{5}, 3, 5, rng);
+  // Needs 3 + 2*1 + 1 = 6 shares to correct 1 error; only 5 given.
+  EXPECT_FALSE(shamir_robust_reconstruct(shares, 3, 1).ok);
+}
+
+TEST(BerlekampWelchEdge, TooManyActualErrorsDetected) {
+  Rng rng(13);
+  const std::size_t degree = 2, claimed = 1;
+  const std::size_t n = degree + 2 * claimed + 1;
+  auto shares = shamir_share(Fe{99}, degree, n, rng);
+  // Corrupt 3 shares while claiming capacity for 1: decoder must not
+  // return a wrong secret silently (either fails or flags them).
+  for (std::size_t e = 0; e < 3; ++e) {
+    shares[e].y = fadd(shares[e].y, fe(rng.u64() | 1));
+  }
+  const auto result = shamir_robust_reconstruct(shares, degree, claimed);
+  if (result.ok) {
+    // With 3 of 5 shares corrupted the "majority" polynomial may be a
+    // corrupted one, but it can never masquerade as error-free.
+    EXPECT_GT(result.errors_found, 0u);
+  }
+}
+
+TEST(BerlekampWelchEdge, RecoversWholePolynomialNotJustSecret) {
+  Rng rng(14);
+  const std::size_t degree = 4, errors = 2;
+  const std::size_t n = degree + 2 * errors + 1;
+  const Poly truth = random_poly(Fe{31337}, degree, rng);
+  std::vector<Share> shares;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const Fe x{static_cast<std::uint64_t>(i)};
+    shares.push_back(Share{x, poly_eval(truth, x)});
+  }
+  shares[1].y = fadd(shares[1].y, Fe{5});
+  shares[4].y = fadd(shares[4].y, Fe{9});
+  const auto result = shamir_robust_reconstruct(shares, degree, errors);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.polynomial.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(result.polynomial[i], truth[i]) << "coefficient " << i;
+  }
+  EXPECT_EQ(result.errors_found, 2u);
+}
+
+// Group-scale property: with |G| = d1 ln ln n members and theta = 0.3
+// bad, degree floor((|G|-1)/3) leaves enough redundancy to correct all
+// bad shares — the algebraic core of "a good group simulates a
+// reliable processor".
+TEST(BerlekampWelchEdge, GroupScaleParametersAlwaysDecode) {
+  Rng rng(15);
+  for (const std::size_t g : {9u, 13u, 17u, 21u, 25u}) {
+    const std::size_t degree = (g - 1) / 3;
+    const std::size_t bad = static_cast<std::size_t>(0.3 * g);
+    if (g < degree + 2 * bad + 1) {
+      // theta*|G| exceeds BW capacity only if 0.3*2 + 1/3 > 1 — never.
+      ADD_FAILURE() << "parameters leave no redundancy at g=" << g;
+      continue;
+    }
+    const Fe secret = fe(rng.u64());
+    auto shares = shamir_share(secret, degree, g, rng);
+    for (std::size_t e = 0; e < bad; ++e) {
+      shares[e].y = fe(rng.u64());
+    }
+    const auto result = shamir_robust_reconstruct(shares, degree, bad);
+    ASSERT_TRUE(result.ok) << g;
+    EXPECT_EQ(result.secret, secret) << g;
+  }
+}
+
+}  // namespace
+}  // namespace tg::bft

@@ -1,0 +1,311 @@
+// Tests for the PoW machinery (Section IV): puzzles, ID generation
+// (Lemma 11), bins/counters, the string gossip protocol (Lemma 12),
+// and ID credential verification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pow/epoch_string.hpp"
+#include "pow/gossip.hpp"
+#include "pow/id_generation.hpp"
+#include "pow/puzzle.hpp"
+#include "pow/verification.hpp"
+#include "util/stats.hpp"
+
+namespace tg::pow {
+namespace {
+
+TEST(Puzzle, TauCalibration) {
+  EXPECT_EQ(tau_for_expected_attempts(0.5), ~0ULL);
+  const std::uint64_t tau = tau_for_expected_attempts(1000.0);
+  EXPECT_NEAR(attempt_success_probability(tau), 1e-3, 1e-6);
+}
+
+TEST(Puzzle, RealSolverFindsSolutions) {
+  const crypto::OracleSuite oracles(1);
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = tau_for_expected_attempts(100.0);
+  Rng rng(2);
+  std::size_t solved = 0;
+  RunningStats attempts;
+  for (int i = 0; i < 30; ++i) {
+    if (const auto s = solver.solve(0xbeef, tau, 10000, rng)) {
+      ++solved;
+      attempts.add(static_cast<double>(s->attempts));
+      // Solution satisfies the public relation.
+      EXPECT_LE(s->g_output, tau);
+      EXPECT_TRUE(solver.check(s->sigma, 0xbeef, tau));
+      EXPECT_EQ(solver.evaluate(s->sigma, 0xbeef).id, s->id);
+    }
+  }
+  EXPECT_EQ(solved, 30u);
+  EXPECT_NEAR(attempts.mean(), 100.0, 60.0);  // geometric mean ~ 100
+}
+
+TEST(Puzzle, SolutionInvalidUnderDifferentEpochString) {
+  const crypto::OracleSuite oracles(3);
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = tau_for_expected_attempts(50.0);
+  Rng rng(4);
+  const auto s = solver.solve(111, tau, 100000, rng);
+  ASSERT_TRUE(s.has_value());
+  // The same sigma almost surely fails against a different r — this is
+  // ID expiry (Section IV-A).
+  EXPECT_FALSE(solver.check(s->sigma, 222, tau));
+}
+
+TEST(Puzzle, OracleCountMatchesBinomialMean) {
+  Rng rng(5);
+  const std::uint64_t tau = tau_for_expected_attempts(1000.0);
+  RunningStats counts;
+  for (int i = 0; i < 3000; ++i) {
+    counts.add(static_cast<double>(
+        PuzzleOracle::solution_count(100000, tau, rng)));
+  }
+  EXPECT_NEAR(counts.mean(), 100.0, 1.0);
+}
+
+TEST(IdGeneration, CalibratedTauTargetsHalfEpochPerSubPuzzle) {
+  GenerationConfig cfg;
+  cfg.half_epoch_steps = 1 << 12;
+  cfg.attempts_per_step = 8;
+  const std::uint64_t tau = calibrate_tau(cfg);
+  // K sub-solutions expected over the half epoch.
+  EXPECT_NEAR(attempt_success_probability(tau) *
+                  static_cast<double>(cfg.half_epoch_steps) *
+                  static_cast<double>(cfg.attempts_per_step),
+              static_cast<double>(cfg.sub_puzzles),
+              0.01 * static_cast<double>(cfg.sub_puzzles));
+}
+
+TEST(IdGeneration, Lemma11CountWithinBound) {
+  GenerationConfig cfg;
+  cfg.n = 4096;
+  cfg.beta = 0.1;
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const GenerationReport rep = simulate_generation(cfg, rng);
+    EXPECT_TRUE(rep.within_bound)
+        << "adv=" << rep.adversary_ids << " bound=" << rep.adversary_bound;
+    // Puzzle composition concentrates solve times: essentially every
+    // good machine completes within the (1+eps) window.
+    EXPECT_GT(rep.good_ids, static_cast<std::size_t>(
+                                0.9 * (1.0 - cfg.beta) *
+                                static_cast<double>(cfg.n)));
+  }
+}
+
+TEST(IdGeneration, AdversaryMeanMatchesBetaN) {
+  GenerationConfig cfg;
+  cfg.n = 8192;
+  cfg.beta = 0.1;
+  Rng rng(61);
+  RunningStats counts;
+  for (int trial = 0; trial < 30; ++trial) {
+    counts.add(static_cast<double>(simulate_generation(cfg, rng).adversary_ids));
+  }
+  // Lemma 11's mean: beta * n IDs per half-epoch of adversary compute.
+  EXPECT_NEAR(counts.mean(), cfg.beta * static_cast<double>(cfg.n),
+              0.05 * cfg.beta * static_cast<double>(cfg.n));
+}
+
+TEST(IdGeneration, Lemma11AdversaryIdsUniform) {
+  GenerationConfig cfg;
+  cfg.n = 1 << 14;
+  cfg.beta = 0.2;  // plenty of adversary IDs for the KS test
+  Rng rng(7);
+  std::vector<double> positions;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rep = simulate_generation(cfg, rng);
+    positions.insert(positions.end(), rep.adversary_positions.begin(),
+                     rep.adversary_positions.end());
+  }
+  ASSERT_GT(positions.size(), 1000u);
+  EXPECT_LT(ks_statistic_uniform(positions),
+            ks_critical_value(positions.size(), 0.01));
+}
+
+TEST(IdGeneration, RealBatchEndToEnd) {
+  const crypto::OracleSuite oracles(8);
+  Rng rng(9);
+  const auto solutions = solve_real_batch(
+      oracles, 10, /*r=*/0xabc, tau_for_expected_attempts(200.0), 40000, rng);
+  EXPECT_EQ(solutions.size(), 10u);
+  // IDs should look uniform-ish (no clustering in a half).
+  std::size_t low = 0;
+  for (const auto& s : solutions) low += (s.id < ids::kHalfRing);
+  EXPECT_GT(low, 0u);
+  EXPECT_LT(low, 10u);
+}
+
+// --- Bins and counters ---
+
+TEST(Bins, BinOfBoundaries) {
+  EXPECT_EQ(bin_of(0.6, 40), 1u);     // [1/2, 1)
+  EXPECT_EQ(bin_of(0.5, 40), 1u);     // exactly 2^-1
+  EXPECT_EQ(bin_of(0.3, 40), 2u);     // [1/4, 1/2)
+  EXPECT_EQ(bin_of(0.25, 40), 2u);
+  EXPECT_EQ(bin_of(1e-30, 40), 40u);  // clamps to max bin
+  EXPECT_EQ(bin_of(0.0, 40), 40u);
+}
+
+TEST(BinTable, RetainsBoundedMinSetPerBin) {
+  BinTable table(10, 2);
+  EXPECT_TRUE(table.accept({0.6, 0, 1}));
+  EXPECT_TRUE(table.accept({0.7, 0, 2}));   // bin not full yet
+  EXPECT_FALSE(table.accept({0.8, 0, 3}));  // full, and larger than max
+  EXPECT_TRUE(table.accept({0.55, 0, 4}));  // evicts 0.7
+  EXPECT_FALSE(table.accept({0.55, 0, 4})); // duplicate delivery ignored
+  EXPECT_TRUE(table.accept({0.3, 0, 5}));   // different bin
+  EXPECT_EQ(table.minimum().value().output, 0.3);
+}
+
+TEST(BinTable, SpamCannotEvictSmallStrings) {
+  BinTable table(10, 3);
+  ASSERT_TRUE(table.accept({0.51, 0, 1}));  // the genuine minimum of bin 1
+  // Adversarial spam of larger same-bin strings.
+  std::uint32_t uid = 10;
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    accepted += table.accept({0.9 - 0.001 * i, 0, uid++});
+  }
+  EXPECT_LE(accepted, 20);
+  // The minimum survives regardless of spam volume.
+  EXPECT_EQ(table.minimum().value().uid, 1u);
+  const auto rset = table.solution_set(1);
+  ASSERT_EQ(rset.size(), 1u);
+  EXPECT_EQ(rset[0].uid, 1u);
+}
+
+TEST(BinTable, SolutionSetCollectsSmallestFirst) {
+  BinTable table(20, 100);
+  table.accept({0.6, 0, 1});
+  table.accept({0.3, 0, 2});
+  table.accept({0.01, 0, 3});
+  table.accept({0.001, 0, 4});
+  const auto rset = table.solution_set(3);
+  ASSERT_EQ(rset.size(), 3u);
+  EXPECT_EQ(rset[0].uid, 4u);  // smallest output first
+  EXPECT_EQ(rset[1].uid, 3u);
+  EXPECT_EQ(rset[2].uid, 2u);
+}
+
+TEST(BinTable, MinimumEmptyIsNull) {
+  BinTable table(5, 5);
+  EXPECT_FALSE(table.minimum().has_value());
+}
+
+// --- Gossip protocol (Lemma 12) ---
+
+TEST(Gossip, TopologyIsConnectedAndSymmetric) {
+  Rng rng(10);
+  const auto adj = make_gossip_topology(256, 6, rng);
+  ASSERT_EQ(adj.size(), 256u);
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    EXPECT_GE(adj[i].size(), 2u);
+    for (const auto nb : adj[i]) {
+      const auto& back = adj[nb];
+      EXPECT_NE(std::find(back.begin(), back.end(),
+                          static_cast<std::uint32_t>(i)),
+                back.end());
+    }
+  }
+}
+
+TEST(Gossip, NoAdversaryReachesAgreement) {
+  Rng rng(11);
+  const auto adj = make_gossip_topology(512, 8, rng);
+  GossipParams params;
+  params.nodes = 512;
+  const GossipOutcome out = run_string_protocol(adj, params, {}, rng);
+  EXPECT_TRUE(out.agreement);
+  // Lemma 12(ii): solution sets are Theta(ln n).
+  const double ln_n = std::log(512.0);
+  EXPECT_LE(out.max_solution_set, static_cast<std::size_t>(4.0 * ln_n));
+  EXPECT_GT(out.mean_solution_set, 1.0);
+  EXPECT_GT(out.forward_events, 0u);
+  EXPECT_LT(out.global_minimum, 1e-3);  // min of ~512*2^16 draws is tiny
+}
+
+TEST(Gossip, LateReleaseAbsorbedByPhase3) {
+  Rng rng(12);
+  const auto adj = make_gossip_topology(512, 8, rng);
+  GossipParams params;
+  params.nodes = 512;
+  const double ln_n = std::log(512.0);
+  const auto phase2 = static_cast<std::size_t>(std::ceil(params.d_prime * ln_n));
+  std::vector<LateRelease> attacks;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    attacks.push_back({1e-12 / (i + 1), phase2 - 1, static_cast<std::uint32_t>(i * 37)});
+  }
+  const GossipOutcome out = run_string_protocol(adj, params, attacks, rng);
+  // The adversary's tiny strings win the lottery but CANNOT cause
+  // disagreement: whoever selected them still has Phase 3 to flood.
+  EXPECT_TRUE(out.agreement);
+  EXPECT_LT(out.global_minimum, 1e-11);
+}
+
+TEST(Gossip, MessageBoundIsNearLinear) {
+  Rng rng(13);
+  GossipParams params;
+  std::uint64_t msgs_small = 0, msgs_large = 0;
+  {
+    const auto adj = make_gossip_topology(256, 6, rng);
+    params.nodes = 256;
+    msgs_small = run_string_protocol(adj, params, {}, rng).forward_events;
+  }
+  {
+    const auto adj = make_gossip_topology(1024, 6, rng);
+    params.nodes = 1024;
+    msgs_large = run_string_protocol(adj, params, {}, rng).forward_events;
+  }
+  // Lemma 12(iii): ~ n polylog n — 4x nodes must cost << 16x messages.
+  EXPECT_LT(msgs_large, 10 * msgs_small);
+  EXPECT_GT(msgs_large, msgs_small);
+}
+
+// --- ID credentials ---
+
+TEST(Credential, HonestAcceptForgedReject) {
+  const crypto::OracleSuite oracles(14);
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = tau_for_expected_attempts(50.0);
+  Rng rng(15);
+  const auto sol = solver.solve(0x77, tau, 100000, rng);
+  ASSERT_TRUE(sol.has_value());
+
+  const LotteryString signer{1e-6, 3, 42};
+  const std::vector<LotteryString> r_set = {{0.5, 1, 7}, signer, {0.2, 2, 9}};
+
+  const auto honest = make_credential(*sol, signer, 0x77, tau, rng.u64());
+  EXPECT_TRUE(verify_credential(honest, r_set));
+
+  const auto forged = forge_credential(0xdeadbeef, signer, 0x77, tau);
+  EXPECT_FALSE(verify_credential(forged, r_set));
+}
+
+TEST(Credential, ExpiredStringRejected) {
+  const crypto::OracleSuite oracles(16);
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = tau_for_expected_attempts(50.0);
+  Rng rng(17);
+  const auto sol = solver.solve(0x88, tau, 100000, rng);
+  ASSERT_TRUE(sol.has_value());
+
+  const LotteryString old_epoch_string{1e-6, 3, 42};
+  const auto cred =
+      make_credential(*sol, old_epoch_string, 0x88, tau, rng.u64());
+  // Verifier's solution set is from the NEXT epoch: the signing string
+  // is absent, so the ID has expired.
+  const std::vector<LotteryString> fresh_r_set = {{0.4, 1, 100}, {0.1, 2, 101}};
+  EXPECT_FALSE(verify_credential(cred, fresh_r_set));
+}
+
+TEST(Credential, StringTagsDistinguishStrings) {
+  EXPECT_NE(string_tag({0.5, 1, 2}), string_tag({0.5, 1, 3}));
+  EXPECT_NE(string_tag({0.5, 1, 2}), string_tag({0.25, 1, 2}));
+  EXPECT_EQ(string_tag({0.5, 1, 2}), string_tag({0.5, 1, 2}));
+}
+
+}  // namespace
+}  // namespace tg::pow

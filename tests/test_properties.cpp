@@ -1,0 +1,349 @@
+// Property-based invariant sweeps (parameterized gtest).
+//
+// Where the unit suites pin concrete behaviours, these sweeps assert
+// the paper's structural invariants across the parameter grid:
+// overlays x sizes x adversary strength x seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "tinygroups/tinygroups.hpp"
+
+namespace tg {
+namespace {
+
+// ---------- Arc algebra properties ----------
+
+TEST(ArcProperties, ComplementaryArcsTileTheRing) {
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const ids::RingPoint a{rng.u64()}, b{rng.u64()};
+    if (a == b) continue;
+    const auto ab = ids::Arc::between(a, b);
+    const auto ba = ids::Arc::between(b, a);
+    // The two arcs partition the ring: lengths sum to 2^64 == 0.
+    EXPECT_EQ(ab.length() + ba.length(), 0u);
+    // Any third point lies in exactly one of them.
+    const ids::RingPoint c{rng.u64()};
+    if (c == a || c == b) continue;
+    EXPECT_NE(ab.contains(c), ba.contains(c));
+  }
+}
+
+TEST(ArcProperties, ContainsIsShiftInvariant) {
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const ids::RingPoint start{rng.u64()};
+    const std::uint64_t len = rng.u64() >> 1;
+    const std::uint64_t shift = rng.u64();
+    const ids::RingPoint p{rng.u64()};
+    const ids::Arc arc{start, len};
+    const ids::Arc shifted{start.advanced(shift), len};
+    EXPECT_EQ(arc.contains(p), shifted.contains(p.advanced(shift)));
+  }
+}
+
+// ---------- Ring table properties ----------
+
+TEST(RingTableProperties, SuccessorOfPredecessorIsIdentity) {
+  Rng rng(3);
+  const auto table = ids::RingTable::uniform(500, rng);
+  for (int i = 0; i < 200; ++i) {
+    const ids::RingPoint member = table.at(rng.below(500));
+    // pred(member) is strictly before member; the successor of the
+    // point just after pred is member itself.
+    const ids::RingPoint pred = table.predecessor(member);
+    EXPECT_EQ(table.successor(pred.advanced(1)), member);
+  }
+}
+
+TEST(RingTableProperties, CountInIsAdditiveOverSplits) {
+  Rng rng(4);
+  const auto table = ids::RingTable::uniform(400, rng);
+  for (int i = 0; i < 200; ++i) {
+    const ids::RingPoint a{rng.u64()};
+    const std::uint64_t len = rng.u64() >> 1;
+    const std::uint64_t cut = len > 0 ? rng.below(len) : 0;
+    const ids::Arc whole{a, len};
+    const ids::Arc left{a, cut};
+    const ids::Arc right{a.advanced(cut), len - cut};
+    EXPECT_EQ(table.count_in(whole),
+              table.count_in(left) + table.count_in(right));
+  }
+}
+
+// ---------- SHA-256 / oracle properties ----------
+
+TEST(ShaProperties, ArbitrarySplitsAgree) {
+  Rng rng(5);
+  std::vector<std::uint8_t> data(1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.u64());
+  const auto whole = crypto::sha256(data);
+  for (int trial = 0; trial < 50; ++trial) {
+    crypto::Sha256 ctx;
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(200), data.size() - offset);
+      ctx.update(std::span<const std::uint8_t>(data.data() + offset, chunk));
+      offset += chunk;
+    }
+    EXPECT_EQ(ctx.finish(), whole);
+  }
+}
+
+TEST(OracleProperties, NoShortCollisionsAcrossInputs) {
+  const crypto::RandomOracle oracle("collision-sweep", 6);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 20000; ++x) {
+    EXPECT_TRUE(seen.insert(oracle.value_u64(x)).second) << x;
+  }
+}
+
+// ---------- Overlay properties across the full grid ----------
+
+class OverlayGrid
+    : public ::testing::TestWithParam<std::tuple<overlay::Kind, std::uint64_t>> {};
+
+TEST_P(OverlayGrid, RouteIsDeterministicAndSelfConsistent) {
+  const auto kind = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()));
+  const auto table = ids::RingTable::uniform(700, rng);
+  const auto graph = overlay::make_overlay(kind, table);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t start = rng.below(700);
+    const ids::RingPoint key{rng.u64()};
+    const auto r1 = graph->route(start, key);
+    const auto r2 = graph->route(start, key);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_EQ(r1.path, r2.path);  // purely a function of the table
+    // No immediate cycles: consecutive path entries differ.
+    for (std::size_t k = 1; k < r1.path.size(); ++k) {
+      EXPECT_NE(r1.path[k], r1.path[k - 1]);
+    }
+  }
+}
+
+TEST_P(OverlayGrid, EveryNodeIsReachableFromEverySampledStart) {
+  const auto kind = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()) + 1);
+  const auto table = ids::RingTable::uniform(300, rng);
+  const auto graph = overlay::make_overlay(kind, table);
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t start = rng.below(300);
+    const std::size_t dest = rng.below(300);
+    // Key a hair past the predecessor resolves to `dest` itself.
+    const ids::RingPoint key = table.at(dest);
+    const auto route = graph->route(start, key);
+    ASSERT_TRUE(route.ok);
+    EXPECT_EQ(route.path.back(), dest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OverlayGrid,
+    ::testing::Combine(::testing::Values(overlay::Kind::chord,
+                                         overlay::Kind::debruijn,
+                                         overlay::Kind::distance_halving,
+                                         overlay::Kind::viceroy,
+                                         overlay::Kind::kautz,
+                                         overlay::Kind::tapestry,
+                                         overlay::Kind::chordpp),
+                       ::testing::Values(std::uint64_t{11}, std::uint64_t{12})),
+    [](const auto& info) {
+      std::string name(overlay::kind_name(std::get<0>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+        if (c == '+') c = 'p';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- Static construction invariants across beta ----------
+
+class BetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaSweep, StructuralInvariantsHold) {
+  const double beta = GetParam();
+  core::Params p;
+  p.n = 1024;
+  p.beta = beta;
+  p.seed = 21;
+  Rng rng(p.seed);
+  auto pop = std::make_shared<const core::Population>(
+      core::Population::uniform(p.n, beta, rng));
+  const crypto::OracleSuite oracles(p.seed);
+  const auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
+
+  // Invariant 1: majority-bad groups are a subset of red groups.
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (!graph.group(i).has_good_majority()) {
+      EXPECT_TRUE(graph.is_red(i)) << "group " << i;
+    }
+  }
+  // Invariant 2: every member index is a valid member-pool ID and the
+  // bad count matches the flags.
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& grp = graph.group(i);
+    std::size_t bad = 0;
+    for (const auto m : grp.members) {
+      ASSERT_LT(m, pop->size());
+      bad += pop->is_bad(m);
+    }
+    EXPECT_EQ(bad, grp.bad_members);
+  }
+  // Invariant 3: searches never report success through a red group.
+  for (int s = 0; s < 200; ++s) {
+    const std::size_t start = rng.below(p.n);
+    const ids::RingPoint key{rng.u64()};
+    const auto route = graph.topology().route(start, key);
+    const auto out = core::evaluate_route(graph, route);
+    if (out.success) {
+      for (const auto idx : route.path) EXPECT_FALSE(graph.is_red(idx));
+    }
+  }
+}
+
+TEST_P(BetaSweep, MeanBadShareTracksBeta) {
+  const double beta = GetParam();
+  core::Params p;
+  p.n = 2048;
+  p.beta = beta;
+  p.seed = 22;
+  Rng rng(p.seed);
+  auto pop = std::make_shared<const core::Population>(
+      core::Population::uniform(p.n, beta, rng));
+  const crypto::OracleSuite oracles(p.seed);
+  const auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
+  RunningStats share;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    share.add(static_cast<double>(graph.group(i).bad_members) /
+              static_cast<double>(graph.group(i).size()));
+  }
+  EXPECT_NEAR(share.mean(), beta, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BetaSweep,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.10, 0.20),
+                         [](const auto& info) {
+                           return "beta" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+// ---------- Churn monotonicity ----------
+
+TEST(ChurnProperties, MoreDeparturesNeverImproveMajorities) {
+  core::Params p;
+  p.n = 512;
+  p.beta = 0.15;
+  p.seed = 23;
+  double last_min_fraction = 1.0;
+  for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    // Rebuild the same graph each round (departures are destructive).
+    Rng rng(p.seed);
+    auto pop = std::make_shared<const core::Population>(
+        core::Population::uniform(p.n, p.beta, rng));
+    const crypto::OracleSuite oracles(p.seed);
+    auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
+    Rng churn_rng(99);  // same departure stream prefix per round
+    const auto rep = core::apply_good_departures(graph, frac, churn_rng);
+    EXPECT_LE(rep.min_good_fraction, last_min_fraction + 0.15)
+        << "frac=" << frac;
+    last_min_fraction = rep.min_good_fraction;
+  }
+}
+
+// ---------- Dolev-Strong across the (n, t) grid ----------
+
+class DolevStrongGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DolevStrongGrid, AgreementAndValidity) {
+  const std::size_t n = std::get<0>(GetParam());
+  const std::size_t t = std::get<1>(GetParam());
+  if (t >= n) GTEST_SKIP();
+  const crypto::SignatureAuthority auth(31);
+  Rng rng(32);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint8_t> bad(n, 0);
+    for (const auto idx : rng.sample_indices(n, t)) bad[idx] = 1;
+    const std::size_t sender = rng.below(n);
+    const std::uint64_t value = rng.u64();
+    const auto r = bft::dolev_strong(n, bad, sender, value, auth);
+    EXPECT_TRUE(r.agreement) << "n=" << n << " t=" << t;
+    if (!bad[sender]) {
+      EXPECT_TRUE(r.validity) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DolevStrongGrid,
+    ::testing::Combine(::testing::Values(std::size_t{4}, std::size_t{7},
+                                         std::size_t{10}),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{3}, std::size_t{4})),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- PoW properties ----------
+
+TEST(PowProperties, SolutionsVerifyOnlyUnderTheirEpochString) {
+  const crypto::OracleSuite oracles(41);
+  const pow::PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = pow::tau_for_expected_attempts(30.0);
+  Rng rng(42);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t r1 = rng.u64(), r2 = rng.u64();
+    const auto sol = solver.solve(r1, tau, 100000, rng);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_TRUE(solver.check(sol->sigma, r1, tau));
+    EXPECT_FALSE(solver.check(sol->sigma, r2, tau));
+  }
+}
+
+TEST(PowProperties, HarderPuzzlesTakeProportionallyLonger) {
+  const crypto::OracleSuite oracles(43);
+  const pow::PuzzleSolver solver(oracles.f, oracles.g);
+  Rng rng(44);
+  RunningStats easy, hard;
+  for (int i = 0; i < 40; ++i) {
+    easy.add(static_cast<double>(
+        solver.solve(7, pow::tau_for_expected_attempts(20.0), 1 << 20, rng)
+            ->attempts));
+    hard.add(static_cast<double>(
+        solver.solve(7, pow::tau_for_expected_attempts(200.0), 1 << 20, rng)
+            ->attempts));
+  }
+  EXPECT_NEAR(hard.mean() / easy.mean(), 10.0, 6.0);
+}
+
+// ---------- Gossip bin-table global invariant ----------
+
+TEST(GossipProperties, SolutionSetAlwaysHoldsTheGlobalMinimum) {
+  Rng rng(51);
+  for (int trial = 0; trial < 30; ++trial) {
+    pow::BinTable table(40, 8);
+    double true_min = 1.0;
+    std::uint32_t min_uid = 0;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      const double out = std::pow(rng.uniform(), 4.0);  // skewed small
+      if (out < true_min) {
+        true_min = out;
+        min_uid = i;
+      }
+      (void)table.accept({out, 0, i});
+    }
+    const auto rset = table.solution_set(4);
+    ASSERT_FALSE(rset.empty());
+    EXPECT_EQ(rset.front().uid, min_uid);
+    EXPECT_EQ(table.minimum().value().uid, min_uid);
+  }
+}
+
+}  // namespace
+}  // namespace tg

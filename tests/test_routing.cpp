@@ -1,0 +1,237 @@
+// Tests for the secure-routing transport modes (footnote 3): cost
+// scaling, failure surfaces, and agreement with the Section II
+// search-path semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/group_graph.hpp"
+#include "core/search.hpp"
+#include "crypto/oracle.hpp"
+#include "routing/transport.hpp"
+#include "util/rng.hpp"
+
+namespace tg::routing {
+namespace {
+
+struct Fixture {
+  core::Params params;
+  std::shared_ptr<const core::Population> pop;
+  std::unique_ptr<core::GroupGraph> graph;
+
+  explicit Fixture(std::size_t n, double beta, std::uint64_t seed = 7) {
+    params.n = n;
+    params.beta = beta;
+    params.seed = seed;
+    Rng rng(seed);
+    pop = std::make_shared<const core::Population>(
+        core::Population::uniform(n, beta, rng));
+    const crypto::OracleSuite oracles(seed);
+    graph = std::make_unique<core::GroupGraph>(
+        core::GroupGraph::pristine(params, pop, oracles.h1));
+  }
+};
+
+TEST(Transport, ModeNames) {
+  EXPECT_EQ(mode_name(Mode::all_to_all), "all-to-all");
+  EXPECT_EQ(mode_name(Mode::sampled), "sampled");
+  EXPECT_EQ(mode_name(Mode::certified), "certified");
+}
+
+TEST(Transport, AllBlueAllToAllAlwaysDelivers) {
+  Fixture fx(1024, 0.0);
+  Rng rng(1);
+  TransportParams p{Mode::all_to_all, 3};
+  for (int i = 0; i < 200; ++i) {
+    const auto out = transmit_to_key(*fx.graph, rng.below(1024),
+                                     ids::RingPoint{rng.u64()}, p, rng);
+    EXPECT_TRUE(out.delivered);
+    EXPECT_FALSE(out.corrupted);
+  }
+}
+
+TEST(Transport, AllBlueCertifiedAlwaysDelivers) {
+  Fixture fx(1024, 0.0);
+  Rng rng(2);
+  TransportParams p{Mode::certified, 0};
+  for (int i = 0; i < 200; ++i) {
+    const auto out = transmit_to_key(*fx.graph, rng.below(1024),
+                                     ids::RingPoint{rng.u64()}, p, rng);
+    EXPECT_TRUE(out.delivered);
+    EXPECT_FALSE(out.corrupted);
+  }
+}
+
+TEST(Transport, CertifiedMessagesEqualHops) {
+  Fixture fx(1024, 0.0);
+  Rng rng(3);
+  TransportParams p{Mode::certified, 0};
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t start = rng.below(1024);
+    const ids::RingPoint key{rng.u64()};
+    const auto route = fx.graph->topology().route(start, key);
+    const auto out = transmit(*fx.graph, route, p, rng);
+    ASSERT_TRUE(out.delivered);
+    EXPECT_EQ(out.messages, route.hops());
+  }
+}
+
+TEST(Transport, AllToAllMessagesMatchSearchAccounting) {
+  // transmit(all_to_all) must charge exactly what secure_search does.
+  Fixture fx(512, 0.0);
+  Rng rng(4);
+  TransportParams p{Mode::all_to_all, 0};
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t start = rng.below(512);
+    const ids::RingPoint key{rng.u64()};
+    const auto route = fx.graph->topology().route(start, key);
+    const auto out = transmit(*fx.graph, route, p, rng);
+    const auto search = core::evaluate_route(*fx.graph, route);
+    EXPECT_EQ(out.messages, search.messages);
+    EXPECT_EQ(out.delivered, search.success);
+  }
+}
+
+TEST(Transport, FailsAtFirstRedGroupAllModes) {
+  Fixture fx(512, 0.0);
+  Rng rng(5);
+  fx.graph->mark_red_synthetic(0.15, rng);
+  TransportParams a2a{Mode::all_to_all, 0};
+  TransportParams cert{Mode::certified, 0};
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t start = rng.below(512);
+    const ids::RingPoint key{rng.u64()};
+    const auto route = fx.graph->topology().route(start, key);
+    const auto search = core::evaluate_route(*fx.graph, route);
+    const auto o1 = transmit(*fx.graph, route, a2a, rng);
+    const auto o2 = transmit(*fx.graph, route, cert, rng);
+    // Red truncation is mode-independent.
+    EXPECT_EQ(o1.delivered, search.success);
+    EXPECT_EQ(o2.delivered, search.success);
+    EXPECT_FALSE(o1.corrupted);
+    EXPECT_FALSE(o2.corrupted);
+  }
+}
+
+TEST(Transport, SampledWithLargeSampleMatchesAllToAllSuccess) {
+  // s >= |G| makes sampled degenerate to all-to-all coverage.
+  Fixture fx(512, 0.05);
+  Rng rng(6);
+  TransportParams big{Mode::sampled, 4096};
+  TransportParams a2a{Mode::all_to_all, 0};
+  const auto s1 = run_mode_experiment(*fx.graph, big, 400, rng);
+  Rng rng2(6);
+  const auto s2 = run_mode_experiment(*fx.graph, a2a, 400, rng2);
+  EXPECT_NEAR(s1.success_rate, s2.success_rate, 0.05);
+  EXPECT_EQ(s1.corrupt_rate, 0.0);
+}
+
+TEST(Transport, SampledIsCheaperThanAllToAll) {
+  Fixture fx(1024, 0.0);
+  Rng rng(7);
+  const auto a2a =
+      run_mode_experiment(*fx.graph, {Mode::all_to_all, 0}, 300, rng);
+  const auto smp = run_mode_experiment(*fx.graph, {Mode::sampled, 3}, 300, rng);
+  const auto cert =
+      run_mode_experiment(*fx.graph, {Mode::certified, 0}, 300, rng);
+  EXPECT_LT(smp.mean_messages, a2a.mean_messages * 0.7);
+  EXPECT_LT(cert.mean_messages, smp.mean_messages * 0.2);
+}
+
+TEST(Transport, SampledSuccessImprovesWithSampleSize) {
+  Fixture fx(1024, 0.08, 11);
+  Rng rng(8);
+  const auto s1 = run_mode_experiment(*fx.graph, {Mode::sampled, 1}, 500, rng);
+  const auto s4 = run_mode_experiment(*fx.graph, {Mode::sampled, 4}, 500, rng);
+  const auto s8 = run_mode_experiment(*fx.graph, {Mode::sampled, 8}, 500, rng);
+  EXPECT_LE(s1.success_rate, s4.success_rate + 0.03);
+  EXPECT_LE(s4.success_rate, s8.success_rate + 0.03);
+}
+
+TEST(Transport, RushingAdversaryBeatsObliviousOne) {
+  // The footnote-3 caveat: naive random relay works against an
+  // oblivious adversary but collapses against a rushing one.
+  Fixture fx(1024, 0.08, 11);
+  Rng rng(14);
+  const auto obl = run_mode_experiment(
+      *fx.graph, {Mode::sampled, 3, SampledAdversary::oblivious}, 500, rng);
+  const auto rush = run_mode_experiment(
+      *fx.graph, {Mode::sampled, 3, SampledAdversary::rushing}, 500, rng);
+  EXPECT_GT(obl.success_rate, rush.success_rate + 0.2);
+  EXPECT_GT(obl.success_rate, 0.8);
+}
+
+TEST(Transport, ObliviousSampledNeverCorruptsWithoutBadIds) {
+  Fixture fx(512, 0.0);
+  Rng rng(15);
+  for (const auto adv :
+       {SampledAdversary::oblivious, SampledAdversary::rushing}) {
+    const auto stats =
+        run_mode_experiment(*fx.graph, {Mode::sampled, 2, adv}, 300, rng);
+    EXPECT_EQ(stats.corrupt_rate, 0.0);
+    EXPECT_GT(stats.success_rate, 0.95);
+  }
+}
+
+TEST(Transport, CorruptionOnlyInSampledMode) {
+  Fixture fx(1024, 0.10, 13);
+  Rng rng(9);
+  const auto a2a =
+      run_mode_experiment(*fx.graph, {Mode::all_to_all, 0}, 400, rng);
+  const auto cert =
+      run_mode_experiment(*fx.graph, {Mode::certified, 0}, 400, rng);
+  EXPECT_EQ(a2a.corrupt_rate, 0.0);
+  EXPECT_EQ(cert.corrupt_rate, 0.0);
+}
+
+TEST(Transport, CertifiedSetupIsPolyGroupSize) {
+  Fixture small(256, 0.0);
+  Fixture large(1024, 0.0);
+  const auto s = certified_setup_messages(*small.graph);
+  const auto l = certified_setup_messages(*large.graph);
+  EXPECT_GT(s, 0u);
+  // Setup scales ~ n * poly(|G|): strictly superlinear in n overall.
+  EXPECT_GT(l, 3 * s);
+}
+
+TEST(Transport, EmptyRouteFailsCleanly) {
+  Fixture fx(128, 0.0);
+  Rng rng(10);
+  overlay::Route route;  // empty
+  const auto out = transmit(*fx.graph, route, {Mode::all_to_all, 0}, rng);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.messages, 0u);
+}
+
+TEST(Transport, RedInitiatorFailsImmediately) {
+  Fixture fx(256, 0.0);
+  Rng rng(11);
+  // Mark everything red: every transmit must fail with 0 hops.
+  fx.graph->mark_red_synthetic(1.0, rng);
+  const auto out = transmit_to_key(*fx.graph, 0, ids::RingPoint{rng.u64()},
+                                   {Mode::all_to_all, 0}, rng);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.hops_completed, 0u);
+}
+
+// Message scaling shapes (Corollary 1 + footnote 3): per-hop cost
+// ratios between modes track |G|^2 : s|G| : 1.
+TEST(Transport, PerHopCostRatiosTrackGroupSize) {
+  Fixture fx(2048, 0.0, 17);
+  Rng rng(12);
+  const auto a2a =
+      run_mode_experiment(*fx.graph, {Mode::all_to_all, 0}, 300, rng);
+  const auto smp = run_mode_experiment(*fx.graph, {Mode::sampled, 3}, 300, rng);
+  const auto cert =
+      run_mode_experiment(*fx.graph, {Mode::certified, 0}, 300, rng);
+  ASSERT_GT(cert.mean_hops, 0.0);
+  const double g = a2a.mean_messages / smp.mean_messages;  // ~ |G| / s
+  const double group_size =
+      static_cast<double>(fx.graph->group(0).size());
+  EXPECT_GT(g, group_size / 3.0 * 0.4);
+  EXPECT_LT(g, group_size / 3.0 * 2.5);
+  EXPECT_NEAR(cert.mean_messages, cert.mean_hops, 1.0);
+}
+
+}  // namespace
+}  // namespace tg::routing

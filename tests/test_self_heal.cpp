@@ -1,0 +1,241 @@
+// Tests for self-healing ([27]/[43] extension) and the eclipse attack
+// on bootstrapping (Appendix IX's u.a.r. requirement).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/eclipse.hpp"
+#include "core/bootstrap.hpp"
+#include "core/group_graph.hpp"
+#include "core/self_heal.hpp"
+#include "crypto/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace tg::core {
+namespace {
+
+struct Fixture {
+  Params params;
+  std::shared_ptr<const Population> pop;
+  std::unique_ptr<GroupGraph> graph;
+  std::unique_ptr<GroupGraph> partner;
+  crypto::OracleSuite oracles;
+
+  explicit Fixture(std::size_t n, double beta, std::uint64_t seed = 7)
+      : oracles(seed) {
+    params.n = n;
+    params.beta = beta;
+    params.seed = seed;
+    Rng rng(seed);
+    pop = std::make_shared<const Population>(
+        Population::uniform(n, beta, rng));
+    graph = std::make_unique<GroupGraph>(
+        GroupGraph::pristine(params, pop, oracles.h1));
+    partner = std::make_unique<GroupGraph>(
+        GroupGraph::pristine(params, pop, oracles.h2));
+  }
+};
+
+// ---------- rebuild_group ----------
+
+TEST(RebuildGroup, ChangesMembershipAndReclassifies) {
+  Fixture fx(512, 0.05);
+  const auto before = fx.graph->group(3).members;
+  (void)rebuild_group(*fx.graph, 3, fx.oracles.h1, /*salt=*/0xABCDEF);
+  const auto& after = fx.graph->group(3).members;
+  EXPECT_NE(before, after);
+  EXPECT_GE(after.size(), fx.params.group_min_size());
+}
+
+TEST(RebuildGroup, SaltZeroReproducesOriginalDraw) {
+  // salt = 0 XORs nothing: the redraw equals the original membership.
+  Fixture fx(512, 0.05);
+  const auto before = fx.graph->group(5).members;
+  (void)rebuild_group(*fx.graph, 5, fx.oracles.h1, 0);
+  EXPECT_EQ(fx.graph->group(5).members, before);
+}
+
+TEST(RebuildGroup, FreshDrawIsUsuallyBlueAtLowBeta) {
+  Fixture fx(1024, 0.05);
+  Rng rng(3);
+  std::size_t blue = 0;
+  const std::size_t trials = 60;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t idx = rng.below(fx.graph->size());
+    if (rebuild_group(*fx.graph, idx, fx.oracles.h1, rng.u64())) ++blue;
+  }
+  EXPECT_GT(blue, trials * 9 / 10);
+}
+
+// ---------- self_heal_round ----------
+
+TEST(SelfHeal, NoRedGroupsNothingToDo) {
+  // beta = 0 does not guarantee zero red groups (deduplication can
+  // undersize a group), so probe seeds for an all-blue pair.
+  for (std::uint64_t seed = 4; seed < 40; ++seed) {
+    Fixture fx(512, 0.0, seed);
+    if (fx.graph->red_fraction() != 0.0 || fx.partner->red_fraction() != 0.0) {
+      continue;
+    }
+    Rng rng(4);
+    const auto report =
+        self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1, 1, 300, rng);
+    EXPECT_EQ(report.disagreements, 0u);
+    EXPECT_EQ(report.rebuilds, 0u);
+    EXPECT_EQ(report.red_before, 0.0);
+    EXPECT_EQ(report.red_after, 0.0);
+    return;
+  }
+  GTEST_SKIP() << "no all-blue seed found in range";
+}
+
+TEST(SelfHeal, DetectsAndHealsInjectedRedGroups) {
+  // Raise beta until some groups are red by composition, then heal.
+  Fixture fx(1024, 0.22, 23);
+  ASSERT_GT(fx.graph->red_fraction(), 0.0)
+      << "fixture should start with red groups";
+  Rng rng(5);
+  double red = fx.graph->red_fraction();
+  for (int round = 0; round < 6; ++round) {
+    const auto report = self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1,
+                                        0x1000 + round, 2000, rng);
+    EXPECT_LE(report.red_after, report.red_before + 1e-12);
+    red = report.red_after;
+  }
+  // Healing drives persistent red groups toward the composition floor.
+  EXPECT_LT(red, fx.graph->size() ? 0.8 * 0.065 + 0.02 : 0.0);
+}
+
+TEST(SelfHeal, LocalizationNeverFlagsBlueGroups) {
+  Fixture fx(1024, 0.22, 29);
+  Rng rng(6);
+  const double before = fx.graph->red_fraction();
+  const auto report =
+      self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1, 77, 1500, rng);
+  // Every rebuild was of a localized RED group; red count can only
+  // fall by at most the number healed.
+  const double expected_min =
+      before - static_cast<double>(report.healed) /
+                   static_cast<double>(fx.graph->size());
+  EXPECT_GE(report.red_after + 1e-12, expected_min);
+  EXPECT_EQ(report.rebuilds, report.localized);
+}
+
+TEST(SelfHeal, ReportsMessageCosts) {
+  Fixture fx(512, 0.15, 31);
+  Rng rng(7);
+  const auto report =
+      self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1, 9, 200, rng);
+  EXPECT_GT(report.messages, 0u);
+  EXPECT_EQ(report.probes, 200u);
+}
+
+TEST(SelfHeal, HealingImprovesSearchSuccess) {
+  // End-to-end: the red fraction drop translates into more successful
+  // secure searches (the metric Theorem 3 is stated in).
+  Fixture fx(1024, 0.22, 37);
+  Rng rng(8);
+  const auto success_rate = [&](const GroupGraph& g) {
+    Rng probe(55);
+    std::size_t ok = 0;
+    const std::size_t searches = 800;
+    for (std::size_t i = 0; i < searches; ++i) {
+      const auto out = secure_search(g, probe.below(g.size()),
+                                     ids::RingPoint{probe.u64()});
+      ok += out.success ? 1 : 0;
+    }
+    return static_cast<double>(ok) / static_cast<double>(searches);
+  };
+  const double before = success_rate(*fx.graph);
+  for (int round = 0; round < 5; ++round) {
+    (void)self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1,
+                          0xAA00 + round, 1500, rng);
+  }
+  const double after = success_rate(*fx.graph);
+  EXPECT_GT(after, before + 0.05);
+  EXPECT_GT(after, 0.9);
+}
+
+TEST(SelfHeal, IdempotentOnceConverged) {
+  Fixture fx(512, 0.18, 41);
+  Rng rng(9);
+  for (int round = 0; round < 10; ++round) {
+    (void)self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1,
+                          0xBB00 + round, 1000, rng);
+  }
+  const double settled = fx.graph->red_fraction();
+  const auto report = self_heal_round(*fx.graph, *fx.partner, fx.oracles.h1,
+                                      0xCC00, 1000, rng);
+  // Converged: further rounds neither regress nor flail.
+  EXPECT_LE(report.red_after, settled + 1e-12);
+  EXPECT_LE(report.rebuilds, 2u);
+}
+
+}  // namespace
+}  // namespace tg::core
+
+namespace tg::adversary {
+namespace {
+
+struct EclipseFixture {
+  core::Params params;
+  std::shared_ptr<const core::Population> pop;
+  std::unique_ptr<core::GroupGraph> graph;
+
+  explicit EclipseFixture(std::size_t n, double beta, std::uint64_t seed = 7) {
+    params.n = n;
+    params.beta = beta;
+    params.seed = seed;
+    Rng rng(seed);
+    pop = std::make_shared<const core::Population>(
+        core::Population::uniform(n, beta, rng));
+    const crypto::OracleSuite oracles(seed);
+    graph = std::make_unique<core::GroupGraph>(
+        core::GroupGraph::pristine(params, pop, oracles.h1));
+  }
+};
+
+TEST(Eclipse, HonestBootstrapKeepsGoodMajority) {
+  EclipseFixture fx(2048, 0.1);
+  Rng rng(1);
+  const double captured = bootstrap_capture_rate(*fx.graph, 0.0, 200, rng);
+  EXPECT_LT(captured, 0.02);
+}
+
+TEST(Eclipse, FullEclipseCaptures) {
+  EclipseFixture fx(2048, 0.1);
+  Rng rng(2);
+  const double captured = bootstrap_capture_rate(*fx.graph, 1.0, 100, rng);
+  EXPECT_GT(captured, 0.9);
+}
+
+TEST(Eclipse, CaptureRateIsMonotoneInEclipsedFraction) {
+  EclipseFixture fx(2048, 0.1);
+  Rng rng(3);
+  const double c0 = bootstrap_capture_rate(*fx.graph, 0.0, 150, rng);
+  const double c5 = bootstrap_capture_rate(*fx.graph, 0.5, 150, rng);
+  const double c9 = bootstrap_capture_rate(*fx.graph, 0.9, 150, rng);
+  EXPECT_LE(c0, c5 + 0.05);
+  EXPECT_LE(c5, c9 + 0.05);
+}
+
+TEST(Eclipse, ReportAccountsIdsAndContacts) {
+  EclipseFixture fx(1024, 0.1);
+  Rng rng(4);
+  const auto report = eclipsed_bootstrap(*fx.graph, 0.5, rng);
+  EXPECT_EQ(report.groups_contacted,
+            core::bootstrap_group_count(fx.graph->size()));
+  EXPECT_EQ(report.adversary_supplied, (report.groups_contacted + 1) / 2);
+  EXPECT_GT(report.ids_collected, 0u);
+  EXPECT_LE(report.bad_ids, report.ids_collected);
+}
+
+TEST(Eclipse, NoBadIdsMeansNoCaptureEver) {
+  EclipseFixture fx(1024, 0.0);
+  Rng rng(5);
+  const double captured = bootstrap_capture_rate(*fx.graph, 1.0, 50, rng);
+  EXPECT_EQ(captured, 0.0);
+}
+
+}  // namespace
+}  // namespace tg::adversary

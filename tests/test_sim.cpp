@@ -1,0 +1,128 @@
+// Tests for the simulation scaffolding: epoch clock, message ledgers,
+// and the deterministic Monte-Carlo trial runner.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trial_runner.hpp"
+#include "util/log.hpp"
+
+namespace tg::sim {
+namespace {
+
+TEST(EpochClock, TickAndEpochArithmetic) {
+  EpochClock clock(100);
+  EXPECT_EQ(clock.epoch(), 0u);
+  EXPECT_EQ(clock.step_in_epoch(), 0u);
+  EXPECT_FALSE(clock.past_half_epoch());
+  clock.advance(49);
+  EXPECT_FALSE(clock.past_half_epoch());
+  clock.tick();
+  EXPECT_TRUE(clock.past_half_epoch());  // step 50 of 100
+  EXPECT_EQ(clock.remaining_in_epoch(), 50u);
+  clock.advance(50);
+  EXPECT_EQ(clock.epoch(), 1u);
+  EXPECT_EQ(clock.step_in_epoch(), 0u);
+  EXPECT_EQ(clock.step(), 100u);
+}
+
+TEST(EpochClock, EpochBoundaries) {
+  EpochClock clock(7);
+  for (int i = 0; i < 21; ++i) clock.tick();
+  EXPECT_EQ(clock.epoch(), 3u);
+  EXPECT_EQ(clock.epoch_length(), 7u);
+}
+
+TEST(MessageLedger, AddGetTotal) {
+  MessageLedger ledger;
+  ledger.add(MsgCat::secure_routing, 10);
+  ledger.add(MsgCat::secure_routing, 5);
+  ledger.add(MsgCat::gossip, 3);
+  EXPECT_EQ(ledger.get(MsgCat::secure_routing), 15u);
+  EXPECT_EQ(ledger.get(MsgCat::gossip), 3u);
+  EXPECT_EQ(ledger.get(MsgCat::pow), 0u);
+  EXPECT_EQ(ledger.total(), 18u);
+}
+
+TEST(MessageLedger, MergeAndReset) {
+  MessageLedger a, b;
+  a.add(MsgCat::membership, 7);
+  b.add(MsgCat::membership, 3);
+  b.add(MsgCat::neighbor_setup, 2);
+  a.merge(b);
+  EXPECT_EQ(a.get(MsgCat::membership), 10u);
+  EXPECT_EQ(a.get(MsgCat::neighbor_setup), 2u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(MessageLedger, CategoryNames) {
+  EXPECT_EQ(msg_cat_name(MsgCat::group_communication), "group_comm");
+  EXPECT_EQ(msg_cat_name(MsgCat::secure_routing), "secure_routing");
+  EXPECT_EQ(msg_cat_name(MsgCat::membership), "membership");
+  EXPECT_EQ(msg_cat_name(MsgCat::neighbor_setup), "neighbor_setup");
+  EXPECT_EQ(msg_cat_name(MsgCat::gossip), "gossip");
+  EXPECT_EQ(msg_cat_name(MsgCat::pow), "pow");
+}
+
+TEST(TrialRunner, AggregatesAllTrials) {
+  const auto stats = run_trials(
+      100, /*seed=*/5,
+      [](Rng&, std::size_t index) { return static_cast<double>(index); },
+      /*threads=*/4);
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 49.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 99.0);
+}
+
+TEST(TrialRunner, DeterministicAcrossThreadCounts) {
+  const auto trial = [](Rng& rng, std::size_t) { return rng.uniform(); };
+  const auto one = run_trials(64, 9, trial, 1);
+  const auto four = run_trials(64, 9, trial, 4);
+  EXPECT_DOUBLE_EQ(one.mean(), four.mean());
+  EXPECT_DOUBLE_EQ(one.min(), four.min());
+  EXPECT_DOUBLE_EQ(one.max(), four.max());
+}
+
+TEST(TrialRunner, SeedChangesResults) {
+  const auto trial = [](Rng& rng, std::size_t) { return rng.uniform(); };
+  const auto a = run_trials(32, 1, trial, 2);
+  const auto b = run_trials(32, 2, trial, 2);
+  EXPECT_NE(a.mean(), b.mean());
+}
+
+TEST(TrialRunner, MultiMetricVariant) {
+  const auto stats = run_trials_multi(
+      50, 2, 7,
+      [](Rng&, std::size_t index, std::vector<double>& out) {
+        out[0] = static_cast<double>(index);
+        out[1] = 2.0 * static_cast<double>(index);
+      },
+      4);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[1].mean(), 2.0 * stats[0].mean());
+}
+
+TEST(TrialRunner, EmptyInputsAreSafe) {
+  const auto none = run_trials(
+      0, 1, [](Rng&, std::size_t) { return 1.0; }, 2);
+  EXPECT_EQ(none.count(), 0u);
+  const auto no_metrics = run_trials_multi(
+      10, 0, 1, [](Rng&, std::size_t, std::vector<double>&) {}, 2);
+  EXPECT_TRUE(no_metrics.empty());
+}
+
+TEST(Log, LevelGateIsRespected) {
+  const auto previous = log::level();
+  log::set_level(log::Level::error);
+  EXPECT_EQ(log::level(), log::Level::error);
+  // These must not crash nor print (visually) below the gate.
+  log::debug("hidden ", 1);
+  log::info("hidden ", 2);
+  log::warn("hidden ", 3);
+  log::set_level(previous);
+}
+
+}  // namespace
+}  // namespace tg::sim

@@ -1,0 +1,321 @@
+// Unit tests for util: RNG, statistics, tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.u64() == b.u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(7);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.u64() == child.u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(8);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BinomialMomentsSmallMean) {
+  Rng rng(10);
+  const std::uint64_t n = 100;
+  const double p = 0.05;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(rng.binomial(n, p)));
+  }
+  EXPECT_NEAR(stats.mean(), n * p, 0.15);
+  EXPECT_NEAR(stats.variance(), n * p * (1 - p), 0.4);
+}
+
+TEST(Rng, BinomialMomentsLargeMean) {
+  Rng rng(11);
+  const std::uint64_t n = 100000;
+  const double p = 0.2;
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(static_cast<double>(rng.binomial(n, p)));
+  }
+  EXPECT_NEAR(stats.mean(), n * p, 30.0);
+  EXPECT_NEAR(stats.variance() / (n * p * (1 - p)), 1.0, 0.1);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(12);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+  for (int i = 0; i < 100; ++i) EXPECT_LE(rng.binomial(5, 0.9), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(14);
+  const double p = 0.1;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(rng.geometric(p)));
+  }
+  EXPECT_NEAR(stats.mean(), (1 - p) / p, 0.4);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(17);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto sample = rng.sample_indices(100, k);
+    EXPECT_EQ(sample.size(), std::min<std::size_t>(k, 100));
+    std::set<std::size_t> s(sample.begin(), sample.end());
+    EXPECT_EQ(s.size(), sample.size());
+    for (const auto idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesMoreThanN) {
+  Rng rng(18);
+  EXPECT_EQ(rng.sample_indices(10, 100).size(), 10u);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(19);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bin 0
+  h.add(0.95);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(5.0);    // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 1.0);
+}
+
+TEST(Histogram, RejectsDegenerate) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Quantiles, MedianAndExtremes) {
+  Quantiles q;
+  for (int i = 1; i <= 101; ++i) q.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(q.median(), 51.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+}
+
+TEST(Quantiles, InterpolatesBetweenSamples) {
+  Quantiles q;
+  q.add(0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+}
+
+TEST(KsStatistic, UniformSamplesPass) {
+  Rng rng(20);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform());
+  const double d = ks_statistic_uniform(samples);
+  EXPECT_LT(d, ks_critical_value(samples.size(), 0.01));
+}
+
+TEST(KsStatistic, BiasedSamplesFail) {
+  Rng rng(21);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform() * 0.5);
+  const double d = ks_statistic_uniform(samples);
+  EXPECT_GT(d, ks_critical_value(samples.size(), 0.01));
+}
+
+TEST(ChiSquare, UniformVsBiased) {
+  Rng rng(22);
+  std::vector<double> uniform, biased;
+  for (int i = 0; i < 10000; ++i) {
+    uniform.push_back(rng.uniform());
+    biased.push_back(std::pow(rng.uniform(), 2.0));
+  }
+  // 99.9th percentile of chi2 with 19 dof is ~43.8.
+  EXPECT_LT(chi_square_uniform(uniform, 20), 43.8);
+  EXPECT_GT(chi_square_uniform(biased, 20), 43.8);
+}
+
+TEST(Wilson, HalfWidthShrinksWithTrials) {
+  const double w1 = wilson_half_width(50, 100);
+  const double w2 = wilson_half_width(5000, 10000);
+  EXPECT_GT(w1, w2);
+  EXPECT_GT(w1, 0.0);
+  EXPECT_EQ(wilson_half_width(0, 0), 0.0);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.set_title("demo");
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), std::int64_t{-2}});
+  std::ostringstream pretty, csv;
+  t.print(pretty);
+  t.print_csv(csv);
+  EXPECT_NE(pretty.str().find("demo"), std::string::npos);
+  EXPECT_NE(pretty.str().find("alpha"), std::string::npos);
+  EXPECT_EQ(csv.str().rfind("name,value", 0), 0u);
+  EXPECT_NE(csv.str().find("-2"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, ScientificForTinyValues) {
+  EXPECT_NE(Table::render(Table::Cell{1e-9}).find("e"), std::string::npos);
+  EXPECT_EQ(Table::render(Table::Cell{0.25}), "0.2500");
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForShards, CoversAllShards) {
+  std::vector<std::atomic<int>> hits(16);
+  parallel_for_shards(16, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace tg
