@@ -9,6 +9,8 @@
 // dual and compounding error for single.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

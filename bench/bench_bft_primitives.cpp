@@ -9,6 +9,8 @@
 // every primitive still functions at theta = 0.3 composition.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 using namespace tg;

@@ -9,6 +9,8 @@
 // load-bearing in the appendix.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 using namespace tg;

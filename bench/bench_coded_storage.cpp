@@ -10,6 +10,8 @@
 // k ~ |G|/3, a 3x storage saving at full Byzantine tolerance.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 using namespace tg;

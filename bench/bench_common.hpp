@@ -1,11 +1,22 @@
 // Shared helpers for the experiment harness binaries.
+//
+// Deliberately thin on includes: benches that need the full library
+// include the umbrella header themselves, so editing one subsystem
+// header does not rebuild every bench through this file.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "tinygroups/tinygroups.hpp"
+#include "core/params.hpp"
+#include "util/timer.hpp"
 
 namespace tg::bench {
 
@@ -23,5 +34,95 @@ inline double log2d(std::size_t n) {
 }
 inline double lnd(std::size_t n) { return std::log(static_cast<double>(n)); }
 inline double lnlnd(std::size_t n) { return core::Params::ln_ln(n); }
+
+// ---------------------------------------------------------------------------
+// Perf measurement + JSON reporting (the BENCH_*.json trajectory).
+// ---------------------------------------------------------------------------
+
+/// Keep a computed value alive past the optimizer.
+inline void do_not_optimize(std::uint64_t value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r"(value) : "memory");
+#else
+  volatile std::uint64_t sink = value;
+  (void)sink;
+#endif
+}
+
+/// Adaptive micro-timer: `fn(iters)` must perform `iters` operations;
+/// the iteration count grows until one timed window exceeds
+/// `min_seconds`.  Returns nanoseconds per operation.
+template <typename F>
+double measure_ns_per_op(F&& fn, double min_seconds = 0.1) {
+  fn(1);  // warmup / first-touch
+  std::size_t iters = 1;
+  for (;;) {
+    Stopwatch sw;
+    fn(iters);
+    const double s = sw.seconds();
+    if (s >= min_seconds) return s * 1e9 / static_cast<double>(iters);
+    const double grow = s > 0 ? (min_seconds * 1.2) / s : 1024.0;
+    iters = static_cast<std::size_t>(
+        static_cast<double>(iters) * std::min(grow, 1024.0)) + 1;
+  }
+}
+
+/// Collects named metric rows and writes them as BENCH_<name>.json:
+///
+///   {
+///     "bench": "<name>", "schema": 1,
+///     "metrics": [ {"name": "...", "ns_per_op": ..., "ops_per_sec": ...,
+///                   <extra numeric fields>}, ... ]
+///   }
+///
+/// Every metric row carries free-form numeric fields; ns_per_op /
+/// ops_per_sec / speedup / threads are the conventional keys consumed
+/// by the perf trajectory (see bench/README.md).
+class JsonReporter {
+ public:
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string metric, Fields fields) {
+    rows_.emplace_back(std::move(metric), std::move(fields));
+  }
+
+  /// Convenience: record a ns/op measurement (ops_per_sec derived).
+  void add_ns_per_op(const std::string& metric, double ns_per_op,
+                     Fields extra = {}) {
+    Fields fields{{"ns_per_op", ns_per_op}, {"ops_per_sec", 1e9 / ns_per_op}};
+    fields.insert(fields.end(), extra.begin(), extra.end());
+    add(metric, std::move(fields));
+  }
+
+  /// Write BENCH_<name>.json into `dir` (default: working directory).
+  void write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema\": 1,\n"
+        << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {\"name\": \"" << rows_[i].first << '"';
+      for (const auto& [key, value] : rows_[i].second) {
+        out << ", \"" << key << "\": " << format_number(value);
+      }
+      out << '}' << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << '\n';
+  }
+
+ private:
+  static std::string format_number(double v) {
+    if (std::isnan(v) || std::isinf(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, Fields>> rows_;
+};
 
 }  // namespace tg::bench

@@ -9,6 +9,8 @@
 // baseline (c ln n).  All message counts are measured, not modeled.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 struct CostRow {

@@ -8,6 +8,8 @@
 //   * Lemma 8: probability a NEW group is confused = O(q_f^2 log^g n).
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

@@ -7,6 +7,8 @@
 // its u.a.r. IDs.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

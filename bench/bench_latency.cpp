@@ -9,6 +9,8 @@
 // Tiny groups therefore win twice — fewer bytes AND lower latency.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

@@ -9,6 +9,8 @@
 
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 using Clock = std::chrono::steady_clock;

@@ -8,6 +8,8 @@
 // (c) the good-ID completion rate within the (1+eps) window.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

@@ -11,6 +11,8 @@
 // widens (sampled adds corruption, certified adds a setup bill).
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 using namespace tg;

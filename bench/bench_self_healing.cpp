@@ -10,6 +10,8 @@
 // red set persists for the whole epoch.
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 namespace {
 
 using namespace tg;

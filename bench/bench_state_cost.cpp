@@ -8,6 +8,8 @@
 // (Section III-A's verification defense).
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

@@ -10,6 +10,8 @@
 // (members actually drawn, beta-fraction adversary).
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

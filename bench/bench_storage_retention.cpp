@@ -9,6 +9,8 @@
 // search cost comparison (Appendix VI).
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

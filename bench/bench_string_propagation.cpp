@@ -6,6 +6,8 @@
 //   (iii) message complexity ~ n polylog(n) ln(T).
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

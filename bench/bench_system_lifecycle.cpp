@@ -3,6 +3,8 @@
 // (the detail Section III omits "in this extended abstract").
 #include "bench_common.hpp"
 
+#include "tinygroups/tinygroups.hpp"
+
 int main() {
   using namespace tg;
   using namespace tg::bench;

@@ -1,38 +1,77 @@
 #include "crypto/oracle.hpp"
 
+#include <cstring>
+
 namespace tg::crypto {
 
-RandomOracle::RandomOracle(std::string_view domain, std::uint64_t seed)
-    : domain_(domain), seed_(seed) {}
+namespace {
 
-Sha256 RandomOracle::seeded_context() const {
-  Sha256 ctx;
-  ctx.update(domain_);
-  ctx.update_u64(seed_);
-  return ctx;
+// A prepadded template holds the fixed prefix, the 0x80 terminator and
+// the big-endian message bit length; only the argument bytes at
+// [prefix_len, prefix_len + arg_len) are written per evaluation.
+// Requires prefix_len + arg_len <= 55 (single padded block).
+void build_template(std::array<std::uint8_t, 64>& block,
+                    std::span<const std::uint8_t> prefix,
+                    std::size_t arg_len) noexcept {
+  block.fill(0);
+  std::memcpy(block.data(), prefix.data(), prefix.size());
+  const std::size_t len = prefix.size() + arg_len;
+  block[len] = 0x80;
+  store_u64_be(block.data() + 56, static_cast<std::uint64_t>(len) * 8);
+}
+
+}  // namespace
+
+RandomOracle::RandomOracle(std::string_view domain, std::uint64_t seed)
+    : domain_(domain), seed_(seed) {
+  midstate_.update(domain_);
+  midstate_.update_u64(seed_);
+
+  prefix_len_ = domain_.size() + 8;
+  std::array<std::uint8_t, 64> prefix_bytes{};
+  if (prefix_len_ <= prefix_bytes.size()) {
+    std::memcpy(prefix_bytes.data(), domain_.data(), domain_.size());
+    store_u64_be(prefix_bytes.data() + domain_.size(), seed_);
+    const std::span<const std::uint8_t> prefix(prefix_bytes.data(),
+                                               prefix_len_);
+    fast_u64_ = prefix_len_ + 8 + 9 <= 64;
+    if (fast_u64_) build_template(template_u64_, prefix, 8);
+    fast_pair_ = prefix_len_ + 16 + 9 <= 64;
+    if (fast_pair_) build_template(template_pair_, prefix, 16);
+  }
 }
 
 Digest RandomOracle::digest(std::span<const std::uint8_t> data) const {
-  Sha256 ctx = seeded_context();
-  ctx.update(data);
-  return ctx.finish();
+  return midstate_.finish_with_tail(data);
 }
 
 std::uint64_t RandomOracle::value(std::span<const std::uint8_t> data) const {
-  return digest_to_u64(digest(data));
+  return midstate_.finish_with_tail_u64(data);
 }
 
 std::uint64_t RandomOracle::value_u64(std::uint64_t x) const {
-  Sha256 ctx = seeded_context();
-  ctx.update_u64(x);
-  return digest_to_u64(ctx.finish());
+  if (fast_u64_) {
+    std::array<std::uint8_t, 64> block = template_u64_;
+    store_u64_be(block.data() + prefix_len_, x);
+    return Sha256::compress_padded_block_u64(block.data());
+  }
+  std::uint8_t tail[8];
+  store_u64_be(tail, x);
+  return midstate_.finish_with_tail_u64(std::span<const std::uint8_t>(tail, 8));
 }
 
 std::uint64_t RandomOracle::value_pair(std::uint64_t a, std::uint64_t b) const {
-  Sha256 ctx = seeded_context();
-  ctx.update_u64(a);
-  ctx.update_u64(b);
-  return digest_to_u64(ctx.finish());
+  if (fast_pair_) {
+    std::array<std::uint8_t, 64> block = template_pair_;
+    store_u64_be(block.data() + prefix_len_, a);
+    store_u64_be(block.data() + prefix_len_ + 8, b);
+    return Sha256::compress_padded_block_u64(block.data());
+  }
+  std::uint8_t tail[16];
+  store_u64_be(tail, a);
+  store_u64_be(tail + 8, b);
+  return midstate_.finish_with_tail_u64(
+      std::span<const std::uint8_t>(tail, 16));
 }
 
 }  // namespace tg::crypto

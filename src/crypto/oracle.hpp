@@ -12,8 +12,18 @@
 // experiment seed, so different experiments see independent oracles
 // while remaining reproducible.  Outputs are 64-bit fixed-point values
 // in [0,1) (the paper notes O(log n) bits of precision suffice).
+//
+// Performance: the (domain || seed) prefix is absorbed exactly once at
+// construction into a cached SHA-256 midstate; every evaluation
+// finalizes a clone of that midstate.  For the fixed-layout value_u64 /
+// value_pair forms the oracle additionally keeps fully prepadded
+// 64-byte block templates (padding byte and message bit length already
+// in place), so an evaluation is: copy template, write the 8/16
+// argument bytes, one SHA-256 compression.  Outputs are byte-identical
+// to hashing domain || seed || args from scratch (asserted by tests).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -37,12 +47,49 @@ class RandomOracle {
   [[nodiscard]] std::uint64_t value_pair(std::uint64_t a, std::uint64_t b) const;
 
   [[nodiscard]] const std::string& domain() const noexcept { return domain_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Attempt stream for tight evaluation loops (PoW solving, benches):
+  /// owns a private copy of the single-block template so consecutive
+  /// value_u64 evaluations rewrite only the 8 argument bytes — no
+  /// template copy, no context setup per call.  Outputs are identical
+  /// to value_u64.
+  class StreamU64 {
+   public:
+    explicit StreamU64(const RandomOracle& oracle)
+        : oracle_(&oracle),
+          fast_(oracle.fast_u64_),
+          prefix_len_(oracle.prefix_len_),
+          block_(oracle.template_u64_) {}
+
+    [[nodiscard]] std::uint64_t operator()(std::uint64_t x) noexcept {
+      if (fast_) {
+        store_u64_be(block_.data() + prefix_len_, x);
+        return Sha256::compress_padded_block_u64(block_.data());
+      }
+      return oracle_->value_u64(x);
+    }
+
+   private:
+    const RandomOracle* oracle_;
+    bool fast_;
+    std::size_t prefix_len_;
+    alignas(8) std::array<std::uint8_t, 64> block_;
+  };
+
+  [[nodiscard]] StreamU64 stream_u64() const { return StreamU64(*this); }
 
  private:
-  [[nodiscard]] Sha256 seeded_context() const;
-
   std::string domain_;
   std::uint64_t seed_;
+  Sha256 midstate_;  ///< domain || seed absorbed once at construction
+  /// Prepadded single-block templates for the fixed-layout forms;
+  /// valid only when the whole message fits one padded block.
+  std::size_t prefix_len_ = 0;
+  bool fast_u64_ = false;
+  bool fast_pair_ = false;
+  alignas(8) std::array<std::uint8_t, 64> template_u64_{};
+  alignas(8) std::array<std::uint8_t, 64> template_pair_{};
 };
 
 /// The full set of named oracles from the paper, derived from a single

@@ -1,7 +1,10 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
+
+#include "crypto/sha256_simd.hpp"
 
 namespace tg::crypto {
 
@@ -28,7 +31,41 @@ constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return std::rotr(x, n);
 }
 
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void serialize_state(const std::array<std::uint32_t, 8>& state,
+                            Digest& out) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i) * 4] =
+        static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 24);
+    out[static_cast<std::size_t>(i) * 4 + 1] =
+        static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 16);
+    out[static_cast<std::size_t>(i) * 4 + 2] =
+        static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 8);
+    out[static_cast<std::size_t>(i) * 4 + 3] =
+        static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)]);
+  }
+}
+
+// Hardware-dispatch decision: cpuid probed once, overridable through
+// the detail::set_shani_enabled test seam.
+std::atomic<bool> g_use_shani{detail::shani_available()};
+
 }  // namespace
+
+void detail::set_shani_enabled(bool enabled) noexcept {
+  g_use_shani.store(enabled && detail::shani_available(),
+                    std::memory_order_relaxed);
+}
+
+bool detail::shani_enabled() noexcept {
+  return g_use_shani.load(std::memory_order_relaxed);
+}
 
 void Sha256::reset() noexcept {
   state_ = kInitialState;
@@ -36,50 +73,74 @@ void Sha256::reset() noexcept {
   buffer_len_ = 0;
 }
 
-void Sha256::process_block(const std::uint8_t* block) noexcept {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
+// Fully unrolled compression: the message schedule lives in a 16-word
+// ring expanded in place, and the eight working registers rotate by
+// macro renaming instead of shifting through temporaries.
+void Sha256::compress(std::array<std::uint32_t, 8>& state,
+                      const std::uint8_t* block) noexcept {
+  if (g_use_shani.load(std::memory_order_relaxed)) {
+    detail::compress_shani(state, block);
+    return;
   }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+  std::uint32_t w[16];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + i * 4);
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
+#define TG_SHA_S0(x) (rotr((x), 2) ^ rotr((x), 13) ^ rotr((x), 22))
+#define TG_SHA_S1(x) (rotr((x), 6) ^ rotr((x), 11) ^ rotr((x), 25))
+#define TG_SHA_s0(x) (rotr((x), 7) ^ rotr((x), 18) ^ ((x) >> 3))
+#define TG_SHA_s1(x) (rotr((x), 17) ^ rotr((x), 19) ^ ((x) >> 10))
+#define TG_SHA_ROUND(a, b, c, d, e, f, g, h, i, wv)                         \
+  do {                                                                      \
+    const std::uint32_t t1 = (h) + TG_SHA_S1(e) + (((e) & (f)) ^ (~(e) & (g))) + \
+                             kRoundConstants[i] + (wv);                     \
+    const std::uint32_t t2 =                                                \
+        TG_SHA_S0(a) + (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));           \
+    (d) += t1;                                                              \
+    (h) = t1 + t2;                                                          \
+  } while (0)
+#define TG_SHA_W(i)                                              \
+  (w[(i) & 15] += TG_SHA_s1(w[((i) - 2) & 15]) + w[((i) - 7) & 15] + \
+                  TG_SHA_s0(w[((i) - 15) & 15]))
+#define TG_SHA_8ROUNDS(i, W)                      \
+  TG_SHA_ROUND(a, b, c, d, e, f, g, h, (i) + 0, W((i) + 0)); \
+  TG_SHA_ROUND(h, a, b, c, d, e, f, g, (i) + 1, W((i) + 1)); \
+  TG_SHA_ROUND(g, h, a, b, c, d, e, f, (i) + 2, W((i) + 2)); \
+  TG_SHA_ROUND(f, g, h, a, b, c, d, e, (i) + 3, W((i) + 3)); \
+  TG_SHA_ROUND(e, f, g, h, a, b, c, d, (i) + 4, W((i) + 4)); \
+  TG_SHA_ROUND(d, e, f, g, h, a, b, c, (i) + 5, W((i) + 5)); \
+  TG_SHA_ROUND(c, d, e, f, g, h, a, b, (i) + 6, W((i) + 6)); \
+  TG_SHA_ROUND(b, c, d, e, f, g, h, a, (i) + 7, W((i) + 7))
+#define TG_SHA_W_DIRECT(i) w[(i) & 15]
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  TG_SHA_8ROUNDS(0, TG_SHA_W_DIRECT);
+  TG_SHA_8ROUNDS(8, TG_SHA_W_DIRECT);
+  TG_SHA_8ROUNDS(16, TG_SHA_W);
+  TG_SHA_8ROUNDS(24, TG_SHA_W);
+  TG_SHA_8ROUNDS(32, TG_SHA_W);
+  TG_SHA_8ROUNDS(40, TG_SHA_W);
+  TG_SHA_8ROUNDS(48, TG_SHA_W);
+  TG_SHA_8ROUNDS(56, TG_SHA_W);
+
+#undef TG_SHA_W_DIRECT
+#undef TG_SHA_8ROUNDS
+#undef TG_SHA_W
+#undef TG_SHA_ROUND
+#undef TG_SHA_s1
+#undef TG_SHA_s0
+#undef TG_SHA_S1
+#undef TG_SHA_S0
+
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) noexcept {
@@ -112,38 +173,81 @@ void Sha256::update(std::string_view text) noexcept {
 
 void Sha256::update_u64(std::uint64_t value) noexcept {
   std::uint8_t bytes[8];
-  for (int i = 7; i >= 0; --i) {
-    bytes[i] = static_cast<std::uint8_t>(value & 0xff);
-    value >>= 8;
-  }
+  store_u64_be(bytes, value);
   update(std::span<const std::uint8_t>(bytes, 8));
 }
 
 Digest Sha256::finish() noexcept {
+  // Single update with the whole padding run (0x80, zeros, 64-bit
+  // length) instead of byte-at-a-time pushes.
   const std::uint64_t total_bits = bit_length_;
-  const std::uint8_t pad_one = 0x80;
-  update(std::span<const std::uint8_t>(&pad_one, 1));
-  const std::uint8_t zero = 0x00;
-  // bit_length_ changed by padding updates; use captured total_bits.
-  while (buffer_len_ != 56) {
-    update(std::span<const std::uint8_t>(&zero, 1));
-  }
-  std::uint8_t len_bytes[8];
-  std::uint64_t v = total_bits;
-  for (int i = 7; i >= 0; --i) {
-    len_bytes[i] = static_cast<std::uint8_t>(v & 0xff);
-    v >>= 8;
-  }
-  update(std::span<const std::uint8_t>(len_bytes, 8));
+  std::uint8_t pad[72];
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  store_u64_be(pad + pad_len, total_bits);
+  update(std::span<const std::uint8_t>(pad, pad_len + 8));
 
   Digest out{};
-  for (int i = 0; i < 8; ++i) {
-    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  serialize_state(state_, out);
   return out;
+}
+
+bool Sha256::fill_single_final_block(std::span<const std::uint8_t> tail,
+                                     std::uint8_t* block) const noexcept {
+  const std::size_t len = buffer_len_ + tail.size();
+  if (len + 9 > 64) return false;
+  std::memcpy(block, buffer_.data(), buffer_len_);
+  if (!tail.empty()) std::memcpy(block + buffer_len_, tail.data(), tail.size());
+  block[len] = 0x80;
+  std::memset(block + len + 1, 0, 56 - (len + 1));
+  store_u64_be(block + 56,
+               bit_length_ + static_cast<std::uint64_t>(tail.size()) * 8);
+  return true;
+}
+
+Digest Sha256::finish_with_tail(
+    std::span<const std::uint8_t> tail) const noexcept {
+  std::uint8_t block[64];
+  if (fill_single_final_block(tail, block)) {
+    auto state = state_;
+    compress(state, block);
+    Digest out{};
+    serialize_state(state, out);
+    return out;
+  }
+  Sha256 clone(*this);
+  clone.update(tail);
+  return clone.finish();
+}
+
+std::uint64_t Sha256::finish_with_tail_u64(
+    std::span<const std::uint8_t> tail) const noexcept {
+  std::uint8_t block[64];
+  if (fill_single_final_block(tail, block)) {
+    auto state = state_;
+    compress(state, block);
+    return (static_cast<std::uint64_t>(state[0]) << 32) | state[1];
+  }
+  Sha256 clone(*this);
+  clone.update(tail);
+  return digest_to_u64(clone.finish());
+}
+
+Digest Sha256::compress_padded_block(const std::uint8_t* block) noexcept {
+  auto state = kInitialState;
+  compress(state, block);
+  Digest out{};
+  serialize_state(state, out);
+  return out;
+}
+
+std::uint64_t Sha256::compress_padded_block_u64(
+    const std::uint8_t* block) noexcept {
+  auto state = kInitialState;
+  compress(state, block);
+  return (static_cast<std::uint64_t>(state[0]) << 32) | state[1];
 }
 
 Digest sha256(std::span<const std::uint8_t> data) noexcept {

@@ -4,6 +4,14 @@
 // practice, h may be a cryptographic hash function, such as SHA-2").
 // All oracles in this repository (f, g, h1, h2, h of Sections I-C/IV)
 // are domain-separated instantiations of this primitive.
+//
+// Hot-path support: every oracle evaluation hashes a fixed prefix
+// (domain || seed) followed by a short tail, so the context exposes a
+// midstate API — absorb the prefix once, then finalize clones with
+// `finish_with_tail`, which costs a single compression when the tail
+// plus padding fits the current block.  Fully prepadded single-block
+// messages can bypass the streaming machinery entirely via
+// `compress_padded_block`.
 #pragma once
 
 #include <array>
@@ -18,7 +26,8 @@ namespace tg::crypto {
 
 using Digest = std::array<std::uint8_t, 32>;
 
-/// Incremental SHA-256 context.
+/// Incremental SHA-256 context.  Copyable: a copy captures the midstate
+/// (all absorbed input) and can be finalized independently.
 class Sha256 {
  public:
   Sha256() noexcept { reset(); }
@@ -31,8 +40,42 @@ class Sha256 {
   /// Finalize; the context may not be updated afterwards without reset().
   [[nodiscard]] Digest finish() noexcept;
 
+  /// Finalize a clone of this context after appending `tail`, without
+  /// mutating *this.  Single-compression fast path when the buffered
+  /// prefix + tail + padding fit one block; falls back to a full
+  /// clone-update-finish otherwise.  This is the midstate primitive
+  /// behind RandomOracle.
+  [[nodiscard]] Digest finish_with_tail(
+      std::span<const std::uint8_t> tail) const noexcept;
+  /// Same, returning only the leading 8 digest bytes as a big-endian
+  /// uint64 (skips serializing the rest of the state).
+  [[nodiscard]] std::uint64_t finish_with_tail_u64(
+      std::span<const std::uint8_t> tail) const noexcept;
+
+  /// Compress one fully padded 64-byte block from the initial state.
+  /// The caller is responsible for message layout (0x80 terminator and
+  /// big-endian bit length already in place).
+  [[nodiscard]] static Digest compress_padded_block(
+      const std::uint8_t* block) noexcept;
+  [[nodiscard]] static std::uint64_t compress_padded_block_u64(
+      const std::uint8_t* block) noexcept;
+
+  /// Bytes absorbed so far (prefix length when used as a midstate).
+  [[nodiscard]] std::uint64_t bytes_absorbed() const noexcept {
+    return bit_length_ / 8;
+  }
+
  private:
-  void process_block(const std::uint8_t* block) noexcept;
+  static void compress(std::array<std::uint32_t, 8>& state,
+                       const std::uint8_t* block) noexcept;
+  void process_block(const std::uint8_t* block) noexcept {
+    compress(state_, block);
+  }
+  /// Assemble buffered prefix + tail + padding + bit length into the
+  /// caller's 64-byte block.  Returns false (block untouched beyond
+  /// scratch) when the message does not fit one final block.
+  [[nodiscard]] bool fill_single_final_block(
+      std::span<const std::uint8_t> tail, std::uint8_t* block) const noexcept;
 
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, 64> buffer_{};
@@ -47,5 +90,13 @@ class Sha256 {
 /// First 8 bytes of the digest as a big-endian uint64 — the canonical
 /// "hash output in [0,1)" used throughout (64-bit fixed point).
 [[nodiscard]] std::uint64_t digest_to_u64(const Digest& d) noexcept;
+
+/// Encode a uint64 big-endian into 8 bytes (the layout update_u64 uses).
+inline void store_u64_be(std::uint8_t* out, std::uint64_t value) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+}
 
 }  // namespace tg::crypto

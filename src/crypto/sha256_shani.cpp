@@ -1,0 +1,141 @@
+// SHA-256 compression via the x86 SHA extensions.  This TU (and only
+// this TU) is compiled with -msha -msse4.1 -mssse3; on non-x86 targets
+// it degrades to a stub that reports the kernel unavailable.
+//
+// The round sequence is the canonical Intel intrinsic ordering (one
+// sha256rnds2 per two rounds; schedule kept in four 128-bit registers
+// completed by sha256msg1/msg2 plus an alignr carry).  Correctness is
+// pinned by the FIPS 180-4 vectors in test_crypto, which exercise this
+// path on any SHA-capable host.
+#include "crypto/sha256_simd.hpp"
+
+#if defined(__x86_64__) && defined(__SHA__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace tg::crypto::detail {
+
+#if defined(__x86_64__) && defined(__SHA__)
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m128i k128(int i) noexcept {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[i]));
+}
+
+bool detect() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 29)) != 0;  // CPUID.7.0:EBX.SHA
+}
+
+}  // namespace
+
+bool shani_available() noexcept {
+  static const bool available = detect();
+  return available;
+}
+
+void compress_shani(std::array<std::uint32_t, 8>& state,
+                    const std::uint8_t* block) noexcept {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  auto rounds4 = [&](__m128i msg_plus_k) {
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg_plus_k);
+    msg_plus_k = _mm_shuffle_epi32(msg_plus_k, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg_plus_k);
+  };
+  // After the 4 rounds consuming `cur`, the schedule block 16 slots
+  // ahead (`nxt`) is completed with the alignr carry of w[i-7] plus
+  // sha256msg2, and `prv` receives its sha256msg1 partial.  The alignr
+  // must read `prv` BEFORE its msg1 update (canonical ordering).
+  auto expand = [](__m128i& nxt, __m128i cur, __m128i prv) {
+    nxt = _mm_add_epi32(nxt, _mm_alignr_epi8(cur, prv, 4));
+    nxt = _mm_sha256msg2_epu32(nxt, cur);
+  };
+  auto group = [&](__m128i& cur, __m128i& nxt, __m128i& prv, int k) {
+    rounds4(_mm_add_epi32(cur, k128(k)));
+    expand(nxt, cur, prv);
+    prv = _mm_sha256msg1_epu32(prv, cur);
+  };
+
+  __m128i msg0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 0)), kShuffle);
+  __m128i msg1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)), kShuffle);
+  __m128i msg2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)), kShuffle);
+  __m128i msg3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)), kShuffle);
+
+  rounds4(_mm_add_epi32(msg0, k128(0)));
+  rounds4(_mm_add_epi32(msg1, k128(4)));
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+  rounds4(_mm_add_epi32(msg2, k128(8)));
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  group(msg3, msg0, msg2, 12);
+  group(msg0, msg1, msg3, 16);
+  group(msg1, msg2, msg0, 20);
+  group(msg2, msg3, msg1, 24);
+  group(msg3, msg0, msg2, 28);
+  group(msg0, msg1, msg3, 32);
+  group(msg1, msg2, msg0, 36);
+  group(msg2, msg3, msg1, 40);
+  group(msg3, msg0, msg2, 44);
+
+  group(msg0, msg1, msg3, 48);  // w60..63 still needs msg3's msg1 partial
+  rounds4(_mm_add_epi32(msg1, k128(52)));
+  expand(msg2, msg1, msg0);
+  rounds4(_mm_add_epi32(msg2, k128(56)));
+  expand(msg3, msg2, msg1);
+  rounds4(_mm_add_epi32(msg3, k128(60)));
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#else  // no x86 SHA support in this build
+
+bool shani_available() noexcept { return false; }
+
+void compress_shani(std::array<std::uint32_t, 8>&,
+                    const std::uint8_t*) noexcept {}
+
+#endif
+
+}  // namespace tg::crypto::detail

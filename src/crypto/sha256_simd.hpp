@@ -1,0 +1,27 @@
+// Hardware SHA-256 compression (x86 SHA extensions), internal to the
+// crypto layer.  The kernel lives in its own translation unit compiled
+// with -msha so the rest of the library carries no ISA requirements;
+// callers must consult shani_available() (cpuid) before dispatching.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tg::crypto::detail {
+
+/// True iff the CPU reports the SHA extensions (CPUID.7.0:EBX.SHA) and
+/// this build carries the kernel.  Constant after first call.
+[[nodiscard]] bool shani_available() noexcept;
+
+/// One SHA-256 compression over a 64-byte block.  Only callable when
+/// shani_available() returned true.
+void compress_shani(std::array<std::uint32_t, 8>& state,
+                    const std::uint8_t* block) noexcept;
+
+/// Test seam: force the scalar compression path even on SHA-capable
+/// hosts, so tests can cross-check both kernels in a single run.
+/// Enabling on a host without the extensions is a no-op.
+void set_shani_enabled(bool enabled) noexcept;
+[[nodiscard]] bool shani_enabled() noexcept;
+
+}  // namespace tg::crypto::detail

@@ -19,7 +19,6 @@ Network::Network(DeliveryPolicy policy, std::uint64_t seed,
       policy_rng_(seed),
       threads_(threads == 0 ? 1 : threads) {
   if (!policy_.corrupt) policy_.corrupt = default_corrupt;
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
 }
 
 Network::~Network() {
@@ -120,27 +119,21 @@ std::size_t Network::run_round() {
   // Parallel handler phase: node i's handlers touch only node i's
   // state and a private Context, so sharding by node is race-free;
   // outboxes are merged in node order afterwards, making results
-  // independent of the shard count.
+  // independent of the chunk schedule and worker count.  Runs on the
+  // persistent global pool — no thread churn per round.
   std::vector<std::vector<Message>> outboxes(n);
-  const auto process = [&](NodeId i) {
-    Context ctx(i, round_);
+  const std::function<void(std::size_t)> process = [&](std::size_t i) {
+    Context ctx(static_cast<NodeId>(i), round_);
     for (const Message& m : deliveries[i]) {
       nodes_[i]->on_message(m, ctx);
     }
     nodes_[i]->on_round_end(ctx);
     outboxes[i] = std::move(ctx.outbox());
   };
-  if (!pool_ || n < 2) {
-    for (NodeId i = 0; i < n; ++i) process(i);
+  if (threads_ <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) process(i);
   } else {
-    for (std::size_t shard = 0; shard < threads_; ++shard) {
-      pool_->submit([&, shard] {
-        for (std::size_t i = shard; i < n; i += threads_) {
-          process(static_cast<NodeId>(i));
-        }
-      });
-    }
-    pool_->wait_idle();
+    ThreadPool::global().parallel_for(n, process, threads_);
   }
 
   // Sequential merge in node order.

@@ -12,10 +12,11 @@
 //   1. drains every mailbox,
 //   2. applies the delivery policy (drop, bounded delay, Byzantine
 //      source corruption) with a per-edge deterministic RNG,
-//   3. runs every node's handlers — in parallel across nodes, since a
-//      handler only touches its own node's state and its Context
-//      outbox (sharded, merged in node order afterwards: identical
-//      results at any thread count),
+//   3. runs every node's handlers — in parallel across nodes on the
+//      process-wide persistent thread pool, since a handler only
+//      touches its own node's state and its Context outbox (chunked
+//      dynamically, merged in node order afterwards: identical
+//      results at any thread count and any chunk schedule),
 //   4. routes the merged outboxes into mailboxes for the next round.
 //
 // Determinism is load-bearing: tests assert byte-identical traces
@@ -102,8 +103,7 @@ class Network {
 
   DeliveryPolicy policy_;
   Rng policy_rng_;
-  std::size_t threads_;
-  std::unique_ptr<ThreadPool> pool_;  ///< persistent; only if threads_ > 1
+  std::size_t threads_;  ///< executor width cap on the global pool
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   /// Messages scheduled for future rounds: slot = round index.

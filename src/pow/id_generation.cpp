@@ -68,16 +68,7 @@ std::vector<Solution> solve_real_batch(const crypto::OracleSuite& oracles,
                                        std::uint64_t max_attempts_per_machine,
                                        Rng& rng) {
   const PuzzleSolver solver(oracles.f, oracles.g);
-  std::vector<Solution> out;
-  out.reserve(machines);
-  for (std::size_t i = 0; i < machines; ++i) {
-    Rng machine_rng = rng.fork();
-    if (const auto sol =
-            solver.solve(r, tau, max_attempts_per_machine, machine_rng)) {
-      out.push_back(*sol);
-    }
-  }
-  return out;
+  return solver.solve_batch(r, tau, machines, max_attempts_per_machine, rng);
 }
 
 }  // namespace tg::pow

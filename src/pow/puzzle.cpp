@@ -33,6 +33,34 @@ std::optional<Solution> PuzzleSolver::solve(std::uint64_t r, std::uint64_t tau,
   return std::nullopt;
 }
 
+std::vector<Solution> PuzzleSolver::solve_batch(std::uint64_t r,
+                                                std::uint64_t tau,
+                                                std::size_t machines,
+                                                std::uint64_t max_attempts,
+                                                Rng& rng) const {
+  auto g_stream = g_->stream_u64();
+  auto f_stream = f_->stream_u64();
+  std::vector<Solution> out;
+  out.reserve(machines);
+  for (std::size_t i = 0; i < machines; ++i) {
+    Rng machine_rng = rng.fork();
+    for (std::uint64_t a = 1; a <= max_attempts; ++a) {
+      const std::uint64_t sigma = machine_rng.u64();
+      const std::uint64_t g_out = g_stream(sigma ^ r);
+      if (g_out <= tau) {
+        Solution s;
+        s.sigma = sigma;
+        s.g_output = g_out;
+        s.id = f_stream(g_out);
+        s.attempts = a;
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 Solution PuzzleSolver::evaluate(std::uint64_t sigma, std::uint64_t r) const {
   Solution s;
   s.sigma = sigma;

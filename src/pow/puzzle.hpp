@@ -54,6 +54,17 @@ class PuzzleSolver {
                                               std::uint64_t max_attempts,
                                               Rng& rng) const;
 
+  /// Batched solving: `machines` independent solvers, each drawing from
+  /// an rng forked from `rng`, evaluated back-to-back through a single
+  /// pair of oracle attempt streams — no per-attempt allocation or
+  /// context setup.  Results are identical to calling solve() once per
+  /// forked rng; machines that exhaust max_attempts produce no entry.
+  [[nodiscard]] std::vector<Solution> solve_batch(std::uint64_t r,
+                                                  std::uint64_t tau,
+                                                  std::size_t machines,
+                                                  std::uint64_t max_attempts,
+                                                  Rng& rng) const;
+
   /// Evaluate one specific sigma (used by verification tests and by
   /// the chosen-input adversary).
   [[nodiscard]] Solution evaluate(std::uint64_t sigma, std::uint64_t r) const;

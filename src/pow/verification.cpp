@@ -5,12 +5,19 @@
 namespace tg::pow {
 
 std::uint64_t string_tag(const LotteryString& s) noexcept {
-  crypto::Sha256 ctx;
-  ctx.update("tinygroups/string-tag");
-  ctx.update_u64(static_cast<std::uint64_t>(s.output * 0x1.0p64));
-  ctx.update_u64(s.origin);
-  ctx.update_u64(s.uid);
-  return crypto::digest_to_u64(ctx.finish());
+  // The domain prefix is absorbed once into a shared midstate; each
+  // call finalizes a clone with the 24-byte tail (single compression).
+  static const crypto::Sha256 kTagMidstate = [] {
+    crypto::Sha256 ctx;
+    ctx.update("tinygroups/string-tag");
+    return ctx;
+  }();
+  std::uint8_t tail[24];
+  crypto::store_u64_be(tail, static_cast<std::uint64_t>(s.output * 0x1.0p64));
+  crypto::store_u64_be(tail + 8, s.origin);
+  crypto::store_u64_be(tail + 16, s.uid);
+  return kTagMidstate.finish_with_tail_u64(
+      std::span<const std::uint8_t>(tail, 24));
 }
 
 IdCredential make_credential(const Solution& solution,

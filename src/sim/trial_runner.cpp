@@ -1,7 +1,6 @@
 #include "sim/trial_runner.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/thread_pool.hpp"
 
@@ -26,14 +25,18 @@ std::vector<RunningStats> run_trials_multi(
   std::vector<RunningStats> totals(metric_count);
   if (trials == 0 || metric_count == 0) return totals;
 
-  std::mutex merge_mutex;
   const std::size_t shard_count =
       std::min<std::size_t>(trials, threads == 0 ? 8 : threads);
 
+  // Per-shard accumulators merged in shard order AFTER the parallel
+  // region: results are a pure function of (seed, trials, shard_count),
+  // independent of scheduling — repeated runs are bit-identical.
+  std::vector<std::vector<RunningStats>> locals(
+      shard_count, std::vector<RunningStats>(metric_count));
   parallel_for_shards(
       shard_count,
       [&](std::size_t shard) {
-        std::vector<RunningStats> local(metric_count);
+        std::vector<RunningStats>& local = locals[shard];
         std::vector<double> metrics(metric_count, 0.0);
         for (std::size_t t = shard; t < trials; t += shard_count) {
           // Seed depends only on (seed, t): sharding-invariant.
@@ -44,12 +47,13 @@ std::vector<RunningStats> run_trials_multi(
             local[m].add(metrics[m]);
           }
         }
-        const std::lock_guard lock(merge_mutex);
-        for (std::size_t m = 0; m < metric_count; ++m) {
-          totals[m].merge(local[m]);
-        }
       },
       threads);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      totals[m].merge(locals[shard][m]);
+    }
+  }
   return totals;
 }
 

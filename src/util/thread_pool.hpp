@@ -1,11 +1,27 @@
-// Minimal work-stealing-free thread pool for Monte-Carlo fan-out.
+// Persistent work-sharing thread pool for Monte-Carlo fan-out and the
+// network executor's parallel handler phase.
 //
 // Experiments shard independent trials across workers; each shard owns
 // a forked Rng so results are deterministic regardless of scheduling
 // (per C++ Core Guidelines CP.2: no data races — shards never share
 // mutable state; results are merged after join).
+//
+// Two submission paths:
+//   * submit()/wait_idle() — classic queued closures (kept for ad-hoc
+//     background work),
+//   * parallel_for() — the hot path: a single indexed job whose
+//     iterations are claimed in chunks through one atomic counter, so
+//     a fan-out costs two atomic ops per chunk instead of a mutex
+//     lock + std::function allocation per task.  The calling thread
+//     participates; the call blocks until every index has run.
+//
+// ThreadPool::global() is the process-wide persistent pool; the
+// free-function parallel_for_shards routes through it, so repeated
+// fan-outs (every Network round, every run_trials call) reuse the same
+// workers instead of spawning and joining threads per call.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -29,22 +45,55 @@ class ThreadPool {
   /// Block until all submitted tasks have completed.
   void wait_idle();
 
+  /// Run body(i) for every i in [0, count); blocks until all complete.
+  /// Iterations are claimed dynamically in chunks; the calling thread
+  /// participates.  `max_workers` caps pool workers drafted in (0 =
+  /// all).  Every index runs exactly once for any worker count.
+  /// Reentrant calls from inside pool work run inline (sequentially).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t max_workers = 0);
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// The process-wide persistent pool (hardware_concurrency workers,
+  /// created on first use).
+  static ThreadPool& global();
 
  private:
   void worker_loop();
+  /// Claim and run chunks of the current job until none remain; the
+  /// snapshot arguments were read under the mutex at join time.
+  void run_job_chunks(const std::function<void(std::size_t)>& body,
+                      std::size_t count, std::size_t chunk);
 
   std::vector<std::jthread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::condition_variable cv_job_done_;
   std::size_t active_ = 0;
   bool stop_ = false;
+
+  /// Serializes concurrent parallel_for callers.
+  std::mutex job_call_mutex_;
+  /// Current indexed job; fields other than the counters are written
+  /// under mutex_ before workers are admitted.
+  const std::function<void(std::size_t)>* job_body_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t job_chunk_ = 1;
+  std::atomic<std::size_t> job_next_{0};
+  std::atomic<std::size_t> job_remaining_{0};
+  bool job_active_ = false;
+  std::size_t job_workers_allowed_ = 0;
+  std::size_t job_workers_joined_ = 0;
+  std::size_t job_participants_ = 0;  ///< threads inside the claim loop
 };
 
-/// Run `body(shard_index)` for shard_index in [0, shards) across a
-/// transient pool; blocks until all shards complete.
+/// Run `body(shard_index)` for shard_index in [0, shards) on the
+/// process-wide persistent pool; blocks until all shards complete.
+/// `threads` caps the parallelism (0 = pool width).
 void parallel_for_shards(std::size_t shards,
                          const std::function<void(std::size_t)>& body,
                          std::size_t threads = 0);

@@ -2,6 +2,7 @@
 // random oracles, commitments/ZK proof objects, simulated signatures.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "crypto/hex.hpp"
 #include "crypto/oracle.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_simd.hpp"
 #include "crypto/signature.hpp"
 
 namespace tg::crypto {
@@ -163,6 +165,149 @@ TEST(OracleSuite, FiveIndependentOracles) {
       suite.h1.value_u64(x), suite.h2.value_u64(x), suite.f.value_u64(x),
       suite.g.value_u64(x), suite.h.value_u64(x)};
   EXPECT_EQ(outputs.size(), 5u);  // all distinct
+}
+
+// --- Midstate / fast-path equivalence ---
+//
+// The midstate cache, the prepadded single-block templates and the
+// SHA-NI kernel are pure optimizations: every oracle output must stay
+// byte-identical to hashing domain || seed || args from scratch.
+
+namespace {
+
+std::vector<std::uint8_t> pseudo_bytes(std::size_t n, std::uint64_t salt) {
+  std::vector<std::uint8_t> out(n);
+  std::uint64_t x = salt * 0x9e3779b97f4a7c15ULL + 1;
+  for (auto& b : out) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  return out;
+}
+
+Digest scratch_digest(std::string_view domain, std::uint64_t seed,
+                      std::span<const std::uint8_t> data) {
+  Sha256 ctx;
+  ctx.update(domain);
+  ctx.update_u64(seed);
+  ctx.update(data);
+  return ctx.finish();
+}
+
+}  // namespace
+
+TEST(Oracle, MidstateMatchesScratchDigest) {
+  // Domain lengths straddle every fast-path boundary: template valid
+  // for u64 (<= 47 prefix), pair (<= 39), single-block finalize
+  // (<= 55), buffered block (< 64) and multi-block prefixes (>= 64).
+  for (const std::size_t domain_len :
+       {1u, 13u, 30u, 39u, 40u, 46u, 47u, 48u, 55u, 56u, 63u, 64u, 65u, 100u}) {
+    const std::string domain(domain_len, 'd');
+    const RandomOracle oracle(domain, 77);
+    for (const std::size_t data_len : {0u, 1u, 8u, 16u, 31u, 55u, 56u, 64u,
+                                       65u, 100u}) {
+      const auto data = pseudo_bytes(data_len, domain_len * 131 + data_len);
+      EXPECT_EQ(oracle.digest(data), scratch_digest(domain, 77, data))
+          << "domain_len=" << domain_len << " data_len=" << data_len;
+      EXPECT_EQ(oracle.value(data),
+                digest_to_u64(scratch_digest(domain, 77, data)));
+    }
+  }
+}
+
+TEST(Oracle, FastPathMatchesScratchU64AndPair) {
+  for (const std::size_t domain_len : {1u, 13u, 38u, 39u, 40u, 47u, 48u, 60u,
+                                       64u, 90u}) {
+    const std::string domain(domain_len, 'x');
+    const RandomOracle oracle(domain, 42);
+    for (const std::uint64_t a : {0ULL, 1ULL, 0x0123456789abcdefULL, ~0ULL}) {
+      Sha256 ref_u64;
+      ref_u64.update(domain);
+      ref_u64.update_u64(42);
+      ref_u64.update_u64(a);
+      EXPECT_EQ(oracle.value_u64(a), digest_to_u64(ref_u64.finish()))
+          << "domain_len=" << domain_len;
+
+      Sha256 ref_pair;
+      ref_pair.update(domain);
+      ref_pair.update_u64(42);
+      ref_pair.update_u64(a);
+      ref_pair.update_u64(a ^ 0x5555555555555555ULL);
+      EXPECT_EQ(oracle.value_pair(a, a ^ 0x5555555555555555ULL),
+                digest_to_u64(ref_pair.finish()))
+          << "domain_len=" << domain_len;
+    }
+  }
+}
+
+TEST(Oracle, StreamMatchesValueU64) {
+  for (const std::size_t domain_len : {13u, 47u, 48u, 80u}) {
+    const RandomOracle oracle(std::string(domain_len, 's'), 9);
+    auto stream = oracle.stream_u64();
+    for (std::uint64_t x = 0; x < 200; ++x) {
+      EXPECT_EQ(stream(x * 0x9e3779b97f4a7c15ULL),
+                oracle.value_u64(x * 0x9e3779b97f4a7c15ULL));
+    }
+  }
+}
+
+TEST(Sha256, FinishWithTailMatchesCloneFinish) {
+  for (const std::size_t prefix_len : {0u, 1u, 21u, 47u, 55u, 56u, 63u, 64u,
+                                       65u, 120u, 128u, 130u}) {
+    const auto prefix = pseudo_bytes(prefix_len, prefix_len + 7);
+    Sha256 midstate;
+    midstate.update(prefix);
+    for (const std::size_t tail_len : {0u, 1u, 8u, 24u, 46u, 47u, 55u, 56u,
+                                       64u, 80u}) {
+      const auto tail = pseudo_bytes(tail_len, tail_len * 31 + 5);
+      Sha256 clone(midstate);
+      clone.update(tail);
+      const Digest expected = clone.finish();
+      EXPECT_EQ(midstate.finish_with_tail(tail), expected)
+          << "prefix=" << prefix_len << " tail=" << tail_len;
+      EXPECT_EQ(midstate.finish_with_tail_u64(tail), digest_to_u64(expected));
+    }
+    EXPECT_EQ(midstate.bytes_absorbed(), prefix_len);
+  }
+}
+
+TEST(Sha256, ScalarAndHardwareKernelsAgree) {
+  // By default a host only ever exercises one compression kernel
+  // (cpuid dispatch); force the scalar path and cross-check it against
+  // the hardware path on the same inputs so a regression in either
+  // kernel is caught on every machine that has both.
+  const bool had_hw = detail::shani_enabled();
+  std::vector<Digest> scalar_digests;
+  detail::set_shani_enabled(false);
+  EXPECT_FALSE(detail::shani_enabled());
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  for (const std::size_t len : {0u, 1u, 55u, 56u, 64u, 65u, 200u}) {
+    scalar_digests.push_back(sha256(pseudo_bytes(len, len)));
+  }
+  detail::set_shani_enabled(true);  // no-op on hosts without SHA
+  std::size_t i = 0;
+  for (const std::size_t len : {0u, 1u, 55u, 56u, 64u, 65u, 200u}) {
+    EXPECT_EQ(sha256(pseudo_bytes(len, len)), scalar_digests[i++])
+        << "len=" << len << " hw=" << detail::shani_enabled();
+  }
+  detail::set_shani_enabled(had_hw);
+}
+
+TEST(Sha256, CompressPaddedBlockMatchesOneShot) {
+  for (const std::size_t len : {0u, 1u, 21u, 37u, 54u, 55u}) {
+    const auto msg = pseudo_bytes(len, len + 99);
+    std::uint8_t block[64] = {};
+    std::copy(msg.begin(), msg.end(), block);
+    block[len] = 0x80;
+    store_u64_be(block + 56, static_cast<std::uint64_t>(len) * 8);
+    const Digest expected = sha256(msg);
+    EXPECT_EQ(Sha256::compress_padded_block(block), expected) << "len=" << len;
+    EXPECT_EQ(Sha256::compress_padded_block_u64(block),
+              digest_to_u64(expected));
+  }
 }
 
 // --- Commitments and the ZK proof object ---

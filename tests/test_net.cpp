@@ -211,10 +211,14 @@ TEST(Network, TraceIsDeterministicAcrossThreadCounts) {
     return run_relay_chain(cfg);
   };
   const auto t1 = run(1);
+  const auto t3 = run(3);  // non-divisor width: chunk boundaries shift
   const auto t4 = run(4);
   const auto t8 = run(8);
+  const auto t16 = run(16);  // more workers than the pool may hold
+  EXPECT_EQ(t1.trace_hash, t3.trace_hash);
   EXPECT_EQ(t1.trace_hash, t4.trace_hash);
   EXPECT_EQ(t1.trace_hash, t8.trace_hash);
+  EXPECT_EQ(t1.trace_hash, t16.trace_hash);
   EXPECT_EQ(t1.delivered, t4.delivered);
   EXPECT_EQ(t1.messages_delivered, t8.messages_delivered);
 }

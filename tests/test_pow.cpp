@@ -42,6 +42,36 @@ TEST(Puzzle, RealSolverFindsSolutions) {
   EXPECT_NEAR(attempts.mean(), 100.0, 60.0);  // geometric mean ~ 100
 }
 
+TEST(Puzzle, SolveBatchMatchesSequentialSolve) {
+  // The batched attempt-stream path is an optimization only: with the
+  // same rng fork order it must produce byte-identical solutions to
+  // one solve() call per machine.
+  const crypto::OracleSuite oracles(17);
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = tau_for_expected_attempts(200.0);
+
+  Rng rng_seq(99);
+  std::vector<Solution> sequential;
+  for (std::size_t i = 0; i < 32; ++i) {
+    Rng machine_rng = rng_seq.fork();
+    if (const auto s = solver.solve(0x5151, tau, 4096, machine_rng)) {
+      sequential.push_back(*s);
+    }
+  }
+
+  Rng rng_batch(99);
+  const auto batched = solver.solve_batch(0x5151, tau, 32, 4096, rng_batch);
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  ASSERT_FALSE(batched.empty());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].sigma, sequential[i].sigma);
+    EXPECT_EQ(batched[i].g_output, sequential[i].g_output);
+    EXPECT_EQ(batched[i].id, sequential[i].id);
+    EXPECT_EQ(batched[i].attempts, sequential[i].attempts);
+  }
+}
+
 TEST(Puzzle, SolutionInvalidUnderDifferentEpochString) {
   const crypto::OracleSuite oracles(3);
   const PuzzleSolver solver(oracles.f, oracles.g);

@@ -92,6 +92,38 @@ TEST(TrialRunner, SeedChangesResults) {
   EXPECT_NE(a.mean(), b.mean());
 }
 
+TEST(TrialRunner, RepeatedRunsAreBitIdentical) {
+  // Shard-local accumulation merged in shard order: the result is a
+  // pure function of (seed, trials, threads), independent of worker
+  // scheduling, so repeated runs agree to the last bit.
+  const auto trial = [](Rng& rng, std::size_t) {
+    double acc = 0.0;
+    for (int i = 0; i < 16; ++i) acc += rng.uniform();
+    return acc;
+  };
+  const auto a = run_trials(500, 31337, trial, 4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto b = run_trials(500, 31337, trial, 4);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+    EXPECT_DOUBLE_EQ(a.min(), b.min());
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+  }
+}
+
+TEST(TrialRunner, ThreadCountDoesNotChangeTheTrialSet) {
+  // Each trial's rng depends only on (seed, index), so min/max/count —
+  // order-independent aggregates — agree across thread counts.
+  const auto trial = [](Rng& rng, std::size_t) { return rng.uniform(); };
+  const auto t1 = run_trials(200, 5, trial, 1);
+  const auto t8 = run_trials(200, 5, trial, 8);
+  EXPECT_EQ(t1.count(), t8.count());
+  EXPECT_DOUBLE_EQ(t1.min(), t8.min());
+  EXPECT_DOUBLE_EQ(t1.max(), t8.max());
+  EXPECT_NEAR(t1.mean(), t8.mean(), 1e-12);
+}
+
 TEST(TrialRunner, MultiMetricVariant) {
   const auto stats = run_trials_multi(
       50, 2, 7,

@@ -317,5 +317,76 @@ TEST(ParallelForShards, CoversAllShards) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelForShards, RepeatedFanOutsReuseTheGlobalPool) {
+  // Many small fan-outs in a row: the per-call cost must be pool reuse,
+  // not thread construction; every index must still run exactly once.
+  for (int repeat = 0; repeat < 50; ++repeat) {
+    std::vector<std::atomic<int>> hits(8);
+    parallel_for_shards(8, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{64},
+                                  std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForHonorsMaxWorkersCap) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(256);
+  // max_workers = 1: the caller alone; still covers everything.
+  pool.parallel_for(256, [&](std::size_t i) { hits[i].fetch_add(1); }, 1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // Nested fan-out from inside pool work must not deadlock.
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersBothComplete) {
+  // The single job slot must not deadlock or starve a second caller:
+  // the loser of the slot race falls back to inline execution.
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread t1(
+      [&] { pool.parallel_for(500, [&](std::size_t) { a.fetch_add(1); }); });
+  std::thread t2(
+      [&] { pool.parallel_for(500, [&](std::size_t) { b.fetch_add(1); }); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 500);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, SubmitAndParallelForInterleave) {
+  ThreadPool pool(4);
+  std::atomic<int> queued{0}, indexed{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&queued] { queued.fetch_add(1); });
+  }
+  pool.parallel_for(100, [&](std::size_t) { indexed.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(queued.load(), 20);
+  EXPECT_EQ(indexed.load(), 100);
+}
+
 }  // namespace
 }  // namespace tg
