@@ -1,0 +1,94 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/adversary.cpp" "CMakeFiles/tinygroups.dir/src/adversary/adversary.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/adversary.cpp.o.d"
+  "/root/repo/src/adversary/eclipse.cpp" "CMakeFiles/tinygroups.dir/src/adversary/eclipse.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/eclipse.cpp.o.d"
+  "/root/repo/src/adversary/flood.cpp" "CMakeFiles/tinygroups.dir/src/adversary/flood.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/flood.cpp.o.d"
+  "/root/repo/src/adversary/late_release.cpp" "CMakeFiles/tinygroups.dir/src/adversary/late_release.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/late_release.cpp.o.d"
+  "/root/repo/src/adversary/omit_ids.cpp" "CMakeFiles/tinygroups.dir/src/adversary/omit_ids.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/omit_ids.cpp.o.d"
+  "/root/repo/src/adversary/precompute.cpp" "CMakeFiles/tinygroups.dir/src/adversary/precompute.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/precompute.cpp.o.d"
+  "/root/repo/src/adversary/redirect.cpp" "CMakeFiles/tinygroups.dir/src/adversary/redirect.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/redirect.cpp.o.d"
+  "/root/repo/src/adversary/target_group.cpp" "CMakeFiles/tinygroups.dir/src/adversary/target_group.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/adversary/target_group.cpp.o.d"
+  "/root/repo/src/baseline/commensal_cuckoo.cpp" "CMakeFiles/tinygroups.dir/src/baseline/commensal_cuckoo.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/baseline/commensal_cuckoo.cpp.o.d"
+  "/root/repo/src/baseline/cuckoo.cpp" "CMakeFiles/tinygroups.dir/src/baseline/cuckoo.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/baseline/cuckoo.cpp.o.d"
+  "/root/repo/src/baseline/logn_groups.cpp" "CMakeFiles/tinygroups.dir/src/baseline/logn_groups.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/baseline/logn_groups.cpp.o.d"
+  "/root/repo/src/baseline/single_graph.cpp" "CMakeFiles/tinygroups.dir/src/baseline/single_graph.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/baseline/single_graph.cpp.o.d"
+  "/root/repo/src/bft/coded_storage.cpp" "CMakeFiles/tinygroups.dir/src/bft/coded_storage.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/coded_storage.cpp.o.d"
+  "/root/repo/src/bft/dkg.cpp" "CMakeFiles/tinygroups.dir/src/bft/dkg.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/dkg.cpp.o.d"
+  "/root/repo/src/bft/dolev_strong.cpp" "CMakeFiles/tinygroups.dir/src/bft/dolev_strong.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/dolev_strong.cpp.o.d"
+  "/root/repo/src/bft/group_processor.cpp" "CMakeFiles/tinygroups.dir/src/bft/group_processor.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/group_processor.cpp.o.d"
+  "/root/repo/src/bft/group_rng.cpp" "CMakeFiles/tinygroups.dir/src/bft/group_rng.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/group_rng.cpp.o.d"
+  "/root/repo/src/bft/majority_filter.cpp" "CMakeFiles/tinygroups.dir/src/bft/majority_filter.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/majority_filter.cpp.o.d"
+  "/root/repo/src/bft/phase_king.cpp" "CMakeFiles/tinygroups.dir/src/bft/phase_king.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/phase_king.cpp.o.d"
+  "/root/repo/src/bft/randomized_ba.cpp" "CMakeFiles/tinygroups.dir/src/bft/randomized_ba.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/randomized_ba.cpp.o.d"
+  "/root/repo/src/bft/reliable_broadcast.cpp" "CMakeFiles/tinygroups.dir/src/bft/reliable_broadcast.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/reliable_broadcast.cpp.o.d"
+  "/root/repo/src/bft/secret_sharing.cpp" "CMakeFiles/tinygroups.dir/src/bft/secret_sharing.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/secret_sharing.cpp.o.d"
+  "/root/repo/src/bft/shamir.cpp" "CMakeFiles/tinygroups.dir/src/bft/shamir.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/bft/shamir.cpp.o.d"
+  "/root/repo/src/core/bootstrap.cpp" "CMakeFiles/tinygroups.dir/src/core/bootstrap.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/bootstrap.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "CMakeFiles/tinygroups.dir/src/core/builder.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/builder.cpp.o.d"
+  "/root/repo/src/core/churn.cpp" "CMakeFiles/tinygroups.dir/src/core/churn.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/churn.cpp.o.d"
+  "/root/repo/src/core/epoch_manager.cpp" "CMakeFiles/tinygroups.dir/src/core/epoch_manager.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/epoch_manager.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "CMakeFiles/tinygroups.dir/src/core/group.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/group.cpp.o.d"
+  "/root/repo/src/core/group_graph.cpp" "CMakeFiles/tinygroups.dir/src/core/group_graph.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/group_graph.cpp.o.d"
+  "/root/repo/src/core/initialization.cpp" "CMakeFiles/tinygroups.dir/src/core/initialization.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/initialization.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "CMakeFiles/tinygroups.dir/src/core/params.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/params.cpp.o.d"
+  "/root/repo/src/core/population.cpp" "CMakeFiles/tinygroups.dir/src/core/population.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/population.cpp.o.d"
+  "/root/repo/src/core/quarantine.cpp" "CMakeFiles/tinygroups.dir/src/core/quarantine.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/quarantine.cpp.o.d"
+  "/root/repo/src/core/robustness.cpp" "CMakeFiles/tinygroups.dir/src/core/robustness.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/robustness.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "CMakeFiles/tinygroups.dir/src/core/search.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/search.cpp.o.d"
+  "/root/repo/src/core/self_heal.cpp" "CMakeFiles/tinygroups.dir/src/core/self_heal.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/self_heal.cpp.o.d"
+  "/root/repo/src/core/storage.cpp" "CMakeFiles/tinygroups.dir/src/core/storage.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/core/storage.cpp.o.d"
+  "/root/repo/src/crypto/commitment.cpp" "CMakeFiles/tinygroups.dir/src/crypto/commitment.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/crypto/commitment.cpp.o.d"
+  "/root/repo/src/crypto/hex.cpp" "CMakeFiles/tinygroups.dir/src/crypto/hex.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/crypto/hex.cpp.o.d"
+  "/root/repo/src/crypto/oracle.cpp" "CMakeFiles/tinygroups.dir/src/crypto/oracle.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/crypto/oracle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/tinygroups.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha256_shani.cpp" "CMakeFiles/tinygroups.dir/src/crypto/sha256_shani.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/crypto/sha256_shani.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "CMakeFiles/tinygroups.dir/src/crypto/signature.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/crypto/signature.cpp.o.d"
+  "/root/repo/src/idspace/interval.cpp" "CMakeFiles/tinygroups.dir/src/idspace/interval.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/idspace/interval.cpp.o.d"
+  "/root/repo/src/idspace/placement.cpp" "CMakeFiles/tinygroups.dir/src/idspace/placement.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/idspace/placement.cpp.o.d"
+  "/root/repo/src/idspace/ring_point.cpp" "CMakeFiles/tinygroups.dir/src/idspace/ring_point.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/idspace/ring_point.cpp.o.d"
+  "/root/repo/src/idspace/ring_table.cpp" "CMakeFiles/tinygroups.dir/src/idspace/ring_table.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/idspace/ring_table.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "CMakeFiles/tinygroups.dir/src/net/mailbox.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/net/mailbox.cpp.o.d"
+  "/root/repo/src/net/min_gossip.cpp" "CMakeFiles/tinygroups.dir/src/net/min_gossip.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/net/min_gossip.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/tinygroups.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/net/relay.cpp" "CMakeFiles/tinygroups.dir/src/net/relay.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/net/relay.cpp.o.d"
+  "/root/repo/src/overlay/chord.cpp" "CMakeFiles/tinygroups.dir/src/overlay/chord.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/chord.cpp.o.d"
+  "/root/repo/src/overlay/chordpp.cpp" "CMakeFiles/tinygroups.dir/src/overlay/chordpp.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/chordpp.cpp.o.d"
+  "/root/repo/src/overlay/debruijn.cpp" "CMakeFiles/tinygroups.dir/src/overlay/debruijn.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/debruijn.cpp.o.d"
+  "/root/repo/src/overlay/distance_halving.cpp" "CMakeFiles/tinygroups.dir/src/overlay/distance_halving.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/distance_halving.cpp.o.d"
+  "/root/repo/src/overlay/input_graph.cpp" "CMakeFiles/tinygroups.dir/src/overlay/input_graph.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/input_graph.cpp.o.d"
+  "/root/repo/src/overlay/kautz.cpp" "CMakeFiles/tinygroups.dir/src/overlay/kautz.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/kautz.cpp.o.d"
+  "/root/repo/src/overlay/properties.cpp" "CMakeFiles/tinygroups.dir/src/overlay/properties.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/properties.cpp.o.d"
+  "/root/repo/src/overlay/registry.cpp" "CMakeFiles/tinygroups.dir/src/overlay/registry.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/registry.cpp.o.d"
+  "/root/repo/src/overlay/tapestry.cpp" "CMakeFiles/tinygroups.dir/src/overlay/tapestry.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/tapestry.cpp.o.d"
+  "/root/repo/src/overlay/viceroy.cpp" "CMakeFiles/tinygroups.dir/src/overlay/viceroy.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/overlay/viceroy.cpp.o.d"
+  "/root/repo/src/pow/epoch_string.cpp" "CMakeFiles/tinygroups.dir/src/pow/epoch_string.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/pow/epoch_string.cpp.o.d"
+  "/root/repo/src/pow/gossip.cpp" "CMakeFiles/tinygroups.dir/src/pow/gossip.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/pow/gossip.cpp.o.d"
+  "/root/repo/src/pow/id_generation.cpp" "CMakeFiles/tinygroups.dir/src/pow/id_generation.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/pow/id_generation.cpp.o.d"
+  "/root/repo/src/pow/puzzle.cpp" "CMakeFiles/tinygroups.dir/src/pow/puzzle.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/pow/puzzle.cpp.o.d"
+  "/root/repo/src/pow/verification.cpp" "CMakeFiles/tinygroups.dir/src/pow/verification.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/pow/verification.cpp.o.d"
+  "/root/repo/src/routing/transport.cpp" "CMakeFiles/tinygroups.dir/src/routing/transport.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/routing/transport.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "CMakeFiles/tinygroups.dir/src/sim/clock.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "CMakeFiles/tinygroups.dir/src/sim/latency.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/sim/latency.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/tinygroups.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/trial_runner.cpp" "CMakeFiles/tinygroups.dir/src/sim/trial_runner.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/sim/trial_runner.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/tinygroups.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/tinygroups.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/tinygroups.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/tinygroups.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/tinygroups.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/tinygroups.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_two_graphs.dir/bench_ablation_two_graphs.cpp.o"
+  "CMakeFiles/bench_ablation_two_graphs.dir/bench_ablation_two_graphs.cpp.o.d"
+  "bench_ablation_two_graphs"
+  "bench_ablation_two_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_two_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bft_primitives.dir/bench_bft_primitives.cpp.o"
+  "CMakeFiles/bench_bft_primitives.dir/bench_bft_primitives.cpp.o.d"
+  "bench_bft_primitives"
+  "bench_bft_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bft_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

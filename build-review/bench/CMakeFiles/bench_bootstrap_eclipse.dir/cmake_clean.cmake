@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bootstrap_eclipse.dir/bench_bootstrap_eclipse.cpp.o"
+  "CMakeFiles/bench_bootstrap_eclipse.dir/bench_bootstrap_eclipse.cpp.o.d"
+  "bench_bootstrap_eclipse"
+  "bench_bootstrap_eclipse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bootstrap_eclipse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coded_storage.dir/bench_coded_storage.cpp.o"
+  "CMakeFiles/bench_coded_storage.dir/bench_coded_storage.cpp.o.d"
+  "bench_coded_storage"
+  "bench_coded_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coded_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_comparison.dir/bench_cost_comparison.cpp.o"
+  "CMakeFiles/bench_cost_comparison.dir/bench_cost_comparison.cpp.o.d"
+  "bench_cost_comparison"
+  "bench_cost_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

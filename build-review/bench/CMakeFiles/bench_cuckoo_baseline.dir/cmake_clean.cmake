@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cuckoo_baseline.dir/bench_cuckoo_baseline.cpp.o"
+  "CMakeFiles/bench_cuckoo_baseline.dir/bench_cuckoo_baseline.cpp.o.d"
+  "bench_cuckoo_baseline"
+  "bench_cuckoo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cuckoo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

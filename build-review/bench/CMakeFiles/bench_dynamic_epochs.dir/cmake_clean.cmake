@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_epochs.dir/bench_dynamic_epochs.cpp.o"
+  "CMakeFiles/bench_dynamic_epochs.dir/bench_dynamic_epochs.cpp.o.d"
+  "bench_dynamic_epochs"
+  "bench_dynamic_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_size_boundary.dir/bench_group_size_boundary.cpp.o"
+  "CMakeFiles/bench_group_size_boundary.dir/bench_group_size_boundary.cpp.o.d"
+  "bench_group_size_boundary"
+  "bench_group_size_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_size_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

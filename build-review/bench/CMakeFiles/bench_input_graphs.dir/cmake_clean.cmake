@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_graphs.dir/bench_input_graphs.cpp.o"
+  "CMakeFiles/bench_input_graphs.dir/bench_input_graphs.cpp.o.d"
+  "bench_input_graphs"
+  "bench_input_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_runtime.dir/bench_net_runtime.cpp.o"
+  "CMakeFiles/bench_net_runtime.dir/bench_net_runtime.cpp.o.d"
+  "bench_net_runtime"
+  "bench_net_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pow_ids.dir/bench_pow_ids.cpp.o"
+  "CMakeFiles/bench_pow_ids.dir/bench_pow_ids.cpp.o.d"
+  "bench_pow_ids"
+  "bench_pow_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pow_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

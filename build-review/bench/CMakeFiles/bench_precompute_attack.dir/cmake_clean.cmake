@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precompute_attack.dir/bench_precompute_attack.cpp.o"
+  "CMakeFiles/bench_precompute_attack.dir/bench_precompute_attack.cpp.o.d"
+  "bench_precompute_attack"
+  "bench_precompute_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precompute_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_modes.dir/bench_routing_modes.cpp.o"
+  "CMakeFiles/bench_routing_modes.dir/bench_routing_modes.cpp.o.d"
+  "bench_routing_modes"
+  "bench_routing_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secure_routing_micro.dir/bench_secure_routing_micro.cpp.o"
+  "CMakeFiles/bench_secure_routing_micro.dir/bench_secure_routing_micro.cpp.o.d"
+  "bench_secure_routing_micro"
+  "bench_secure_routing_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secure_routing_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_self_healing.dir/bench_self_healing.cpp.o"
+  "CMakeFiles/bench_self_healing.dir/bench_self_healing.cpp.o.d"
+  "bench_self_healing"
+  "bench_self_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_self_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

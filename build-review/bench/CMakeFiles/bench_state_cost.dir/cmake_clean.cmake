@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_cost.dir/bench_state_cost.cpp.o"
+  "CMakeFiles/bench_state_cost.dir/bench_state_cost.cpp.o.d"
+  "bench_state_cost"
+  "bench_state_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_robustness.dir/bench_static_robustness.cpp.o"
+  "CMakeFiles/bench_static_robustness.dir/bench_static_robustness.cpp.o.d"
+  "bench_static_robustness"
+  "bench_static_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_retention.dir/bench_storage_retention.cpp.o"
+  "CMakeFiles/bench_storage_retention.dir/bench_storage_retention.cpp.o.d"
+  "bench_storage_retention"
+  "bench_storage_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_string_propagation.dir/bench_string_propagation.cpp.o"
+  "CMakeFiles/bench_string_propagation.dir/bench_string_propagation.cpp.o.d"
+  "bench_string_propagation"
+  "bench_string_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_string_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

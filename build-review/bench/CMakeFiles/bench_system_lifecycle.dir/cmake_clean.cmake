@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_system_lifecycle.dir/bench_system_lifecycle.cpp.o"
+  "CMakeFiles/bench_system_lifecycle.dir/bench_system_lifecycle.cpp.o.d"
+  "bench_system_lifecycle"
+  "bench_system_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_system_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_attack_demo.dir/churn_attack_demo.cpp.o"
+  "CMakeFiles/churn_attack_demo.dir/churn_attack_demo.cpp.o.d"
+  "churn_attack_demo"
+  "churn_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

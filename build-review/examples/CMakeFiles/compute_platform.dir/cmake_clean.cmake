@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_platform.dir/compute_platform.cpp.o"
+  "CMakeFiles/compute_platform.dir/compute_platform.cpp.o.d"
+  "compute_platform"
+  "compute_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_beacon.dir/random_beacon.cpp.o"
+  "CMakeFiles/random_beacon.dir/random_beacon.cpp.o.d"
+  "random_beacon"
+  "random_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

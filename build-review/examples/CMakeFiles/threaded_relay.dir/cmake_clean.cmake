@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_relay.dir/threaded_relay.cpp.o"
+  "CMakeFiles/threaded_relay.dir/threaded_relay.cpp.o.d"
+  "threaded_relay"
+  "threaded_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bft.dir/test_bft.cpp.o"
+  "CMakeFiles/test_bft.dir/test_bft.cpp.o.d"
+  "test_bft"
+  "test_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

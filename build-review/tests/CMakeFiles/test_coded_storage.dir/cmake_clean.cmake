@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coded_storage.dir/test_coded_storage.cpp.o"
+  "CMakeFiles/test_coded_storage.dir/test_coded_storage.cpp.o.d"
+  "test_coded_storage"
+  "test_coded_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coded_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dynamic.dir/test_core_dynamic.cpp.o"
+  "CMakeFiles/test_core_dynamic.dir/test_core_dynamic.cpp.o.d"
+  "test_core_dynamic"
+  "test_core_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_static.dir/test_core_static.cpp.o"
+  "CMakeFiles/test_core_static.dir/test_core_static.cpp.o.d"
+  "test_core_static"
+  "test_core_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dkg_ba.dir/test_dkg_ba.cpp.o"
+  "CMakeFiles/test_dkg_ba.dir/test_dkg_ba.cpp.o.d"
+  "test_dkg_ba"
+  "test_dkg_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dkg_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field_shamir.dir/test_field_shamir.cpp.o"
+  "CMakeFiles/test_field_shamir.dir/test_field_shamir.cpp.o.d"
+  "test_field_shamir"
+  "test_field_shamir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field_shamir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idspace.dir/test_idspace.cpp.o"
+  "CMakeFiles/test_idspace.dir/test_idspace.cpp.o.d"
+  "test_idspace"
+  "test_idspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifecycle.dir/test_lifecycle.cpp.o"
+  "CMakeFiles/test_lifecycle.dir/test_lifecycle.cpp.o.d"
+  "test_lifecycle"
+  "test_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

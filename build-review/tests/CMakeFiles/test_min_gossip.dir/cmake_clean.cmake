@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_gossip.dir/test_min_gossip.cpp.o"
+  "CMakeFiles/test_min_gossip.dir/test_min_gossip.cpp.o.d"
+  "test_min_gossip"
+  "test_min_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pow.dir/test_pow.cpp.o"
+  "CMakeFiles/test_pow.dir/test_pow.cpp.o.d"
+  "test_pow"
+  "test_pow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

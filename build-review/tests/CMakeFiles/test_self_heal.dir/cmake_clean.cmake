@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_heal.dir/test_self_heal.cpp.o"
+  "CMakeFiles/test_self_heal.dir/test_self_heal.cpp.o.d"
+  "test_self_heal"
+  "test_self_heal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_heal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

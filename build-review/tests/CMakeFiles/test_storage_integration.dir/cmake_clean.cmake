@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_integration.dir/test_storage_integration.cpp.o"
+  "CMakeFiles/test_storage_integration.dir/test_storage_integration.cpp.o.d"
+  "test_storage_integration"
+  "test_storage_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
