@@ -1,11 +1,13 @@
-// E3 + E13 — The dynamic case (Section III, Theorem 3, Lemmas 7-8).
+// E3 + E13 — The dynamic case (Section III, Theorem 3), as a campaign.
 //
-// Reproduces:
-//   * Theorem 3: O(1/poly log n)-robustness maintained over many
-//     epochs of full ID turnover (n joins + n departures per epoch),
-//   * Lemma 7: probability a NEW group is bad scales with q_f^2 of the
-//     old graphs (dual searches),
-//   * Lemma 8: probability a NEW group is confused = O(q_f^2 log^g n).
+// Formerly a hand-wired epoch loop; now a thin invocation of the
+// scenario campaign engine's "dynamic" slice: the targeted join-leave
+// attack against every topology, at increasing churn depth.  This is
+// the paper's headline comparison mechanized — the cuckoo-rule
+// baselines lose a good majority under the classic attack at tiny
+// |G| (captured = 1), while the PoW-uniform group graphs never let
+// the adversary concentrate (captured = 0, bad fraction pinned near
+// beta).
 #include "bench_common.hpp"
 
 #include "tinygroups/tinygroups.hpp"
@@ -15,93 +17,27 @@ int main() {
   using namespace tg::bench;
   log::set_level(log::Level::warn);
 
-  banner("E3: dynamic epsilon-robustness over epochs (Theorem 3)",
-         "all but O(1/polylog n) groups stay good over poly(n) churn");
+  banner("E3: dynamic robustness campaign (Theorem 3 vs the cuckoo rules)",
+         "tiny groups survive churn-driven concentration; baselines fail");
 
-  // ---- Table 1: per-epoch trajectories in both regimes.  At beta =
-  // 0.05 the red fraction sits at the epsilon floor (often exactly 0
-  // at n = 2048: epsilon < 1/n at this scale); at beta = 0.10 the
-  // confusion recurrence is supercritical and the pipeline cascades —
-  // the paper's "beta a sufficiently small constant" made visible.
-  for (const double beta : {0.05, 0.10}) {
-    Table t({"epoch", "red g1", "red g2", "confused g1", "q_f", "dual fail",
-             "success", "mem dual-failures", "nbr dual-failures"});
-    t.set_title("Per-epoch robustness, n = 2048, beta = " +
-                Table::render(beta) + ", chord");
-    core::Params p;
-    p.n = 2048;
-    p.beta = beta;
-    p.seed = 11;
-    core::EpochManager mgr(p);
-    Rng rng(p.seed);
-    const auto records = mgr.run(/*epochs=*/6, /*probe_searches=*/20000, rng);
-    for (const auto& r : records) {
-      t.add_row({static_cast<std::uint64_t>(r.epoch), r.red_fraction_g1,
-                 r.red_fraction_g2, r.confused_fraction_g1, r.q_f,
-                 r.dual_failure, r.search_success,
-                 static_cast<std::uint64_t>(r.build.membership_dual_failures),
-                 static_cast<std::uint64_t>(r.build.neighbor_dual_failures)});
+  std::vector<scenario::ScenarioResult> all;
+  for (const std::size_t epochs : {std::size_t{1}, std::size_t{4}}) {
+    scenario::CampaignOptions options;
+    options.filter = "dynamic";
+    const auto& registry = scenario::Registry::instance();
+    std::cout << "\n--- churn: " << epochs << " epoch(s) ---\n";
+    std::vector<scenario::ScenarioResult> results;
+    for (const auto* cell : registry.match(options.filter)) {
+      scenario::ScenarioSpec spec = cell->spec;
+      spec.churn.epochs = epochs;
+      results.push_back(scenario::CampaignRunner::run_cell(*cell, spec));
     }
-    t.print(std::cout);
+    scenario::CampaignRunner::print(results, std::cout);
+    all.insert(all.end(), results.begin(), results.end());
   }
 
-  // ---- Table 2: final-epoch robustness across beta (where does the
-  // construction break?).
-  {
-    Table t({"beta", "red g1 (final)", "majority-bad", "q_f", "success",
-             "epsilon-robust?"});
-    t.set_title("Robustness after 4 epochs vs adversary strength beta");
-    for (const double beta : {0.02, 0.05, 0.08, 0.10, 0.12, 0.15}) {
-      core::Params p;
-      p.n = 2048;
-      p.beta = beta;
-      p.seed = 13;
-      core::EpochManager mgr(p);
-      Rng rng(p.seed);
-      const auto records = mgr.run(4, 10000, rng);
-      const auto& last = records.back();
-      t.add_row({beta, last.red_fraction_g1, last.majority_bad_fraction_g1,
-                 last.q_f, last.search_success,
-                 std::string(last.red_fraction_g1 < 0.05 ? "yes" : "NO")});
-    }
-    t.print(std::cout);
-  }
-
-  // ---- Table 3 (E13): Lemmas 7-8 — inject a controlled q_f into the
-  // old graphs via synthetic red marking, rebuild, and compare the new
-  // graphs' bad/confused rates against the q_f^2 predictions.
-  banner("E13: new-group failure rates vs old-graph q_f (Lemmas 7-8)",
-         "P[new group bad] ~ q_f^2 d2 loglog n;  P[confused] ~ q_f^2 log^g n");
-  {
-    Table t({"pf injected", "old q_f", "old q_f^2", "new bad frac",
-             "new confused frac", "confused / q_f^2"});
-    t.set_title("n = 2048, chord; dual searches in both old graphs");
-    core::Params p;
-    p.n = 2048;
-    p.beta = 0.0;  // isolate the search-failure channel
-    p.seed = 17;
-    core::EpochBuilder builder(p);
-    for (const double pf : {0.005, 0.01, 0.02, 0.04}) {
-      Rng rng(static_cast<std::uint64_t>(pf * 1e6) + 17);
-      core::EpochGraphs old = builder.initial(rng);
-      // Synthetic red marking simulates an old generation whose red
-      // fraction is pf (independently in each graph).
-      old.g1->mark_red_synthetic(pf, rng);
-      old.g2->mark_red_synthetic(pf, rng);
-      const double qf = core::measure_robustness(*old.g1, 10000, rng).q_f;
-
-      core::BuildStats stats;
-      const core::EpochGraphs next = builder.build_next(old, rng, &stats);
-      next.g1->clear_synthetic();
-      const double bad = next.g1->bad_fraction();
-      const double confused = next.g1->confused_fraction();
-      t.add_row({pf, qf, qf * qf, bad, confused,
-                 confused / std::max(qf * qf, 1e-12)});
-    }
-    t.print(std::cout);
-    std::cout << "\n(The last column being roughly constant across rows is\n"
-                 " Lemma 8's O(q_f^2 log^gamma n) shape: confusion scales\n"
-                 " with the SQUARE of the old failure rate.)\n";
-  }
-  return 0;
+  JsonReporter reporter("scenarios_dynamic");
+  scenario::CampaignRunner::report(all, reporter);
+  reporter.write();
+  return all.empty() ? 1 : 0;
 }

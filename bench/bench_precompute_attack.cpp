@@ -1,15 +1,16 @@
-// E7 — Section IV-B's pre-computation attack, and IV-A's chosen-input
-// attack ("Why Use Two Hash Functions?").
+// E7 — PoW-time attacks (Sections IV-A/IV-B, Appendix VIII), as a
+// campaign.
 //
-// Without epoch strings, the adversary banks puzzle solutions for S
-// epochs and deploys them at once (an S-times amplified Sybil burst).
-// With strings, only work performed after r_{i-1} appeared counts —
-// at most ~1.5 epochs' worth (the paper's 3(1+eps)beta n remark).
-//
-// The chosen-input attack: under single-hash ID assignment the
-// adversary steers ALL of its IDs into a chosen region; under the
-// composed f(g(x)) scheme its hit rate collapses to the region's
-// measure.
+// Formerly a hand-wired stockpile loop; now a thin invocation of the
+// scenario campaign engine's "pow" slice: the pre-computation
+// (stockpile) attack and the late-release string attack against every
+// topology, at increasing stockpiling horizons.  The claims:
+//   * amplification tracks the banked-epoch count (strings void the
+//     stockpile down to ~1.5 epochs of work),
+//   * even the deployed burst cannot manufacture majority-bad groups
+//     when placements are PoW-uniform,
+//   * three-phase gossip keeps agreement under worst-case late
+//     release on every topology's degree.
 #include "bench_common.hpp"
 
 #include "tinygroups/tinygroups.hpp"
@@ -19,45 +20,26 @@ int main() {
   using namespace tg::bench;
   log::set_level(log::Level::warn);
 
-  banner("E7: pre-computation attack vs epoch strings (Section IV-B)",
-         "stockpiling is void: deployable IDs drop from S epochs to ~1.5");
+  banner("E7: PoW-attack campaign (stockpile + late release)",
+         "epoch strings void stockpiles; Phase 3 absorbs late release");
 
-  {
-    Table t({"epochs precomputed", "IDs w/o strings", "IDs with strings",
-             "amplification removed"});
-    t.set_title("Stockpile attack, 2^20 puzzle attempts per epoch");
-    Rng rng(3);
-    const std::uint64_t tau = pow::tau_for_expected_attempts(2048.0);
-    for (const std::size_t epochs : {2u, 4u, 8u, 16u, 32u}) {
-      const auto rep =
-          adversary::simulate_stockpile(1 << 20, epochs, tau, rng);
-      t.add_row({static_cast<std::uint64_t>(epochs), rep.ids_without_strings,
-                 rep.ids_with_strings, rep.amplification});
+  std::vector<scenario::ScenarioResult> all;
+  for (const std::size_t epochs_banked : {std::size_t{4}, std::size_t{16}}) {
+    const auto& registry = scenario::Registry::instance();
+    std::cout << "\n--- stockpile horizon: " << epochs_banked
+              << " epochs ---\n";
+    std::vector<scenario::ScenarioResult> results;
+    for (const auto* cell : registry.match("pow")) {
+      scenario::ScenarioSpec spec = cell->spec;
+      spec.churn.epochs = epochs_banked;
+      results.push_back(scenario::CampaignRunner::run_cell(*cell, spec));
     }
-    t.print(std::cout);
-    std::cout << "(Amplification tracks the number of banked epochs — the\n"
-                 " attack scales linearly without strings and is flat with\n"
-                 " them.)\n";
+    scenario::CampaignRunner::print(results, std::cout);
+    all.insert(all.end(), results.begin(), results.end());
   }
 
-  banner("E7b: chosen-input attack on ID placement (Section IV-A)",
-         "f(g(x)) composition forces adversarial IDs to be u.a.r.");
-  {
-    Table t({"target region", "IDs minted", "single-hash hit rate",
-             "f(g(x)) hit rate"});
-    t.set_title("Adversary grinding inputs to land IDs in [0, region)");
-    const crypto::OracleSuite oracles(5);
-    Rng rng(6);
-    for (const double region : {0.5, 0.25, 0.125, 0.0625}) {
-      const auto rep = adversary::simulate_chosen_input(
-          oracles, /*target_ids=*/300, region, /*budget=*/1 << 22, rng);
-      t.add_row({region, static_cast<std::uint64_t>(rep.ids),
-                 rep.single_hash_hit_rate, rep.composed_hash_hit_rate});
-    }
-    t.print(std::cout);
-    std::cout << "(Single hash: 100% steering — the adversary could pack any\n"
-                 " group's neighborhood.  Composed: hit rate == region\n"
-                 " measure, i.e., no steering at all.)\n";
-  }
-  return 0;
+  JsonReporter reporter("scenarios_pow");
+  scenario::CampaignRunner::report(all, reporter);
+  reporter.write();
+  return all.empty() ? 1 : 0;
 }

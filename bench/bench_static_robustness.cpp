@@ -1,13 +1,15 @@
-// E1 + E2 — The static case (Section II, Lemmas 1-4).
+// E1 + E2 — The static case (Section II, Lemmas 1-4), as a campaign.
 //
-// Reproduces, in the S2 model (each group red independently with
-// probability pf = 1/log^k n):
-//   * Lemma 1: responsibility rho(G_v) = O(log^c n / n) for all v,
-//   * Lemmas 2-3: the failure mass X concentrates near E[X] =
-//     O(pf log^c n),
-//   * Lemma 4: search success >= 1 - O(1/log^{k-c} n),
-// and cross-checks against the composition-derived classification
-// (members actually drawn, beta-fraction adversary).
+// Formerly a hand-wired trial loop; now a thin invocation of the
+// scenario campaign engine's "static" slice (eclipse, flood, omit_ids
+// against every topology), swept over the adversary strength beta.
+// The paper-shaped claims this slice demonstrates:
+//   * dual-search verification keeps flood acceptance ~q_f^2 on the
+//     group graphs (Lemma 10's channel),
+//   * subset omission cannot manufacture majority-bad groups
+//     (Lemma 5 / P1-P4),
+//   * the tiny-|G| topologies hold the same lines the Theta(log n)
+//     baseline does, at a fraction of the group size.
 #include "bench_common.hpp"
 
 #include "tinygroups/tinygroups.hpp"
@@ -17,104 +19,22 @@ int main() {
   using namespace tg::bench;
   log::set_level(log::Level::warn);
 
-  banner("E1/E2: static epsilon-robustness (Lemmas 1-4)",
-         "success >= 1 - O(pf log^c n) with |G| = Theta(log log n)");
+  banner("E1/E2: static epsilon-robustness campaign (Lemmas 1-4)",
+         "tiny |G| survives the static attacks Theta(log n) groups do");
 
-  // ---- Table 1: Lemma 4 sweep over n with pf = 1/ln^2 n.
-  {
-    Table t({"n", "|G|", "pf=1/ln^2 n", "D (hops)", "pred. fail D*pf",
-             "measured fail", "success", "max rho*n/ln n"});
-    t.set_title("Lemma 4: search success in the S2 model, pf = 1/ln^2(n)");
-    for (const std::size_t n :
-         {std::size_t{1} << 10, std::size_t{1} << 11, std::size_t{1} << 12,
-          std::size_t{1} << 13, std::size_t{1} << 14}) {
-      core::Params p;
-      p.n = n;
-      p.beta = 0.0;
-      p.seed = 1000 + n;
-      Rng rng(p.seed);
-      auto pop = std::make_shared<const core::Population>(
-          core::Population::uniform(n, 0.0, rng));
-      const crypto::OracleSuite oracles(p.seed);
-      auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
-
-      const double pf = 1.0 / (lnd(n) * lnd(n));
-      graph.mark_red_synthetic(pf, rng);
-      const auto rob = core::measure_robustness(graph, 40000, rng);
-
-      const auto rho = core::measure_responsibility(graph, 40000, rng);
-      double max_rho = 0.0;
-      for (const double r : rho) max_rho = std::max(max_rho, r);
-
-      t.add_row({static_cast<std::uint64_t>(n),
-                 static_cast<std::uint64_t>(p.group_size()), pf,
-                 rob.route_hops.mean(), rob.route_hops.mean() * pf, rob.q_f,
-                 rob.search_success,
-                 max_rho * static_cast<double>(n) / lnd(n)});
-    }
-    t.print(std::cout);
+  std::vector<scenario::ScenarioResult> all;
+  for (const double beta : {0.02, 0.05, 0.10}) {
+    scenario::CampaignOptions options;
+    options.filter = "static";
+    options.beta_override = beta;
+    const auto results = scenario::CampaignRunner(options).run();
+    std::cout << "\n--- beta = " << beta << " ---\n";
+    scenario::CampaignRunner::print(results, std::cout);
+    all.insert(all.end(), results.begin(), results.end());
   }
 
-  // ---- Table 2: Lemma 3 concentration — X across independent red
-  // drawings stays within a few standard errors of E[X].
-  {
-    Table t({"n", "pf", "trials", "mean X", "stddev X", "max |X-mean|/mean"});
-    t.set_title("Lemma 3: concentration of the failure mass X");
-    const std::size_t n = 1 << 12;
-    core::Params p;
-    p.n = n;
-    p.beta = 0.0;
-    p.seed = 77;
-    Rng rng(p.seed);
-    auto pop = std::make_shared<const core::Population>(
-        core::Population::uniform(n, 0.0, rng));
-    const crypto::OracleSuite oracles(p.seed);
-    auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
-    for (const double pf : {0.02, 0.01, 0.005}) {
-      RunningStats x_stats;
-      double max_dev = 0.0;
-      std::vector<double> xs;
-      const std::size_t trials = 24;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        graph.mark_red_synthetic(pf, rng);
-        const auto rob = core::measure_robustness(graph, 8000, rng);
-        x_stats.add(rob.q_f);
-        xs.push_back(rob.q_f);
-      }
-      for (const double x : xs) {
-        max_dev = std::max(max_dev, std::fabs(x - x_stats.mean()) /
-                                        std::max(x_stats.mean(), 1e-9));
-      }
-      t.add_row({static_cast<std::uint64_t>(n), pf,
-                 static_cast<std::uint64_t>(trials), x_stats.mean(),
-                 x_stats.stddev(), max_dev});
-    }
-    t.print(std::cout);
-  }
-
-  // ---- Table 3: composition-derived classification (the real system
-  // rather than the S2 model): beta sweep.
-  {
-    Table t({"n", "beta", "red frac (comp.)", "majority-bad frac", "success",
-             "q_f"});
-    t.set_title(
-        "Static case with composition-derived red groups (beta sweep)");
-    const std::size_t n = 1 << 13;
-    for (const double beta : {0.01, 0.03, 0.05, 0.08, 0.10, 0.15}) {
-      core::Params p;
-      p.n = n;
-      p.beta = beta;
-      p.seed = 31337;
-      Rng rng(p.seed);
-      auto pop = std::make_shared<const core::Population>(
-          core::Population::uniform(n, beta, rng));
-      const crypto::OracleSuite oracles(p.seed);
-      auto graph = core::GroupGraph::pristine(p, pop, oracles.h1);
-      const auto rob = core::measure_robustness(graph, 30000, rng);
-      t.add_row({static_cast<std::uint64_t>(n), beta, graph.red_fraction(),
-                 graph.majority_bad_fraction(), rob.search_success, rob.q_f});
-    }
-    t.print(std::cout);
-  }
-  return 0;
+  JsonReporter reporter("scenarios_static");
+  scenario::CampaignRunner::report(all, reporter);
+  reporter.write();
+  return all.empty() ? 1 : 0;
 }

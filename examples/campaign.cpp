@@ -1,0 +1,117 @@
+// campaign — the scenario campaign CLI.
+//
+// Runs a filtered slice of the scenario registry (the adversary x
+// topology matrix; see src/scenario/) and emits both a lab-notebook
+// table and BENCH_scenarios.json, including the network round-loop
+// batching before/after rows.  CI's campaign-smoke job runs
+// `campaign --trials 2` over the full registry and validates the JSON.
+//
+//   campaign [--list] [--filter <substring|campaign>] [--trials N]
+//            [--seed S] [--n N] [--out DIR] [--no-roundloop]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "tinygroups/tinygroups.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --list           print every registered scenario cell and exit\n"
+      << "  --filter STR     run cells whose name contains STR or whose\n"
+      << "                   campaign tag equals STR (static|dynamic|pow)\n"
+      << "  --trials N       override Monte-Carlo trials per cell\n"
+      << "  --seed S         override the experiment seed\n"
+      << "  --n N            override the system size\n"
+      << "  --beta B         override the adversarial fraction\n"
+      << "  --out DIR        directory for BENCH_scenarios.json (default .)\n"
+      << "  --no-roundloop   skip the network round-loop perf rows\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  log::set_level(log::Level::warn);
+
+  scenario::CampaignOptions options;
+  std::string out_dir = ".";
+  bool list_only = false;
+  bool round_loop = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--filter") {
+      options.filter = next();
+    } else if (arg == "--trials") {
+      options.trials_override = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed_override = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--n") {
+      options.n_override = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--beta") {
+      options.beta_override = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--no-roundloop") {
+      round_loop = false;
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  const auto& registry = scenario::Registry::instance();
+  if (list_only) {
+    Table t({"scenario", "campaign", "n", "beta", "trials", "metrics"});
+    t.set_title("Registered scenario cells");
+    for (const auto& cell : registry.scenarios()) {
+      std::string metrics;
+      for (const auto& m : cell.metrics) {
+        if (!metrics.empty()) metrics += ", ";
+        metrics += m;
+      }
+      t.add_row({cell.spec.name, cell.spec.campaign,
+                 static_cast<std::uint64_t>(cell.spec.n), cell.spec.beta,
+                 static_cast<std::uint64_t>(cell.spec.trials), metrics});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  const scenario::CampaignRunner runner(options);
+  const auto results = runner.run();
+  if (results.empty()) {
+    std::cerr << "no scenario matches filter '" << options.filter << "' ("
+              << registry.scenarios().size() << " cells registered)\n";
+    return 1;
+  }
+
+  scenario::CampaignRunner::print(results, std::cout);
+
+  bench::JsonReporter reporter("scenarios");
+  scenario::CampaignRunner::report(results, reporter);
+  if (round_loop) {
+    scenario::append_round_loop_benchmark(reporter);
+  }
+  reporter.write(out_dir);
+
+  double seconds = 0.0;
+  for (const auto& r : results) seconds += r.seconds;
+  std::cout << results.size() << " scenario cells, "
+            << registry.scenarios().size() << " registered, " << seconds
+            << "s of trial time\n";
+  return 0;
+}

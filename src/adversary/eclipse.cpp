@@ -61,6 +61,41 @@ EclipseReport eclipsed_bootstrap(const core::GroupGraph& graph,
   return report;
 }
 
+EclipseReport eclipsed_bootstrap_regions(
+    const std::vector<baseline::GroupComposition>& groups,
+    std::size_t contacts, double eclipsed_fraction, Rng& rng) {
+  EclipseReport report;
+  if (groups.empty() || contacts == 0) return report;
+  report.groups_contacted = contacts;
+  report.adversary_supplied = std::min(
+      contacts,
+      static_cast<std::size_t>(eclipsed_fraction *
+                               static_cast<double>(contacts)));
+
+  double mean_size = 0.0;
+  for (const auto& g : groups) mean_size += static_cast<double>(g.size);
+  mean_size /= static_cast<double>(groups.size());
+  const std::size_t fabricated_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(mean_size + 0.5));
+
+  std::size_t collected = 0;
+  std::size_t bad = 0;
+  for (std::size_t k = 0; k < report.adversary_supplied; ++k) {
+    collected += fabricated_size;  // all-bad fabricated contact group
+    bad += fabricated_size;
+  }
+  for (std::size_t k = report.adversary_supplied; k < contacts; ++k) {
+    const auto& g = groups[rng.below(groups.size())];
+    collected += g.size;
+    bad += g.bad;
+  }
+
+  report.ids_collected = collected;
+  report.bad_ids = bad;
+  report.good_majority = 2 * bad < collected;
+  return report;
+}
+
 double bootstrap_capture_rate(const core::GroupGraph& graph,
                               double eclipsed_fraction, std::size_t trials,
                               Rng& rng) {

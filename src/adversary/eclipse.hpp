@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
+#include "baseline/composition.hpp"
 #include "core/group_graph.hpp"
 #include "util/rng.hpp"
 
@@ -40,5 +42,13 @@ struct EclipseReport {
 [[nodiscard]] double bootstrap_capture_rate(const core::GroupGraph& graph,
                                             double eclipsed_fraction,
                                             std::size_t trials, Rng& rng);
+
+/// Topology-generic variant over a per-group composition snapshot (the
+/// contiguous-region baselines): steered contact slots are fabricated
+/// all-bad groups of the mean region size, honest slots draw a region
+/// u.a.r.  Regions are disjoint, so no dedup is needed.
+[[nodiscard]] EclipseReport eclipsed_bootstrap_regions(
+    const std::vector<baseline::GroupComposition>& groups,
+    std::size_t contacts, double eclipsed_fraction, Rng& rng);
 
 }  // namespace tg::adversary

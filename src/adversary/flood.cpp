@@ -36,4 +36,29 @@ FloodReport flood_membership_requests(const core::GroupGraph& g1,
   return report;
 }
 
+FloodReport flood_membership_requests_regions(
+    const std::vector<baseline::GroupComposition>& groups,
+    std::size_t victims, std::size_t requests_per_victim, Rng& rng) {
+  FloodReport report;
+  if (groups.empty()) return report;
+
+  for (std::size_t v = 0; v < victims; ++v) {
+    for (std::size_t r = 0; r < requests_per_victim; ++r) {
+      ++report.bogus_requests;
+      const bool probe1_fails =
+          groups[rng.below(groups.size())].majority_bad();
+      const bool probe2_fails =
+          groups[rng.below(groups.size())].majority_bad();
+      if (probe1_fails && probe2_fails) ++report.accepted;
+    }
+  }
+  if (report.bogus_requests > 0) {
+    report.acceptance_rate = static_cast<double>(report.accepted) /
+                             static_cast<double>(report.bogus_requests);
+  }
+  report.expected_extra_state =
+      report.acceptance_rate * static_cast<double>(requests_per_victim);
+  return report;
+}
+
 }  // namespace tg::adversary

@@ -11,6 +11,9 @@
 // blow-up is O(#requests * q_f^2), which Lemma 10 keeps at O(1).
 #pragma once
 
+#include <vector>
+
+#include "baseline/composition.hpp"
 #include "core/group_graph.hpp"
 #include "util/rng.hpp"
 
@@ -31,6 +34,15 @@ struct FloodReport {
 /// models the single-graph ablation, where one failure suffices.
 [[nodiscard]] FloodReport flood_membership_requests(
     const core::GroupGraph& g1, const core::GroupGraph& g2,
+    std::size_t victims, std::size_t requests_per_victim, Rng& rng);
+
+/// Topology-generic variant over a per-group composition snapshot (the
+/// contiguous-region baselines): each verification probe lands in a
+/// u.a.r. group and fails when that group lost its good majority; the
+/// bogus request slips through only when BOTH probes fail (the
+/// region-world analogue of the dual-search failure channel).
+[[nodiscard]] FloodReport flood_membership_requests_regions(
+    const std::vector<baseline::GroupComposition>& groups,
     std::size_t victims, std::size_t requests_per_victim, Rng& rng);
 
 }  // namespace tg::adversary

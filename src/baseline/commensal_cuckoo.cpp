@@ -104,4 +104,12 @@ CommensalOutcome CommensalCuckooSimulation::run(std::size_t rounds, Rng& rng) {
   return out;
 }
 
+std::vector<GroupComposition> CommensalCuckooSimulation::compositions() const {
+  std::vector<GroupComposition> out(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    out[g] = {members_[g].size(), group_bad_[g]};
+  }
+  return out;
+}
+
 }  // namespace tg::baseline

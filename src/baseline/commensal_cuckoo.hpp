@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "baseline/composition.hpp"
 #include "util/rng.hpp"
 
 namespace tg::baseline {
@@ -40,6 +41,10 @@ class CommensalCuckooSimulation {
   void adversarial_round(Rng& rng);
   [[nodiscard]] CommensalOutcome run(std::size_t rounds, Rng& rng);
   [[nodiscard]] double max_bad_fraction() const;
+
+  /// Per-group (total, bad) snapshot — the topology-generic view the
+  /// scenario campaign's adversary cells consume.
+  [[nodiscard]] std::vector<GroupComposition> compositions() const;
 
  private:
   void join(std::size_t node, Rng& rng);

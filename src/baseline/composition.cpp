@@ -1,0 +1,24 @@
+#include "baseline/composition.hpp"
+
+namespace tg::baseline {
+
+double majority_bad_fraction(
+    const std::vector<GroupComposition>& groups) noexcept {
+  if (groups.empty()) return 0.0;
+  std::size_t lost = 0;
+  for (const auto& g : groups) {
+    if (g.majority_bad()) ++lost;
+  }
+  return static_cast<double>(lost) / static_cast<double>(groups.size());
+}
+
+double max_bad_fraction(const std::vector<GroupComposition>& groups) noexcept {
+  double worst = 0.0;
+  for (const auto& g : groups) {
+    const double f = g.bad_fraction();
+    if (f > worst) worst = f;
+  }
+  return worst;
+}
+
+}  // namespace tg::baseline

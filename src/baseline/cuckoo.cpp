@@ -145,4 +145,12 @@ CuckooOutcome CuckooSimulation::run(std::size_t rounds, Rng& rng) {
   return out;
 }
 
+std::vector<GroupComposition> CuckooSimulation::compositions() const {
+  std::vector<GroupComposition> out(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    out[g] = {group_total_[g], group_bad_[g]};
+  }
+  return out;
+}
+
 }  // namespace tg::baseline

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "baseline/composition.hpp"
 #include "util/rng.hpp"
 
 namespace tg::baseline {
@@ -53,6 +54,10 @@ class CuckooSimulation {
   [[nodiscard]] std::size_t group_count() const noexcept {
     return group_of_.empty() ? 0 : groups_;
   }
+
+  /// Per-region (total, bad) snapshot — the topology-generic view the
+  /// scenario campaign's adversary cells consume.
+  [[nodiscard]] std::vector<GroupComposition> compositions() const;
 
  protected:
   /// Region (group) index of a ring position in [0,1).

@@ -12,28 +12,64 @@ bool Mailbox::push(Message m) {
   return true;
 }
 
+namespace {
+
+/// Reclaim the consumed prefix of a vector-backed queue.  Cheap
+/// amortized: compaction moves at most as many elements as were
+/// already popped one-by-one, so steady producer/consumer traffic
+/// keeps memory at O(live messages) instead of O(total ever pushed).
+void compact(std::vector<Message>& queue, std::size_t& head) {
+  if (head == queue.size()) {
+    queue.clear();
+    head = 0;
+  } else if (head >= 64 && head * 2 >= queue.size()) {
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(head));
+    head = 0;
+  }
+}
+
+}  // namespace
+
 std::optional<Message> Mailbox::try_pop() {
   const std::scoped_lock lock(mutex_);
-  if (queue_.empty()) return std::nullopt;
-  Message m = std::move(queue_.front());
-  queue_.pop_front();
+  if (head_ == queue_.size()) return std::nullopt;
+  Message m = std::move(queue_[head_]);
+  ++head_;
+  compact(queue_, head_);
   return m;
 }
 
 std::vector<Message> Mailbox::drain() {
-  const std::scoped_lock lock(mutex_);
-  std::vector<Message> out(std::make_move_iterator(queue_.begin()),
-                           std::make_move_iterator(queue_.end()));
-  queue_.clear();
+  std::vector<Message> out;
+  drain_into(out);
   return out;
+}
+
+void Mailbox::drain_into(std::vector<Message>& out) {
+  out.clear();
+  const std::scoped_lock lock(mutex_);
+  if (head_ == 0) {
+    // Fast path: nothing consumed piecewise, so the buffers just trade
+    // places — `out` keeps its capacity as the next inbox storage.
+    queue_.swap(out);
+    return;
+  }
+  out.reserve(queue_.size() - head_);
+  for (std::size_t i = head_; i < queue_.size(); ++i) {
+    out.push_back(std::move(queue_[i]));
+  }
+  queue_.clear();
+  head_ = 0;
 }
 
 std::optional<Message> Mailbox::pop_wait() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;  // closed and drained
-  Message m = std::move(queue_.front());
-  queue_.pop_front();
+  cv_.wait(lock, [&] { return closed_ || head_ < queue_.size(); });
+  if (head_ == queue_.size()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_[head_]);
+  ++head_;
+  compact(queue_, head_);
   return m;
 }
 
@@ -47,7 +83,7 @@ void Mailbox::close() {
 
 std::size_t Mailbox::size() const {
   const std::scoped_lock lock(mutex_);
-  return queue_.size();
+  return queue_.size() - head_;
 }
 
 bool Mailbox::closed() const {

@@ -3,14 +3,19 @@
 //
 // Many producer threads (the delivery workers of net::Network) push
 // concurrently; one consumer (the node's handler turn) drains.  A
-// plain mutex + deque keeps the invariants obvious (CP.20: RAII locks,
-// no double-checked cleverness); inbox contention is not the
+// plain mutex + vector keeps the invariants obvious (CP.20: RAII
+// locks, no double-checked cleverness); inbox contention is not the
 // bottleneck at simulated-WAN message rates.
+//
+// The backing store is a vector with a consumed-prefix index rather
+// than a deque so that drain_into() can hand the whole buffer to the
+// runtime by swap: the caller's recycled vector becomes the next
+// inbox buffer and vice versa, so a warmed-up round loop allocates no
+// inbox storage at all (the route_outbox batching path).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -34,6 +39,12 @@ class Mailbox {
   /// Drain everything currently queued (single lock acquisition).
   [[nodiscard]] std::vector<Message> drain();
 
+  /// Drain into a caller-owned buffer, recycling its capacity: `out`
+  /// is cleared, then swapped with the internal buffer when possible
+  /// (the steady-state round loop), so neither side reallocates once
+  /// warm.  Equivalent to `out = drain()` in contents and order.
+  void drain_into(std::vector<Message>& out);
+
   /// Blocking pop; returns nullopt once closed AND empty.
   [[nodiscard]] std::optional<Message> pop_wait();
 
@@ -46,7 +57,8 @@ class Mailbox {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::vector<Message> queue_;
+  std::size_t head_ = 0;  ///< consumed prefix (try_pop/pop_wait only)
   bool closed_ = false;
 };
 

@@ -53,7 +53,7 @@ void Network::absorb_trace(const Message& m) noexcept {
   for (const auto w : m.payload) mix(w);
 }
 
-void Network::route_outbox(std::vector<Message>&& outbox) {
+void Network::route_outbox(std::vector<Message>& outbox) {
   for (Message& m : outbox) {
     if (m.dst >= nodes_.size()) continue;  // misaddressed: dropped
     ++stats_.sent;
@@ -80,6 +80,7 @@ void Network::route_outbox(std::vector<Message>&& outbox) {
       delayed_[slot].push_back(std::move(m));
     }
   }
+  outbox.clear();  // consumed; capacity survives for the next round
 }
 
 void Network::start() {
@@ -87,7 +88,7 @@ void Network::start() {
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     Context ctx(i, round_);
     nodes_[i]->on_start(ctx);
-    route_outbox(std::move(ctx.outbox()));
+    route_outbox(ctx.outbox());
   }
 }
 
@@ -103,14 +104,33 @@ std::size_t Network::run_round() {
     delayed_[round_].clear();
   }
 
+  // Per-round scratch.  Batched mode reuses the network-owned vectors
+  // (allocation-free once warm: deliveries swap with mailbox buffers,
+  // outboxes round-trip through the node Contexts); legacy mode
+  // allocates fresh vectors every round, preserved as the measurable
+  // "before" of the batching optimisation.
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<Message>> fresh_deliveries, fresh_outboxes;
+  if (recycle_buffers_) {
+    deliveries_.resize(n);
+    outboxes_.resize(n);
+  } else {
+    fresh_deliveries.resize(n);
+    fresh_outboxes.resize(n);
+  }
+  auto& deliveries = recycle_buffers_ ? deliveries_ : fresh_deliveries;
+  auto& outboxes = recycle_buffers_ ? outboxes_ : fresh_outboxes;
+
   // Sequential drain in node order: the determinism anchor (the trace
   // hash and the per-node delivery order are fixed here, before any
   // parallelism starts).
-  const std::size_t n = nodes_.size();
-  std::vector<std::vector<Message>> deliveries(n);
   std::size_t delivered = 0;
   for (NodeId i = 0; i < n; ++i) {
-    deliveries[i] = mailboxes_[i]->drain();
+    if (recycle_buffers_) {
+      mailboxes_[i]->drain_into(deliveries[i]);
+    } else {
+      deliveries[i] = mailboxes_[i]->drain();
+    }
     delivered += deliveries[i].size();
     for (const Message& m : deliveries[i]) absorb_trace(m);
   }
@@ -121,9 +141,8 @@ std::size_t Network::run_round() {
   // outboxes are merged in node order afterwards, making results
   // independent of the chunk schedule and worker count.  Runs on the
   // persistent global pool — no thread churn per round.
-  std::vector<std::vector<Message>> outboxes(n);
   const std::function<void(std::size_t)> process = [&](std::size_t i) {
-    Context ctx(static_cast<NodeId>(i), round_);
+    Context ctx(static_cast<NodeId>(i), round_, std::move(outboxes[i]));
     for (const Message& m : deliveries[i]) {
       nodes_[i]->on_message(m, ctx);
     }
@@ -138,7 +157,7 @@ std::size_t Network::run_round() {
 
   // Sequential merge in node order.
   for (NodeId i = 0; i < n; ++i) {
-    route_outbox(std::move(outboxes[i]));
+    route_outbox(outboxes[i]);
   }
   return delivered;
 }

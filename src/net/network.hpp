@@ -97,15 +97,37 @@ class Network {
     return trace_hash_;
   }
 
+  /// Per-round buffer recycling (on by default): delivery and outbox
+  /// vectors are owned by the network and reused across rounds, and
+  /// mailboxes swap rather than copy on drain, so a warmed-up round
+  /// loop performs no per-round container allocation.  Off = allocate
+  /// fresh vectors every round (the pre-batching behavior) — kept
+  /// selectable so tests can assert the two paths deliver identical
+  /// messages and benches can measure the difference.  Delivered
+  /// messages, their order, and the trace hash are byte-identical in
+  /// both modes.
+  void set_buffer_recycling(bool on) noexcept { recycle_buffers_ = on; }
+  [[nodiscard]] bool buffer_recycling() const noexcept {
+    return recycle_buffers_;
+  }
+
  private:
-  void route_outbox(std::vector<Message>&& outbox);
+  /// Route every message out of `outbox` (delivery policy, mailbox
+  /// push or delay scheduling), then clear it with capacity kept.
+  void route_outbox(std::vector<Message>& outbox);
   void absorb_trace(const Message& m) noexcept;
 
   DeliveryPolicy policy_;
   Rng policy_rng_;
   std::size_t threads_;  ///< executor width cap on the global pool
+  bool recycle_buffers_ = true;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Recycled per-round scratch (recycle_buffers_ mode): deliveries_
+  /// ping-pongs with the mailbox buffers, outboxes_ with the node
+  /// Contexts.
+  std::vector<std::vector<Message>> deliveries_;
+  std::vector<std::vector<Message>> outboxes_;
   /// Messages scheduled for future rounds: slot = round index.
   std::vector<std::vector<Message>> delayed_;
   NetworkStats stats_;

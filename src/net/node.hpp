@@ -22,6 +22,15 @@ class Context {
   Context(NodeId self, std::uint64_t round) noexcept
       : self_(self), round_(round) {}
 
+  /// Adopt a recycled outbox buffer: cleared, capacity kept.  The
+  /// runtime's batched round loop hands each node last round's routed
+  /// outbox back, so steady-state rounds allocate no outbox storage.
+  Context(NodeId self, std::uint64_t round,
+          std::vector<Message>&& recycled) noexcept
+      : self_(self), round_(round), outbox_(std::move(recycled)) {
+    outbox_.clear();
+  }
+
   [[nodiscard]] NodeId self() const noexcept { return self_; }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
 

@@ -1,0 +1,178 @@
+#include "scenario/campaign.hpp"
+
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/trial_runner.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace tg::scenario {
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<ScenarioResult> CampaignRunner::run() const {
+  std::vector<ScenarioResult> results;
+  for (const Scenario* cell : Registry::instance().match(options_.filter)) {
+    ScenarioSpec spec = cell->spec;
+    if (options_.trials_override) spec.trials = *options_.trials_override;
+    if (options_.seed_override) spec.seed = *options_.seed_override;
+    if (options_.n_override) spec.n = *options_.n_override;
+    if (options_.beta_override) spec.beta = *options_.beta_override;
+    results.push_back(run_cell(*cell, spec, options_.threads));
+  }
+  return results;
+}
+
+ScenarioResult CampaignRunner::run_cell(const Scenario& cell,
+                                        const ScenarioSpec& spec,
+                                        std::size_t threads) {
+  ScenarioResult result;
+  result.spec = spec;
+  result.metric_names = cell.metrics;
+  const Stopwatch sw;
+  result.metrics = sim::run_trials_multi(
+      spec.trials, cell.metrics.size(), spec.seed,
+      [&](Rng& rng, std::size_t /*index*/, std::vector<double>& out) {
+        cell.trial(spec, rng, out);
+      },
+      threads);
+  result.seconds = sw.seconds();
+  return result;
+}
+
+void CampaignRunner::report(const std::vector<ScenarioResult>& results,
+                            bench::JsonReporter& out) {
+  for (const ScenarioResult& r : results) {
+    for (std::size_t m = 0; m < r.metric_names.size(); ++m) {
+      const RunningStats& stats = r.metrics[m];
+      // The 64-bit seed is split into exact 32-bit halves — a single
+      // double-valued field cannot carry it losslessly, and the
+      // determinism contract requires reproducing a cell from its row.
+      out.add(r.spec.name + "." + r.metric_names[m],
+              {{"mean", stats.mean()},
+               {"stddev", stats.stddev()},
+               {"min", stats.min()},
+               {"max", stats.max()},
+               {"trials", static_cast<double>(stats.count())},
+               {"n", static_cast<double>(r.spec.n)},
+               {"beta", r.spec.beta},
+               {"seed_hi", static_cast<double>(r.spec.seed >> 32)},
+               {"seed_lo",
+                static_cast<double>(r.spec.seed & 0xffffffffULL)}});
+    }
+  }
+  out.add("campaign.summary",
+          {{"cells", static_cast<double>(results.size())}});
+}
+
+void CampaignRunner::print(const std::vector<ScenarioResult>& results,
+                           std::ostream& os) {
+  Table t({"scenario", "campaign", "n", "trials", "metric", "mean", "stddev",
+           "min", "max"});
+  t.set_title("Scenario campaign results");
+  for (const ScenarioResult& r : results) {
+    for (std::size_t m = 0; m < r.metric_names.size(); ++m) {
+      const RunningStats& stats = r.metrics[m];
+      t.add_row({r.spec.name, r.spec.campaign,
+                 static_cast<std::uint64_t>(r.spec.n),
+                 static_cast<std::uint64_t>(r.spec.trials),
+                 r.metric_names[m], stats.mean(), stats.stddev(), stats.min(),
+                 stats.max()});
+    }
+  }
+  t.print(os);
+}
+
+// ---------------------------------------------------------------------------
+// The round-loop before/after measurement.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Synthetic steady-state traffic: every node fans a small payload out
+/// each round, so the network never quiesces and the round loop's
+/// container churn dominates — exactly the allocation pattern the
+/// batching path removes.
+class ChatterNode final : public net::Node {
+ public:
+  ChatterNode(std::size_t n, std::size_t fanout) : n_(n), fanout_(fanout) {}
+
+  void on_message(const net::Message& m, net::Context& ctx) override {
+    (void)ctx;
+    if (!m.payload.empty()) checksum_ += m.payload.front();
+  }
+
+  void on_round_end(net::Context& ctx) override {
+    for (std::size_t k = 0; k < fanout_; ++k) {
+      const auto dst = static_cast<net::NodeId>(
+          (ctx.self() + 1 + k * 37 + ctx.round()) % n_);
+      ctx.send(dst, /*tag=*/k, {ctx.round(), checksum_});
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t fanout_;
+  std::uint64_t checksum_ = 0;
+};
+
+struct RoundLoopRun {
+  double ns_per_round = 0.0;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t delivered = 0;
+};
+
+RoundLoopRun run_round_loop(bool recycle, std::size_t nodes,
+                            std::size_t fanout, std::size_t rounds) {
+  net::Network network(net::DeliveryPolicy{}, /*seed=*/42, /*threads=*/1);
+  network.set_buffer_recycling(recycle);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    network.add_node(std::make_unique<ChatterNode>(nodes, fanout));
+  }
+  network.start();
+  const Stopwatch sw;
+  for (std::size_t r = 0; r < rounds; ++r) network.run_round();
+  RoundLoopRun out;
+  out.ns_per_round = sw.seconds() * 1e9 / static_cast<double>(rounds);
+  out.trace_hash = network.trace_hash();
+  out.delivered = network.stats().delivered;
+  return out;
+}
+
+}  // namespace
+
+void append_round_loop_benchmark(bench::JsonReporter& out, std::size_t nodes,
+                                 std::size_t fanout, std::size_t rounds) {
+  // Warm-up pass (first-touch, pool spin-up), then the measured pair.
+  (void)run_round_loop(true, nodes, fanout, rounds / 4 + 1);
+  const RoundLoopRun legacy = run_round_loop(false, nodes, fanout, rounds);
+  const RoundLoopRun batched = run_round_loop(true, nodes, fanout, rounds);
+
+  if (legacy.trace_hash != batched.trace_hash ||
+      legacy.delivered != batched.delivered) {
+    // The batching path must be invisible in delivered traffic; a
+    // mismatch is a runtime-correctness bug, not a perf result.
+    throw std::logic_error(
+        "round-loop batching diverged from the legacy path");
+  }
+
+  const double messages_per_round =
+      static_cast<double>(batched.delivered) / static_cast<double>(rounds);
+  out.add_ns_per_op("net_round_loop_legacy", legacy.ns_per_round,
+                    {{"nodes", static_cast<double>(nodes)},
+                     {"messages_per_round", messages_per_round}});
+  out.add_ns_per_op("net_round_loop_batched", batched.ns_per_round,
+                    {{"nodes", static_cast<double>(nodes)},
+                     {"messages_per_round", messages_per_round}});
+  out.add("speedup_net_round_loop",
+          {{"speedup", legacy.ns_per_round / batched.ns_per_round},
+           {"identical_traffic", 1.0}});
+}
+
+}  // namespace tg::scenario

@@ -1,0 +1,87 @@
+// CampaignRunner: expand a filtered slice of the scenario registry
+// into deterministic Monte-Carlo jobs and report the results.
+//
+// Execution: each cell runs through sim::run_trials_multi, which
+// shards trials over ThreadPool::global() with sharding-invariant
+// per-trial seeding — so campaign output is bit-identical across
+// machines and thread counts.  Reporting: one JSON row per
+// (scenario, metric) in the tg::bench::JsonReporter schema, written as
+// BENCH_scenarios.json (documented in bench/README.md; consumed by
+// CI's campaign-smoke job).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/json_reporter.hpp"
+#include "util/stats.hpp"
+
+namespace tg::scenario {
+
+struct CampaignOptions {
+  /// Substring-of-name or campaign tag ("static" / "dynamic" / "pow");
+  /// empty selects every registered cell.
+  std::string filter;
+  /// Unset = keep each cell's own value (optional, not a zero
+  /// sentinel: overriding to 0 — e.g. an adversary-free beta — is
+  /// legitimate).
+  std::optional<std::size_t> trials_override;
+  std::optional<std::uint64_t> seed_override;
+  std::optional<std::size_t> n_override;
+  std::optional<double> beta_override;
+  /// Fan-out width passed to sim::run_trials_multi.  0 keeps the
+  /// default shard count — REQUIRED for cross-machine determinism
+  /// (the shard count is part of the merge order).
+  std::size_t threads = 0;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::vector<std::string> metric_names;
+  std::vector<RunningStats> metrics;  ///< parallel to metric_names
+  double seconds = 0.0;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Expand and run every matching cell, in registration order.
+  [[nodiscard]] std::vector<ScenarioResult> run() const;
+
+  /// Run one cell under an explicit spec (tests use this to assert
+  /// seed determinism at reduced sizes).
+  [[nodiscard]] static ScenarioResult run_cell(const Scenario& cell,
+                                               const ScenarioSpec& spec,
+                                               std::size_t threads = 0);
+
+  /// Append one row per (scenario, metric) — name
+  /// "<scenario>.<metric>", fields mean/stddev/min/max/trials/n/beta/
+  /// seed — plus a trailing "campaign.summary" row with the cell
+  /// count.
+  static void report(const std::vector<ScenarioResult>& results,
+                     bench::JsonReporter& out);
+
+  /// Lab-notebook table: one line per (scenario, metric).
+  static void print(const std::vector<ScenarioResult>& results,
+                    std::ostream& os);
+
+ private:
+  CampaignOptions options_;
+};
+
+/// Measure the network round loop with buffer recycling off (the
+/// pre-batching allocation-churn path) and on, verify the delivered
+/// traffic is byte-identical (trace hash), and append
+/// net_round_loop_legacy / net_round_loop_batched /
+/// speedup_net_round_loop rows to the reporter — the route_outbox
+/// batching before/after trajectory.
+void append_round_loop_benchmark(bench::JsonReporter& out,
+                                 std::size_t nodes = 256,
+                                 std::size_t fanout = 4,
+                                 std::size_t rounds = 300);
+
+}  // namespace tg::scenario

@@ -1,0 +1,381 @@
+// The builtin campaign grid: every ported adversary strategy expanded
+// against every group topology.
+//
+// Cells share a small vocabulary of world builders:
+//   * graph worlds (tinygroups / logn_groups) — a pristine GroupGraph
+//     at the topology's group size,
+//   * region worlds (cuckoo / commensal_cuckoo) — the respective
+//     join-leave simulation churned for the spec's schedule, then
+//     snapshotted as per-group compositions,
+// so each adversary runs the SAME attack against every structure and
+// the emitted metrics are directly comparable across topologies —
+// which is the paper's comparative argument, mechanized.
+//
+// Every trial derives all randomness (oracle seeds included) from the
+// trial RNG handed in by sim::run_trials_multi, so a cell's statistics
+// are a pure function of (spec, seed).
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "adversary/eclipse.hpp"
+#include "adversary/flood.hpp"
+#include "adversary/late_release.hpp"
+#include "adversary/omit_ids.hpp"
+#include "adversary/precompute.hpp"
+#include "adversary/target_group.hpp"
+#include "baseline/commensal_cuckoo.hpp"
+#include "baseline/composition.hpp"
+#include "baseline/cuckoo.hpp"
+#include "baseline/logn_groups.hpp"
+#include "core/bootstrap.hpp"
+#include "core/group_graph.hpp"
+#include "core/params.hpp"
+#include "core/population.hpp"
+#include "crypto/oracle.hpp"
+#include "pow/gossip.hpp"
+#include "pow/puzzle.hpp"
+#include "scenario/scenario.hpp"
+
+namespace tg::scenario {
+namespace {
+
+// Attack knobs shared by every topology so cells stay comparable.
+constexpr double kEclipsedFraction = 0.25;  ///< steered contact slots
+constexpr std::size_t kFloodVictims = 32;
+constexpr std::size_t kFloodRequestsPerVictim = 8;
+constexpr std::size_t kLateStrings = 4;        ///< injected lottery strings
+constexpr std::uint64_t kPuzzleAttemptsPerEpoch = 1 << 14;
+constexpr double kPuzzleExpectedAttempts = 2048.0;
+
+[[nodiscard]] bool is_region(Topology t) noexcept {
+  return t == Topology::cuckoo || t == Topology::commensal_cuckoo;
+}
+
+/// Params for a graph world; the only difference between the
+/// tinygroups and logn_groups topologies is the group size.
+[[nodiscard]] core::Params graph_params(const ScenarioSpec& spec, Rng& rng) {
+  core::Params p;
+  p.n = spec.n;
+  p.beta = spec.beta;
+  p.seed = rng();  // fresh oracles per trial, derived from the trial RNG
+  if (spec.topology == Topology::logn_groups) p = baseline::logn_baseline(p);
+  return p;
+}
+
+/// The tiny |G| both region baselines are run at — the paper's point
+/// is precisely that the cuckoo rules need |G| far above this.
+[[nodiscard]] std::size_t tiny_group_size(std::size_t n) noexcept {
+  core::Params p;
+  p.n = n;
+  return p.group_size();
+}
+
+/// Churn a region baseline under the spec's schedule and snapshot it.
+[[nodiscard]] std::vector<baseline::GroupComposition> region_world(
+    const ScenarioSpec& spec, Rng& rng) {
+  const std::size_t rounds = spec.churn.total_rounds();
+  const std::size_t group_size = tiny_group_size(spec.n);
+  if (spec.topology == Topology::cuckoo) {
+    baseline::CuckooParams cp;
+    cp.n = spec.n;
+    cp.beta = spec.beta;
+    cp.group_size = group_size;
+    baseline::CuckooSimulation sim(cp, rng);
+    (void)sim.run(rounds, rng);
+    return sim.compositions();
+  }
+  baseline::CommensalParams cp;
+  cp.n = spec.n;
+  cp.beta = spec.beta;
+  cp.group_size = group_size;
+  baseline::CommensalCuckooSimulation sim(cp, rng);
+  (void)sim.run(rounds, rng);
+  return sim.compositions();
+}
+
+/// Composition snapshot of a group graph (same shape the region
+/// baselines expose, so cross-topology metrics share one code path).
+[[nodiscard]] std::vector<baseline::GroupComposition> graph_compositions(
+    const core::GroupGraph& graph) {
+  std::vector<baseline::GroupComposition> out(graph.size());
+  const core::Population& pool = graph.member_pool();
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (const auto m : graph.group(i).members) {
+      ++out[i].size;
+      if (pool.is_bad(m)) ++out[i].bad;
+    }
+  }
+  return out;
+}
+
+/// Bucket a population into contiguous regions of expected size
+/// `group_size` (the region baselines' group structure, without churn
+/// — used by placement attacks that act at join time).
+[[nodiscard]] std::vector<baseline::GroupComposition> bucket_population(
+    const core::Population& pop, std::size_t group_size) {
+  const std::size_t groups =
+      std::max<std::size_t>(1, pop.size() / std::max<std::size_t>(1, group_size));
+  std::vector<baseline::GroupComposition> out(groups);
+  const auto& points = pop.table().points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto g = std::min(
+        groups - 1, static_cast<std::size_t>(points[i].to_double() *
+                                             static_cast<double>(groups)));
+    ++out[g].size;
+    if (pop.is_bad(i)) ++out[g].bad;
+  }
+  return out;
+}
+
+[[nodiscard]] core::GroupGraph build_graph(
+    const core::Params& p, std::shared_ptr<const core::Population> pop,
+    const crypto::RandomOracle& oracle) {
+  return core::GroupGraph::pristine(p, std::move(pop), oracle);
+}
+
+// ---------------------------------------------------------------------------
+// The six adversary cells.
+// ---------------------------------------------------------------------------
+
+/// target_group — the targeted join-leave attack.  On graph worlds the
+/// adversary spends its per-epoch ID budget on u.a.r. placements
+/// (PoW); on region worlds the simulation's adversarial_round IS the
+/// classic concentration attack the cuckoo rules were designed for.
+void run_target_group(const ScenarioSpec& spec, Rng& rng,
+                      std::vector<double>& out) {
+  if (is_region(spec.topology)) {
+    const std::size_t rounds = spec.churn.total_rounds();
+    const std::size_t group_size = tiny_group_size(spec.n);
+    double captured = 0.0;
+    double worst = 0.0;
+    if (spec.topology == Topology::cuckoo) {
+      baseline::CuckooParams cp;
+      cp.n = spec.n;
+      cp.beta = spec.beta;
+      cp.group_size = group_size;
+      baseline::CuckooSimulation sim(cp, rng);
+      const auto o = sim.run(rounds, rng);
+      captured = o.first_failure_round.has_value() ? 1.0 : 0.0;
+      worst = o.max_bad_fraction_seen;
+    } else {
+      baseline::CommensalParams cp;
+      cp.n = spec.n;
+      cp.beta = spec.beta;
+      cp.group_size = group_size;
+      baseline::CommensalCuckooSimulation sim(cp, rng);
+      const auto o = sim.run(rounds, rng);
+      captured = o.first_failure_round.has_value() ? 1.0 : 0.0;
+      worst = o.max_bad_fraction_seen;
+    }
+    out[0] = captured;
+    out[1] = worst;
+    return;
+  }
+  // Graph worlds: one targeted-join budget per churn epoch; the
+  // adversary keeps the best concentration it ever achieved.
+  const std::size_t epochs = std::max<std::size_t>(1, spec.churn.epochs);
+  double captured = 0.0;
+  double worst = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const core::Params p = graph_params(spec, rng);
+    const auto rep = adversary::targeted_join_uar(p, rng);
+    captured = std::max(captured, rep.victim_captured ? 1.0 : 0.0);
+    worst = std::max(worst, rep.best_group_bad_fraction);
+  }
+  out[0] = captured;
+  out[1] = worst;
+}
+
+/// eclipse — bootstrap contact steering (Appendix IX).
+void run_eclipse(const ScenarioSpec& spec, Rng& rng,
+                 std::vector<double>& out) {
+  adversary::EclipseReport rep;
+  if (is_region(spec.topology)) {
+    const auto regions = region_world(spec, rng);
+    const std::size_t contacts = core::bootstrap_group_count(regions.size());
+    rep = adversary::eclipsed_bootstrap_regions(regions, contacts,
+                                                kEclipsedFraction, rng);
+  } else {
+    const core::Params p = graph_params(spec, rng);
+    const crypto::OracleSuite oracles(p.seed);
+    auto pop = std::make_shared<const core::Population>(
+        core::Population::uniform(p.n, p.beta, rng));
+    const auto graph = build_graph(p, pop, oracles.h1);
+    rep = adversary::eclipsed_bootstrap(graph, kEclipsedFraction, rng);
+  }
+  out[0] = rep.good_majority ? 0.0 : 1.0;
+  out[1] = rep.ids_collected
+               ? static_cast<double>(rep.bad_ids) /
+                     static_cast<double>(rep.ids_collected)
+               : 0.0;
+}
+
+/// flood — bogus membership requests against dual-search verification.
+void run_flood(const ScenarioSpec& spec, Rng& rng, std::vector<double>& out) {
+  adversary::FloodReport rep;
+  if (is_region(spec.topology)) {
+    const auto regions = region_world(spec, rng);
+    rep = adversary::flood_membership_requests_regions(
+        regions, kFloodVictims, kFloodRequestsPerVictim, rng);
+  } else {
+    const core::Params p = graph_params(spec, rng);
+    const crypto::OracleSuite oracles(p.seed);
+    auto pop = std::make_shared<const core::Population>(
+        core::Population::uniform(p.n, p.beta, rng));
+    const auto g1 = build_graph(p, pop, oracles.h1);
+    const auto g2 = build_graph(p, pop, oracles.h2);
+    rep = adversary::flood_membership_requests(
+        g1, g2, kFloodVictims, kFloodRequestsPerVictim, rng);
+  }
+  out[0] = rep.acceptance_rate;
+  out[1] = rep.expected_extra_state;
+}
+
+/// omit_ids — subset-omission placement skew (Lemma 5): the adversary
+/// mints a u.a.r. pool but injects only a clustered subset.
+void run_omit_ids(const ScenarioSpec& spec, Rng& rng,
+                  std::vector<double>& out) {
+  const auto n_bad =
+      static_cast<std::size_t>(spec.beta * static_cast<double>(spec.n));
+  const core::Population pop = adversary::build_omitted_population(
+      spec.n - n_bad, n_bad, adversary::OmissionStrategy::keep_clustered, rng);
+
+  std::vector<baseline::GroupComposition> groups;
+  if (is_region(spec.topology)) {
+    groups = bucket_population(pop, tiny_group_size(spec.n));
+  } else {
+    core::Params p = graph_params(spec, rng);
+    p.n = pop.size();  // omission shrank the injected population
+    const crypto::OracleSuite oracles(p.seed);
+    const auto graph = build_graph(
+        p, std::make_shared<const core::Population>(pop), oracles.h1);
+    groups = graph_compositions(graph);
+  }
+  out[0] = baseline::majority_bad_fraction(groups);
+  out[1] = baseline::max_bad_fraction(groups);
+}
+
+/// precompute — stockpiled puzzle solutions deployed as a Sybil burst
+/// (Section IV-B); the burst's damage depends on the group structure.
+void run_precompute(const ScenarioSpec& spec, Rng& rng,
+                    std::vector<double>& out) {
+  const std::uint64_t tau =
+      pow::tau_for_expected_attempts(kPuzzleExpectedAttempts);
+  const auto rep = adversary::simulate_stockpile(
+      kPuzzleAttemptsPerEpoch, spec.churn.epochs, tau, rng);
+
+  // Deploy the un-defended stockpile all at once: an effective burst
+  // beta against a fresh epoch of n honest IDs.
+  const double burst = static_cast<double>(rep.ids_without_strings);
+  const double burst_beta = std::min(
+      0.49, burst / (burst + static_cast<double>(spec.n)));
+  const core::Population pop =
+      core::Population::uniform(spec.n, burst_beta, rng);
+
+  std::vector<baseline::GroupComposition> groups;
+  if (is_region(spec.topology)) {
+    groups = bucket_population(pop, tiny_group_size(spec.n));
+  } else {
+    core::Params p = graph_params(spec, rng);
+    p.beta = burst_beta;
+    const crypto::OracleSuite oracles(p.seed);
+    const auto graph = build_graph(
+        p, std::make_shared<const core::Population>(pop), oracles.h1);
+    groups = graph_compositions(graph);
+  }
+  out[0] = rep.amplification;
+  out[1] = baseline::majority_bad_fraction(groups);
+}
+
+/// late_release — withheld lottery strings against the three-phase
+/// gossip (Appendix VIII).  The topology sets the gossip degree: group
+/// graphs flood across |G|-size neighbor links, the region baselines
+/// only along the ring (sparse).
+void run_late_release(const ScenarioSpec& spec, Rng& rng,
+                      std::vector<double>& out) {
+  std::size_t degree = 3;  // region baselines: ring adjacency + slack
+  if (spec.topology == Topology::tinygroups) {
+    degree = tiny_group_size(spec.n);
+  } else if (spec.topology == Topology::logn_groups) {
+    core::Params p;
+    p.n = spec.n;
+    degree = baseline::logn_baseline(p).group_size();
+  }
+
+  const auto adjacency = pow::make_gossip_topology(spec.n, degree, rng);
+  pow::GossipParams gp;
+  gp.nodes = spec.n;
+  gp.phase1_attempts = 1 << 12;
+  const auto phase2 = static_cast<std::size_t>(
+      std::ceil(gp.d_prime * std::log(static_cast<double>(spec.n))));
+  // A longer banking horizon hands the adversary more winning strings
+  // to release late (the churn axis of the pow campaign).
+  const std::size_t strings = kLateStrings + spec.churn.epochs / 2;
+  const auto attacks = adversary::worst_case_late_release(
+      strings, spec.n, phase2, /*honest_minimum_estimate=*/1e-9, rng);
+  const auto o = pow::run_string_protocol(adjacency, gp, attacks, rng);
+  out[0] = o.agreement ? 1.0 : 0.0;
+  out[1] = o.mean_solution_set;
+}
+
+struct CellFamily {
+  AdversaryKind adversary;
+  std::string campaign;
+  std::vector<std::string> metrics;
+  TrialFn trial;
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_grid(Registry& registry) {
+  const std::vector<CellFamily> families = {
+      {AdversaryKind::target_group, "dynamic",
+       {"captured", "max_bad_fraction"}, run_target_group},
+      {AdversaryKind::eclipse, "static",
+       {"capture", "bad_id_fraction"}, run_eclipse},
+      {AdversaryKind::flood, "static",
+       {"acceptance_rate", "extra_state"}, run_flood},
+      {AdversaryKind::omit_ids, "static",
+       {"majority_bad_fraction", "max_bad_fraction"}, run_omit_ids},
+      {AdversaryKind::precompute, "pow",
+       {"amplification", "burst_majority_bad"}, run_precompute},
+      {AdversaryKind::late_release, "pow",
+       {"agreement", "mean_solution_set"}, run_late_release},
+  };
+  const Topology topologies[] = {
+      Topology::tinygroups,
+      Topology::logn_groups,
+      Topology::cuckoo,
+      Topology::commensal_cuckoo,
+  };
+
+  for (const CellFamily& family : families) {
+    for (const Topology topology : topologies) {
+      Scenario cell;
+      cell.spec.name = std::string(to_string(family.adversary)) + "/" +
+                       std::string(to_string(topology));
+      cell.spec.campaign = family.campaign;
+      cell.spec.adversary = family.adversary;
+      cell.spec.topology = topology;
+      if (family.campaign == "pow") cell.spec.churn.epochs = 8;
+      // Cell seeds are decorrelated by name (FNV-1a, not
+      // std::hash: the seed must be identical across standard
+      // libraries) so sibling cells never share trial streams.
+      std::uint64_t h = 1469598103934665603ULL;
+      for (const char c : cell.spec.name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      cell.spec.seed = mix64(h);
+      cell.metrics = family.metrics;
+      cell.trial = family.trial;
+      registry.add(std::move(cell));
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace tg::scenario

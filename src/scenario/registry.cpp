@@ -1,0 +1,70 @@
+#include "scenario/scenario.hpp"
+
+#include <stdexcept>
+
+namespace tg::scenario {
+
+std::string_view to_string(AdversaryKind kind) noexcept {
+  switch (kind) {
+    case AdversaryKind::target_group: return "target_group";
+    case AdversaryKind::eclipse: return "eclipse";
+    case AdversaryKind::flood: return "flood";
+    case AdversaryKind::omit_ids: return "omit_ids";
+    case AdversaryKind::precompute: return "precompute";
+    case AdversaryKind::late_release: return "late_release";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Topology topology) noexcept {
+  switch (topology) {
+    case Topology::tinygroups: return "tinygroups";
+    case Topology::logn_groups: return "logn_groups";
+    case Topology::cuckoo: return "cuckoo";
+    case Topology::commensal_cuckoo: return "commensal_cuckoo";
+  }
+  return "unknown";
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() { detail::register_builtin_grid(*this); }
+
+void Registry::add(Scenario scenario) {
+  if (!scenario.trial) {
+    throw std::invalid_argument("Registry: scenario '" + scenario.spec.name +
+                                "' has no trial function");
+  }
+  if (scenario.metrics.empty()) {
+    throw std::invalid_argument("Registry: scenario '" + scenario.spec.name +
+                                "' declares no metrics");
+  }
+  if (find(scenario.spec.name) != nullptr) {
+    throw std::invalid_argument("Registry: duplicate scenario name '" +
+                                scenario.spec.name + "'");
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* Registry::find(std::string_view name) const noexcept {
+  for (const Scenario& s : scenarios_) {
+    if (s.spec.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> Registry::match(std::string_view filter) const {
+  std::vector<const Scenario*> out;
+  for (const Scenario& s : scenarios_) {
+    if (filter.empty() || s.spec.name.find(filter) != std::string::npos ||
+        s.spec.campaign == filter) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+}  // namespace tg::scenario

@@ -43,6 +43,10 @@
 #include "sim/metrics.hpp"
 #include "sim/trial_runner.hpp"
 
+// Scenario campaign engine (adversary x topology x churn matrix)
+#include "scenario/campaign.hpp"
+#include "scenario/scenario.hpp"
+
 // In-group Byzantine fault tolerance
 #include "bft/coded_storage.hpp"
 #include "bft/dkg.hpp"

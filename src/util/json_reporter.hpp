@@ -1,0 +1,88 @@
+// Machine-readable perf/experiment reporting: the BENCH_*.json schema.
+//
+// Lives in src/ (not bench/) so library subsystems — notably the
+// scenario campaign engine — can emit the same trajectory files the
+// perf benches do; bench/bench_common.hpp re-exports it unchanged.
+// The namespace stays tg::bench because the schema and its consumers
+// (bench/README.md, CI's artifact upload and regression guard) predate
+// the move.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tg::bench {
+
+/// Collects named metric rows and writes them as BENCH_<name>.json:
+///
+///   {
+///     "bench": "<name>", "schema": 1,
+///     "metrics": [ {"name": "...", "ns_per_op": ..., "ops_per_sec": ...,
+///                   <extra numeric fields>}, ... ]
+///   }
+///
+/// Every metric row carries free-form numeric fields; ns_per_op /
+/// ops_per_sec / speedup / threads are the conventional keys consumed
+/// by the perf trajectory (see bench/README.md).
+class JsonReporter {
+ public:
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string metric, Fields fields) {
+    rows_.emplace_back(std::move(metric), std::move(fields));
+  }
+
+  /// Convenience: record a ns/op measurement (ops_per_sec derived).
+  void add_ns_per_op(const std::string& metric, double ns_per_op,
+                     Fields extra = {}) {
+    Fields fields{{"ns_per_op", ns_per_op}, {"ops_per_sec", 1e9 / ns_per_op}};
+    fields.insert(fields.end(), extra.begin(), extra.end());
+    add(metric, std::move(fields));
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Write BENCH_<name>.json into `dir` (default: working directory).
+  void write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema\": 1,\n"
+        << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {\"name\": \"" << rows_[i].first << '"';
+      for (const auto& [key, value] : rows_[i].second) {
+        out << ", \"" << key << "\": " << format_number(value);
+      }
+      out << '}' << (i + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << '\n';
+  }
+
+ private:
+  static std::string format_number(double v) {
+    if (std::isnan(v) || std::isinf(v)) return "null";
+    char buf[32];
+    // Exactly-representable integers (counts, seeds, thread counts)
+    // are emitted in full — %.6g would silently round them.
+    if (v == std::nearbyint(v) && std::fabs(v) <= 9007199254740992.0) {
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, Fields>> rows_;
+};
+
+}  // namespace tg::bench

@@ -1,0 +1,320 @@
+// Scenario campaign engine: registry lookup, grid expansion, seed
+// determinism, and route_outbox batching equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace tg;
+using scenario::AdversaryKind;
+using scenario::CampaignRunner;
+using scenario::Registry;
+using scenario::ScenarioSpec;
+using scenario::Topology;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioRegistry, BuiltinGridCoversAdversariesTimesTopologies) {
+  const auto& registry = Registry::instance();
+  // The acceptance floor: 6 ported adversaries x at least 3 topologies.
+  EXPECT_GE(registry.scenarios().size(), 18u);
+
+  const AdversaryKind adversaries[] = {
+      AdversaryKind::target_group, AdversaryKind::eclipse,
+      AdversaryKind::flood,        AdversaryKind::omit_ids,
+      AdversaryKind::precompute,   AdversaryKind::late_release,
+  };
+  const Topology topologies[] = {Topology::tinygroups, Topology::logn_groups,
+                                 Topology::cuckoo,
+                                 Topology::commensal_cuckoo};
+  for (const auto adversary : adversaries) {
+    for (const auto topology : topologies) {
+      const std::string name = std::string(to_string(adversary)) + "/" +
+                               std::string(to_string(topology));
+      const auto* cell = registry.find(name);
+      ASSERT_NE(cell, nullptr) << name;
+      EXPECT_EQ(cell->spec.name, name);
+      EXPECT_EQ(cell->spec.adversary, adversary);
+      EXPECT_EQ(cell->spec.topology, topology);
+      EXPECT_FALSE(cell->metrics.empty());
+      EXPECT_TRUE(static_cast<bool>(cell->trial));
+    }
+  }
+}
+
+TEST(ScenarioRegistry, LookupAndFilter) {
+  const auto& registry = Registry::instance();
+  EXPECT_EQ(registry.find("no/such/cell"), nullptr);
+
+  // Empty filter selects everything, in registration order.
+  const auto all = registry.match("");
+  EXPECT_EQ(all.size(), registry.scenarios().size());
+
+  // Campaign tags partition the grid.
+  std::size_t tagged = 0;
+  std::set<std::string> campaigns;
+  for (const char* tag : {"static", "dynamic", "pow"}) {
+    const auto slice = registry.match(tag);
+    EXPECT_FALSE(slice.empty()) << tag;
+    for (const auto* cell : slice) {
+      EXPECT_EQ(cell->spec.campaign, tag);
+      campaigns.insert(cell->spec.name);
+    }
+    tagged += slice.size();
+  }
+  EXPECT_EQ(tagged, all.size());
+  EXPECT_EQ(campaigns.size(), all.size());
+
+  // Name-substring filtering crosses campaigns.
+  const auto cuckoo = registry.match("cuckoo");
+  EXPECT_FALSE(cuckoo.empty());
+  for (const auto* cell : cuckoo) {
+    EXPECT_NE(cell->spec.name.find("cuckoo"), std::string::npos);
+  }
+
+  // Cell seeds are decorrelated per cell.
+  std::set<std::uint64_t> seeds;
+  for (const auto& cell : registry.scenarios()) seeds.insert(cell.spec.seed);
+  EXPECT_EQ(seeds.size(), registry.scenarios().size());
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndEmptyCells) {
+  // Operate on a COPY-like local registry path: the process-wide
+  // instance must reject a name collision with a builtin.
+  auto& registry = Registry::instance();
+  scenario::Scenario duplicate;
+  duplicate.spec.name = "target_group/tinygroups";
+  duplicate.metrics = {"x"};
+  duplicate.trial = [](const ScenarioSpec&, Rng&, std::vector<double>&) {};
+  EXPECT_THROW(registry.add(duplicate), std::invalid_argument);
+
+  scenario::Scenario no_trial;
+  no_trial.spec.name = "test/no_trial";
+  no_trial.metrics = {"x"};
+  EXPECT_THROW(registry.add(no_trial), std::invalid_argument);
+
+  scenario::Scenario no_metrics;
+  no_metrics.spec.name = "test/no_metrics";
+  no_metrics.trial = [](const ScenarioSpec&, Rng&, std::vector<double>&) {};
+  EXPECT_THROW(registry.add(no_metrics), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign execution
+// ---------------------------------------------------------------------------
+
+ScenarioSpec small_spec(const scenario::Scenario& cell) {
+  ScenarioSpec spec = cell.spec;
+  spec.n = 256;
+  spec.trials = 3;
+  spec.churn.epochs = 1;
+  spec.churn.rounds_per_epoch = 64;
+  return spec;
+}
+
+TEST(ScenarioCampaign, EveryBuiltinCellRunsAtReducedScale) {
+  for (const auto& cell : Registry::instance().scenarios()) {
+    ScenarioSpec spec = small_spec(cell);
+    spec.trials = 1;
+    const auto result = CampaignRunner::run_cell(cell, spec);
+    ASSERT_EQ(result.metrics.size(), cell.metrics.size()) << spec.name;
+    for (std::size_t m = 0; m < result.metrics.size(); ++m) {
+      EXPECT_EQ(result.metrics[m].count(), spec.trials) << spec.name;
+      EXPECT_TRUE(std::isfinite(result.metrics[m].mean()))
+          << spec.name << "." << cell.metrics[m];
+    }
+  }
+}
+
+TEST(ScenarioCampaign, SameSpecAndSeedIsBitIdentical) {
+  const auto* cell = Registry::instance().find("omit_ids/tinygroups");
+  ASSERT_NE(cell, nullptr);
+  const ScenarioSpec spec = small_spec(*cell);
+
+  const auto a = CampaignRunner::run_cell(*cell, spec);
+  const auto b = CampaignRunner::run_cell(*cell, spec);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    // Bit-identical, not approximately equal: the campaign's
+    // determinism contract.
+    EXPECT_EQ(a.metrics[m].mean(), b.metrics[m].mean());
+    EXPECT_EQ(a.metrics[m].stddev(), b.metrics[m].stddev());
+    EXPECT_EQ(a.metrics[m].min(), b.metrics[m].min());
+    EXPECT_EQ(a.metrics[m].max(), b.metrics[m].max());
+  }
+
+  ScenarioSpec reseeded = spec;
+  reseeded.seed ^= 0xdecafbadULL;
+  const auto c = CampaignRunner::run_cell(*cell, reseeded);
+  bool any_difference = false;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    any_difference |= a.metrics[m].mean() != c.metrics[m].mean();
+  }
+  EXPECT_TRUE(any_difference) << "seed is not reaching the trials";
+}
+
+TEST(ScenarioCampaign, RunnerAppliesOverridesAndFilter) {
+  scenario::CampaignOptions options;
+  options.filter = "flood/";
+  options.trials_override = 2;
+  options.n_override = 256;
+  options.seed_override = 99;
+  const auto results = scenario::CampaignRunner(options).run();
+  ASSERT_GE(results.size(), 3u);  // flood against every topology
+  for (const auto& r : results) {
+    EXPECT_EQ(r.spec.adversary, AdversaryKind::flood);
+    EXPECT_EQ(r.spec.trials, 2u);
+    EXPECT_EQ(r.spec.n, 256u);
+    EXPECT_EQ(r.spec.seed, 99u);
+    for (const auto& m : r.metrics) EXPECT_EQ(m.count(), 2u);
+  }
+}
+
+TEST(ScenarioCampaign, ReportEmitsOneRowPerMetricPlusSummary) {
+  const auto* cell = Registry::instance().find("flood/cuckoo");
+  ASSERT_NE(cell, nullptr);
+  ScenarioSpec spec = small_spec(*cell);
+  spec.trials = 1;
+  const std::vector<scenario::ScenarioResult> results = {
+      CampaignRunner::run_cell(*cell, spec)};
+
+  bench::JsonReporter reporter("scenarios_test");
+  CampaignRunner::report(results, reporter);
+  EXPECT_EQ(reporter.rows(), cell->metrics.size() + 1);  // + summary row
+}
+
+// ---------------------------------------------------------------------------
+// route_outbox batching equivalence
+// ---------------------------------------------------------------------------
+
+/// Deterministic chatter: every node fans out each round; some
+/// payloads vary with received traffic so corruption/drops propagate
+/// into later sends (any divergence between the two routing paths
+/// amplifies into the trace hash).
+class EchoNode final : public net::Node {
+ public:
+  explicit EchoNode(std::size_t n) : n_(n) {}
+
+  void on_message(const net::Message& m, net::Context& ctx) override {
+    (void)ctx;
+    state_ = state_ * 1099511628211ULL + m.tag;
+    for (const auto w : m.payload) state_ += w;
+  }
+
+  void on_round_end(net::Context& ctx) override {
+    const auto dst =
+        static_cast<net::NodeId>((ctx.self() + 1 + ctx.round()) % n_);
+    ctx.send(dst, /*tag=*/ctx.round(), {state_, ctx.round()});
+    ctx.send(static_cast<net::NodeId>((dst * 7 + 3) % n_), /*tag=*/7,
+             {state_ ^ 0xffULL});
+  }
+
+ private:
+  std::size_t n_;
+  std::uint64_t state_ = 1;
+};
+
+net::NetworkStats run_chatter(bool recycle, std::uint64_t* trace,
+                              std::size_t threads) {
+  constexpr std::size_t kNodes = 24;
+  constexpr std::size_t kRounds = 40;
+  net::DeliveryPolicy policy;
+  policy.drop_prob = 0.1;
+  policy.max_delay_rounds = 2;
+  policy.byzantine.assign(kNodes, 0);
+  policy.byzantine[3] = policy.byzantine[11] = 1;
+  net::Network network(policy, /*seed=*/1234, threads);
+  network.set_buffer_recycling(recycle);
+  EXPECT_EQ(network.buffer_recycling(), recycle);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    network.add_node(std::make_unique<EchoNode>(kNodes));
+  }
+  network.start();
+  for (std::size_t r = 0; r < kRounds; ++r) network.run_round();
+  *trace = network.trace_hash();
+  return network.stats();
+}
+
+TEST(RouteOutboxBatching, RecycledPathMatchesLegacyPathExactly) {
+  std::uint64_t legacy_trace = 0;
+  std::uint64_t batched_trace = 0;
+  const auto legacy = run_chatter(false, &legacy_trace, 1);
+  const auto batched = run_chatter(true, &batched_trace, 1);
+
+  // Byte-identical delivered traffic: same trace hash (covers source,
+  // destination, tag, round and every payload word of every delivered
+  // message in order) and identical ledger.
+  EXPECT_EQ(legacy_trace, batched_trace);
+  EXPECT_EQ(legacy.sent, batched.sent);
+  EXPECT_EQ(legacy.delivered, batched.delivered);
+  EXPECT_EQ(legacy.dropped, batched.dropped);
+  EXPECT_EQ(legacy.delayed, batched.delayed);
+  EXPECT_EQ(legacy.corrupted, batched.corrupted);
+  EXPECT_GT(legacy.delivered, 0u);
+  EXPECT_GT(legacy.dropped, 0u);    // the policy actually engaged
+  EXPECT_GT(legacy.delayed, 0u);
+}
+
+TEST(RouteOutboxBatching, RecyclingIsThreadCountInvariant) {
+  std::uint64_t t1 = 0;
+  std::uint64_t t8 = 0;
+  (void)run_chatter(true, &t1, 1);
+  (void)run_chatter(true, &t8, 8);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(RouteOutboxBatching, MailboxDrainIntoMatchesDrain) {
+  net::Mailbox a;
+  net::Mailbox b;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    net::Message m;
+    m.src = static_cast<net::NodeId>(i);
+    m.dst = 0;
+    m.tag = i;
+    m.payload = {i, i * i};
+    ASSERT_TRUE(a.push(m));
+    ASSERT_TRUE(b.push(std::move(m)));
+  }
+  const auto via_drain = a.drain();
+  std::vector<net::Message> via_drain_into(7);  // stale content is cleared
+  b.drain_into(via_drain_into);
+  EXPECT_EQ(via_drain, via_drain_into);
+  EXPECT_EQ(b.size(), 0u);
+
+  // A partially consumed mailbox still drains the correct suffix.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    net::Message m;
+    m.tag = 100 + i;
+    ASSERT_TRUE(b.push(std::move(m)));
+  }
+  const auto popped = b.try_pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->tag, 100u);
+  b.drain_into(via_drain_into);
+  ASSERT_EQ(via_drain_into.size(), 2u);
+  EXPECT_EQ(via_drain_into[0].tag, 101u);
+  EXPECT_EQ(via_drain_into[1].tag, 102u);
+}
+
+TEST(RouteOutboxBatching, RoundLoopBenchmarkVerifiesEquivalence) {
+  bench::JsonReporter reporter("roundloop_test");
+  // Tiny sizes: this asserts the legacy/batched runs deliver identical
+  // traffic (the helper throws otherwise) and emits the three rows.
+  scenario::append_round_loop_benchmark(reporter, /*nodes=*/16, /*fanout=*/2,
+                                        /*rounds=*/8);
+  EXPECT_EQ(reporter.rows(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Guard the perf trajectory: fail on a throughput regression.
+
+Compares two BENCH_*.json files (schema 1).  Default mode is
+HARDWARE-NORMALIZED: the benches emit each optimized metric `X`
+alongside a frozen-seed-implementation row `X_seed_baseline` measured
+in the same process, so the speedup ratio
+
+    speedup(X) = ops_per_sec(X) / ops_per_sec(X_seed_baseline)
+
+cancels out the machine.  A metric regresses when the CURRENT file's
+speedup falls more than --threshold (default 0.25 = 25%) below the
+BASELINE file's speedup — i.e. the code lost part of its optimization
+win, regardless of which box either file was recorded on.
+
+--absolute instead compares raw ops_per_sec between the files (only
+meaningful when both were produced on the same machine).  Rows without
+the needed fields are skipped.
+
+Usage:
+  check_perf_regression.py BASELINE CURRENT [--threshold 0.25] [--absolute]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    rows = {}
+    for row in doc.get("metrics", []):
+        name = row.get("name")
+        if isinstance(name, str):
+            rows[name] = row
+    return rows
+
+
+def normalized_speedups(rows):
+    """Map metric -> ops(X)/ops(X_seed_baseline) for self-normalizing rows."""
+    out = {}
+    for name, row in rows.items():
+        if name.endswith("_seed_baseline"):
+            continue
+        seed_row = rows.get(name + "_seed_baseline")
+        if seed_row is None:
+            continue
+        ops = row.get("ops_per_sec")
+        seed_ops = seed_row.get("ops_per_sec")
+        if ops and seed_ops:
+            out[name] = ops / seed_ops
+    return out
+
+
+def absolute_throughputs(rows):
+    return {name: row["ops_per_sec"] for name, row in rows.items()
+            if isinstance(row.get("ops_per_sec"), (int, float))}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated fractional drop")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw ops_per_sec (same-machine files)")
+    args = parser.parse_args()
+
+    baseline_rows = load_rows(args.baseline)
+    current_rows = load_rows(args.current)
+
+    if args.absolute:
+        label = "ops_per_sec"
+        baseline = absolute_throughputs(baseline_rows)
+        current = absolute_throughputs(current_rows)
+    else:
+        label = "speedup-vs-seed"
+        baseline = normalized_speedups(baseline_rows)
+        current = normalized_speedups(current_rows)
+
+    compared = 0
+    regressions = []
+    for name, base_value in sorted(baseline.items()):
+        cur_value = current.get(name)
+        if cur_value is None:
+            continue
+        compared += 1
+        ratio = cur_value / base_value
+        marker = ""
+        if ratio < 1.0 - args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:40s} baseline {label}={base_value:12.6g} "
+              f"current={cur_value:12.6g} ratio={ratio:6.3f}{marker}")
+
+    if compared == 0:
+        print(f"no comparable {label} rows between the two files",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {1 - ratio:.1%} below baseline", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} compared metrics within {args.threshold:.0%} "
+          f"of baseline ({label})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the schema in bench/README.md.
+
+Schema (version 1):
+  {
+    "bench": "<name>",          # non-empty string
+    "schema": 1,
+    "metrics": [                # non-empty list
+      {"name": "<row>", <numeric or null fields>...},
+      ...
+    ]
+  }
+
+Usage:
+  validate_bench_json.py FILE [FILE...] [--min-scenario-cells N]
+
+--min-scenario-cells additionally requires a "campaign.summary" row
+whose "cells" field is >= N (the campaign-smoke gate: the full
+adversary x topology grid must have run).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path, min_scenario_cells):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"unreadable or invalid JSON: {error}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "'bench' missing or not a non-empty string")
+    if doc.get("schema") != 1:
+        return fail(path, f"'schema' is {doc.get('schema')!r}, expected 1")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        return fail(path, "'metrics' missing, not a list, or empty")
+
+    cells = None
+    for index, row in enumerate(metrics):
+        if not isinstance(row, dict):
+            return fail(path, f"metrics[{index}] is not an object")
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(path, f"metrics[{index}] has no 'name'")
+        for key, value in row.items():
+            if key == "name":
+                continue
+            if value is not None and not isinstance(value, (int, float)):
+                return fail(
+                    path, f"metrics[{index}].{key} is {type(value).__name__},"
+                    " expected number or null")
+        if name == "campaign.summary":
+            cells = row.get("cells")
+
+    if min_scenario_cells is not None:
+        if cells is None:
+            return fail(path, "no 'campaign.summary' row with 'cells'")
+        if cells < min_scenario_cells:
+            return fail(
+                path,
+                f"campaign ran {cells} cells, need >= {min_scenario_cells}")
+
+    print(f"OK   {path}: bench={doc['bench']} rows={len(metrics)}"
+          + (f" cells={cells}" if cells is not None else ""))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--min-scenario-cells", type=int, default=None)
+    args = parser.parse_args()
+
+    status = 0
+    for path in args.files:
+        status |= validate(path, args.min_scenario_cells)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
