@@ -30,6 +30,9 @@ int main() {
     for (const auto* cell : registry.match(options.filter)) {
       scenario::ScenarioSpec spec = cell->spec;
       spec.churn.epochs = epochs;
+      // Sweep value into the row name so the JSON keeps both slices
+      // (name-keyed consumers would collapse duplicate names).
+      spec.name += "@epochs=" + std::to_string(epochs);
       results.push_back(scenario::CampaignRunner::run_cell(*cell, spec));
     }
     scenario::CampaignRunner::print(results, std::cout);

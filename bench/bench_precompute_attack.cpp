@@ -32,6 +32,9 @@ int main() {
     for (const auto* cell : registry.match("pow")) {
       scenario::ScenarioSpec spec = cell->spec;
       spec.churn.epochs = epochs_banked;
+      // Sweep value into the row name so the JSON keeps both slices
+      // (name-keyed consumers would collapse duplicate names).
+      spec.name += "@horizon=" + std::to_string(epochs_banked);
       results.push_back(scenario::CampaignRunner::run_cell(*cell, spec));
     }
     scenario::CampaignRunner::print(results, std::cout);

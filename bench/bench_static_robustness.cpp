@@ -27,9 +27,15 @@ int main() {
     scenario::CampaignOptions options;
     options.filter = "static";
     options.beta_override = beta;
-    const auto results = scenario::CampaignRunner(options).run();
+    auto results = scenario::CampaignRunner(options).run();
     std::cout << "\n--- beta = " << beta << " ---\n";
     scenario::CampaignRunner::print(results, std::cout);
+    // Disambiguate the sweep in the JSON row names: report() keys rows
+    // by spec name, and name-keyed consumers would otherwise collapse
+    // the three beta slices into whichever came last.
+    for (auto& r : results) {
+      r.spec.name += "@beta=" + std::to_string(beta).substr(0, 4);
+    }
     all.insert(all.end(), results.begin(), results.end());
   }
 

@@ -7,11 +7,13 @@
 // `campaign --trials 2` over the full registry and validates the JSON.
 //
 //   campaign [--list] [--filter <substring|campaign>] [--trials N]
-//            [--seed S] [--n N] [--out DIR] [--no-roundloop]
+//            [--seed S] [--n N] [--threads T] [--out DIR|FILE.json]
+//            [--no-roundloop]
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "tinygroups/tinygroups.hpp"
 
@@ -27,8 +29,19 @@ void usage(const char* argv0) {
       << "  --seed S         override the experiment seed\n"
       << "  --n N            override the system size\n"
       << "  --beta B         override the adversarial fraction\n"
-      << "  --out DIR        directory for BENCH_scenarios.json (default .)\n"
+      << "  --threads T      trial fan-out width.  Per-trial values are\n"
+      << "                   scheduling-independent, but aggregated stats\n"
+      << "                   are a function of the shard count, so leave 0\n"
+      << "                   (the default shard count) for bit-identical\n"
+      << "                   cross-machine JSON\n"
+      << "  --out PATH       where to write the JSON: a directory (gets\n"
+      << "                   BENCH_scenarios.json inside) or a path ending\n"
+      << "                   in .json (written verbatim); default .\n"
       << "  --no-roundloop   skip the network round-loop perf rows\n";
+}
+
+bool ends_with_json(std::string_view path) {
+  return path.ends_with(".json");
 }
 
 }  // namespace
@@ -63,6 +76,8 @@ int main(int argc, char** argv) {
       options.n_override = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--beta") {
       options.beta_override = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--threads") {
+      options.threads = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--no-roundloop") {
@@ -91,13 +106,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const scenario::CampaignRunner runner(options);
-  const auto results = runner.run();
-  if (results.empty()) {
+  const auto matched = registry.match(options.filter);
+  if (matched.empty()) {
     std::cerr << "no scenario matches filter '" << options.filter << "' ("
               << registry.scenarios().size() << " cells registered)\n";
     return 1;
   }
+  std::cout << "campaign: expanding " << matched.size() << " of "
+            << registry.scenarios().size() << " registered cells"
+            << (options.filter.empty()
+                    ? std::string()
+                    : " (filter '" + options.filter + "')")
+            << ", threads=" << options.threads
+            << (options.threads == 0 ? " (default shard count)" : "")
+            << '\n';
+
+  const scenario::CampaignRunner runner(options);
+  const auto results = runner.run();
 
   scenario::CampaignRunner::print(results, std::cout);
 
@@ -106,7 +131,9 @@ int main(int argc, char** argv) {
   if (round_loop) {
     scenario::append_round_loop_benchmark(reporter);
   }
-  reporter.write(out_dir);
+  const bool wrote = ends_with_json(out_dir) ? reporter.write_file(out_dir)
+                                             : reporter.write(out_dir);
+  if (!wrote) return 1;
 
   double seconds = 0.0;
   for (const auto& r : results) seconds += r.seconds;

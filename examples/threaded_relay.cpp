@@ -17,7 +17,10 @@ int main() {
 
   std::cout << "== Fig. 1 relay on the threaded runtime ==\n\n";
 
-  // A healthy chain: minority corruption per group.
+  // A healthy chain: minority corruption per group.  Copies carry a
+  // 12-word payload (value + synthetic certificate) — wide enough to
+  // spill past Words' inline buffer, so the relay also exercises the
+  // network's pooled payload storage.
   net::RelayConfig cfg;
   cfg.chain_length = 8;
   cfg.group_size = 11;
@@ -25,6 +28,7 @@ int main() {
   cfg.drop_prob = 0.02;
   cfg.max_delay_rounds = 2;
   cfg.threads = 4;
+  cfg.payload_words = 12;
   cfg.seed = 7;
 
   const auto healthy = net::run_relay_chain(cfg);

@@ -144,6 +144,7 @@ void Sha256::compress(std::array<std::uint32_t, 8>& state,
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  if (data.empty()) return;  // empty spans may carry a null data()
   bit_length_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -11,7 +11,10 @@
 // than a deque so that drain_into() can hand the whole buffer to the
 // runtime by swap: the caller's recycled vector becomes the next
 // inbox buffer and vice versa, so a warmed-up round loop allocates no
-// inbox storage at all (the route_outbox batching path).
+// inbox storage at all (the route_outbox batching path).  Message
+// payloads travel through here as net::Words: spilled payloads carry
+// their pool pointer with them, so a mailbox never needs to know
+// which arena (if any) a payload's storage came from.
 #pragma once
 
 #include <condition_variable>

@@ -1,13 +1,16 @@
 // The wire format of the message-passing runtime.
 //
-// Payloads are small u64 vectors: every protocol in this repository
+// Payloads are small u64 sequences: every protocol in this repository
 // exchanges IDs, hash outputs, votes or shares — all 64-bit values —
-// so a schema-free word vector keeps the runtime protocol-agnostic
-// without type erasure.
+// so a schema-free word sequence keeps the runtime protocol-agnostic
+// without type erasure.  Storage is `Words`: the common short payload
+// lives inline in the Message, and longer payloads spill into blocks
+// pooled by the carrying Network's WordArena (see words.hpp).
 #pragma once
 
 #include <cstdint>
-#include <vector>
+
+#include "net/words.hpp"
 
 namespace tg::net {
 
@@ -18,7 +21,7 @@ struct Message {
   NodeId dst = 0;
   /// Protocol-defined discriminator (e.g. relay stage, echo round).
   std::uint64_t tag = 0;
-  std::vector<std::uint64_t> payload;
+  Words payload;
   /// Round in which the message was sent (stamped by the network).
   std::uint64_t sent_round = 0;
 

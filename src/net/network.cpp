@@ -86,7 +86,7 @@ void Network::route_outbox(std::vector<Message>& outbox) {
 void Network::start() {
   started_ = true;
   for (NodeId i = 0; i < nodes_.size(); ++i) {
-    Context ctx(i, round_);
+    Context ctx(i, round_, pool_payloads_ ? &arena_ : nullptr);
     nodes_[i]->on_start(ctx);
     route_outbox(ctx.outbox());
   }
@@ -141,8 +141,10 @@ std::size_t Network::run_round() {
   // outboxes are merged in node order afterwards, making results
   // independent of the chunk schedule and worker count.  Runs on the
   // persistent global pool — no thread churn per round.
+  WordArena* const arena = pool_payloads_ ? &arena_ : nullptr;
   const std::function<void(std::size_t)> process = [&](std::size_t i) {
-    Context ctx(static_cast<NodeId>(i), round_, std::move(outboxes[i]));
+    Context ctx(static_cast<NodeId>(i), round_, std::move(outboxes[i]),
+                arena);
     for (const Message& m : deliveries[i]) {
       nodes_[i]->on_message(m, ctx);
     }

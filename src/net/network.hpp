@@ -31,6 +31,7 @@
 
 #include "net/mailbox.hpp"
 #include "net/node.hpp"
+#include "net/words.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -111,6 +112,25 @@ class Network {
     return recycle_buffers_;
   }
 
+  /// Payload pooling (on by default): handler Contexts attach the
+  /// network's WordArena to every outgoing payload, so payloads longer
+  /// than Words::kInlineCapacity spill into pooled blocks that return
+  /// to the arena when the delivered message is consumed — the
+  /// payload-level counterpart of buffer recycling.  Off = spill via
+  /// plain heap new[]/delete[] (the legacy representation) — kept
+  /// selectable so tests can assert byte-identical delivered traffic
+  /// between the two paths and benches can measure the difference.
+  void set_payload_pooling(bool on) noexcept { pool_payloads_ = on; }
+  [[nodiscard]] bool payload_pooling() const noexcept {
+    return pool_payloads_;
+  }
+
+  /// The payload spill pool (hit/miss/retention counters for tests and
+  /// the round-loop bench's steady-state-allocation assertion).
+  [[nodiscard]] const WordArena& payload_arena() const noexcept {
+    return arena_;
+  }
+
  private:
   /// Route every message out of `outbox` (delivery policy, mailbox
   /// push or delay scheduling), then clear it with capacity kept.
@@ -121,6 +141,12 @@ class Network {
   Rng policy_rng_;
   std::size_t threads_;  ///< executor width cap on the global pool
   bool recycle_buffers_ = true;
+  bool pool_payloads_ = true;
+  /// Spill-block pool for message payloads.  Declared before every
+  /// container that can hold Messages (nodes, mailboxes, scratch,
+  /// delayed slots): members destroy in reverse order, so all
+  /// arena-backed payloads release their blocks before the arena dies.
+  WordArena arena_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   /// Recycled per-round scratch (recycle_buffers_ mode): deliveries_

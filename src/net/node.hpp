@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "net/message.hpp"
@@ -16,26 +17,44 @@ namespace tg::net {
 
 /// Handler-side view of the network: collects outgoing sends so the
 /// runtime can apply delivery policy and parallelize without handing
-/// nodes a mutable network reference.
+/// nodes a mutable network reference.  Also the handler's door into
+/// payload pooling: the network passes its WordArena here, and every
+/// outgoing payload is attached to it (inline payloads by pointer,
+/// so the common case costs nothing; see Words::adopt_arena).
 class Context {
  public:
-  Context(NodeId self, std::uint64_t round) noexcept
-      : self_(self), round_(round) {}
+  Context(NodeId self, std::uint64_t round,
+          WordArena* arena = nullptr) noexcept
+      : self_(self), round_(round), arena_(arena) {}
 
   /// Adopt a recycled outbox buffer: cleared, capacity kept.  The
   /// runtime's batched round loop hands each node last round's routed
   /// outbox back, so steady-state rounds allocate no outbox storage.
-  Context(NodeId self, std::uint64_t round,
-          std::vector<Message>&& recycled) noexcept
-      : self_(self), round_(round), outbox_(std::move(recycled)) {
+  Context(NodeId self, std::uint64_t round, std::vector<Message>&& recycled,
+          WordArena* arena = nullptr) noexcept
+      : self_(self),
+        round_(round),
+        arena_(arena),
+        outbox_(std::move(recycled)) {
     outbox_.clear();
   }
 
   [[nodiscard]] NodeId self() const noexcept { return self_; }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
 
-  void send(NodeId dst, std::uint64_t tag,
-            std::vector<std::uint64_t> payload = {}) {
+  /// An empty payload wired to the network's spill pool — the way to
+  /// BUILD a payload longer than Words::kInlineCapacity without a
+  /// heap allocation per message (push_back draws from the arena).
+  [[nodiscard]] Words payload() const noexcept { return Words(arena_); }
+  [[nodiscard]] Words payload(
+      std::initializer_list<std::uint64_t> init) const {
+    Words words(arena_);
+    words.assign(init.begin(), init.size());
+    return words;
+  }
+
+  void send(NodeId dst, std::uint64_t tag, Words payload = {}) {
+    payload.adopt_arena(arena_);
     outbox_.push_back(Message{self_, dst, tag, std::move(payload), round_});
   }
 
@@ -44,6 +63,7 @@ class Context {
  private:
   NodeId self_;
   std::uint64_t round_;
+  WordArena* arena_ = nullptr;
   std::vector<Message> outbox_;
 };
 

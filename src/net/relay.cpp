@@ -28,12 +28,13 @@ std::uint64_t plurality(const std::vector<std::uint64_t>& copies) {
 RelayMember::RelayMember(std::size_t group, std::size_t group_size,
                          std::size_t chain_length, std::size_t patience,
                          std::optional<std::uint64_t> initial,
-                         std::size_t verify_spin)
+                         std::size_t verify_spin, std::size_t payload_words)
     : group_(group),
       group_size_(group_size),
       chain_length_(chain_length),
       patience_(patience),
       verify_spin_(verify_spin),
+      payload_words_(payload_words == 0 ? 1 : payload_words),
       decoded_(initial) {}
 
 void RelayMember::on_message(const Message& m, Context& ctx) {
@@ -56,8 +57,19 @@ void RelayMember::forward(Context& ctx) {
   const auto next_base =
       static_cast<NodeId>((group_ + 1) * group_size_);
   for (std::size_t j = 0; j < group_size_; ++j) {
+    // Word 0 carries the relayed value; the remaining words are the
+    // synthetic certificate.  ctx.payload() draws spill storage from
+    // the network's arena, so wide copies allocate nothing once warm.
+    Words copy = ctx.payload();
+    copy.reserve(payload_words_);
+    copy.push_back(*decoded_);
+    std::uint64_t cert = *decoded_;
+    for (std::size_t w = 1; w < payload_words_; ++w) {
+      cert = mix64(cert);
+      copy.push_back(cert);
+    }
     ctx.send(next_base + static_cast<NodeId>(j),
-             kRelayTagBase + group_ + 1, {*decoded_});
+             kRelayTagBase + group_ + 1, std::move(copy));
   }
 }
 
@@ -98,7 +110,7 @@ RelayRun run_relay_chain(const RelayConfig& config) {
           config.max_delay_rounds,
           g == 0 ? std::optional<std::uint64_t>(config.payload)
                  : std::nullopt,
-          config.verify_spin);
+          config.verify_spin, config.payload_words);
       members.push_back(node.get());
       net.add_node(std::move(node));
     }

@@ -30,10 +30,14 @@ class RelayMember final : public Node {
   /// `verify_spin`: synthetic per-copy verification work (mix64
   /// iterations), modeling the signature check a deployment performs
   /// on every received copy; drives the executor-scaling bench.
+  /// `payload_words`: words per forwarded copy — word 0 is the relayed
+  /// value, the rest a synthetic certificate (the signature + proof
+  /// chain a deployment attaches); above Words::kInlineCapacity the
+  /// copies exercise the network's pooled spill storage.
   RelayMember(std::size_t group, std::size_t group_size,
               std::size_t chain_length, std::size_t patience = 0,
               std::optional<std::uint64_t> initial = std::nullopt,
-              std::size_t verify_spin = 0);
+              std::size_t verify_spin = 0, std::size_t payload_words = 1);
 
   void on_message(const Message& m, Context& ctx) override;
   void on_round_end(Context& ctx) override;
@@ -51,6 +55,7 @@ class RelayMember final : public Node {
   std::size_t chain_length_;
   std::size_t patience_;
   std::size_t verify_spin_;
+  std::size_t payload_words_;
   std::optional<std::uint64_t> decoded_;
   std::vector<std::uint64_t> copies_;
   std::size_t rounds_waited_ = 0;
@@ -78,6 +83,8 @@ struct RelayConfig {
   std::size_t max_delay_rounds = 0;
   /// Per-received-copy verification work (mix64 spins); 0 = free.
   std::size_t verify_spin = 0;
+  /// Words per relayed copy (>= 1): value + synthetic certificate.
+  std::size_t payload_words = 1;
   std::uint64_t payload = 0xFEEDFACE;
   std::uint64_t seed = 1;
 };

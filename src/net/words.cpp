@@ -1,0 +1,107 @@
+#include "net/words.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tg::net {
+
+// ---------------------------------------------------------------------------
+// WordArena
+// ---------------------------------------------------------------------------
+
+WordArena::~WordArena() {
+  for (auto& bucket : free_) {
+    for (std::uint64_t* block : bucket) delete[] block;
+  }
+}
+
+int WordArena::class_index(std::size_t capacity) noexcept {
+  if (capacity < kMinClassWords || !std::has_single_bit(capacity)) return -1;
+  const int index =
+      std::countr_zero(capacity) - std::countr_zero(kMinClassWords);
+  return index < static_cast<int>(kClassCount) ? index : -1;
+}
+
+std::uint64_t* WordArena::allocate(std::size_t& capacity) {
+  const std::size_t rounded =
+      std::bit_ceil(std::max(capacity, kMinClassWords));
+  const int index = class_index(rounded);
+  if (index < 0) {
+    // Oversize: pooling classes top out at kMinClassWords << kClassCount
+    // words; beyond that a payload is bulk data, not protocol chatter.
+    const std::scoped_lock lock(mutex_);
+    ++stats_.allocated;
+    ++stats_.unpooled;
+    return new std::uint64_t[capacity];
+  }
+  capacity = rounded;
+  const std::scoped_lock lock(mutex_);
+  ++stats_.allocated;
+  auto& bucket = free_[index];
+  if (!bucket.empty()) {
+    ++stats_.recycled;
+    std::uint64_t* block = bucket.back();
+    bucket.pop_back();
+    return block;
+  }
+  return new std::uint64_t[rounded];
+}
+
+void WordArena::release(std::uint64_t* block, std::size_t capacity) noexcept {
+  const int index = class_index(capacity);
+  if (index < 0) {
+    delete[] block;
+    return;
+  }
+  const std::scoped_lock lock(mutex_);
+  ++stats_.released;
+  free_[index].push_back(block);
+}
+
+WordArena::Stats WordArena::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::size_t WordArena::free_blocks() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& bucket : free_) total += bucket.size();
+  return total;
+}
+
+std::uint64_t WordArena::heap_allocations() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_.allocated - stats_.recycled;
+}
+
+// ---------------------------------------------------------------------------
+// Words
+// ---------------------------------------------------------------------------
+
+void Words::release_storage() noexcept {
+  if (!spilled()) return;
+  if (arena_ != nullptr) {
+    arena_->release(data_, capacity_);
+  } else {
+    delete[] data_;
+  }
+  data_ = inline_;
+  capacity_ = kInlineCapacity;
+}
+
+void Words::grow_exact(std::size_t min_capacity) {
+  std::size_t want = std::max(min_capacity, 2 * std::size_t{capacity_});
+  std::uint64_t* block;
+  if (arena_ != nullptr) {
+    block = arena_->allocate(want);  // want rounds up to the class size
+  } else {
+    block = new std::uint64_t[want];
+  }
+  std::memcpy(block, data_, size_ * sizeof(std::uint64_t));
+  release_storage();
+  data_ = block;
+  capacity_ = static_cast<std::uint32_t>(want);
+}
+
+}  // namespace tg::net

@@ -73,15 +73,50 @@ class CampaignRunner {
   CampaignOptions options_;
 };
 
-/// Measure the network round loop with buffer recycling off (the
-/// pre-batching allocation-churn path) and on, verify the delivered
-/// traffic is byte-identical (trace hash), and append
+/// One configuration of the synthetic chatter round loop — the
+/// allocation-pattern microworkload behind the net runtime's perf
+/// trajectory (buffer recycling in PR 2, payload pooling in PR 3).
+struct RoundLoopConfig {
+  std::size_t nodes = 256;
+  std::size_t fanout = 4;
+  std::size_t rounds = 300;
+  /// Words per chatter message (clamped to >= 2: round + checksum).
+  /// Above Words::kInlineCapacity every message spills, which is what
+  /// makes payload pooling measurable.
+  std::size_t payload_words = 2;
+  bool recycle_buffers = true;
+  bool pool_payloads = true;
+  std::uint64_t seed = 42;
+};
+
+struct RoundLoopResult {
+  double ns_per_round = 0.0;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t delivered = 0;
+  /// Payload-arena counters after the run (zeros when pooling off).
+  std::uint64_t arena_allocated = 0;
+  std::uint64_t arena_recycled = 0;
+  std::uint64_t arena_heap_allocations = 0;
+};
+
+/// Run the chatter workload under one configuration.  Delivered
+/// traffic (and hence trace_hash) is a pure function of
+/// (nodes, fanout, rounds, payload_words, seed) — the buffer/payload
+/// toggles must not change it, which is what the equivalence checks
+/// in append_round_loop_benchmark and tests/test_net.cpp assert.
+[[nodiscard]] RoundLoopResult run_chatter_round_loop(
+    const RoundLoopConfig& config);
+
+/// Measure the network round loop along the optimization trajectory —
+/// legacy (fresh vectors + heap payload spill), batched (recycled
+/// buffers, PR 2), pooled (recycled buffers + arena payloads) — verify
+/// all three deliver byte-identical traffic (trace hash), and append
 /// net_round_loop_legacy / net_round_loop_batched /
-/// speedup_net_round_loop rows to the reporter — the route_outbox
-/// batching before/after trajectory.
+/// net_round_loop_pooled plus the two speedup rows to the reporter.
 void append_round_loop_benchmark(bench::JsonReporter& out,
                                  std::size_t nodes = 256,
                                  std::size_t fanout = 4,
-                                 std::size_t rounds = 300);
+                                 std::size_t rounds = 300,
+                                 std::size_t payload_words = 12);
 
 }  // namespace tg::scenario

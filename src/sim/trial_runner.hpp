@@ -1,8 +1,12 @@
 // Deterministic Monte-Carlo fan-out.
 //
 // Trials are sharded across the thread pool; each trial gets an Rng
-// seeded from (experiment_seed, trial_index) so results are identical
-// for any thread count (reproducibility over scheduling).
+// seeded from (experiment_seed, trial_index), so per-trial values
+// never depend on scheduling.  Aggregated statistics are a pure
+// function of (seed, trials, shard_count) — the shard count fixes the
+// float-merge grouping — so bit-identical cross-machine results
+// require the same `threads` argument (0 pins the default shard
+// count, which is why campaign runs default to it).
 #pragma once
 
 #include <cstdint>

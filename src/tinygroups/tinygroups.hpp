@@ -87,6 +87,7 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "net/relay.hpp"
+#include "net/words.hpp"
 
 // Proof-of-work ID machinery
 #include "pow/epoch_string.hpp"

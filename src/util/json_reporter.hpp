@@ -51,9 +51,21 @@ class JsonReporter {
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
   /// Write BENCH_<name>.json into `dir` (default: working directory).
-  void write(const std::string& dir = ".") const {
-    const std::string path = dir + "/BENCH_" + name_ + ".json";
+  /// Returns false (with a diagnostic on stderr) when the file cannot
+  /// be opened.
+  bool write(const std::string& dir = ".") const {
+    return write_file(dir + "/BENCH_" + name_ + ".json");
+  }
+
+  /// Write to an explicit file path (the campaign CLI's --out file
+  /// form; the conventional BENCH_<name>.json naming is the caller's
+  /// choice here).
+  bool write_file(const std::string& path) const {
     std::ofstream out(path);
+    if (!out) {
+      std::cerr << "JsonReporter: cannot open " << path << " for writing\n";
+      return false;
+    }
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema\": 1,\n"
         << "  \"metrics\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -65,6 +77,7 @@ class JsonReporter {
     }
     out << "  ]\n}\n";
     std::cout << "wrote " << path << '\n';
+    return true;
   }
 
  private:

@@ -310,11 +310,40 @@ TEST(RouteOutboxBatching, MailboxDrainIntoMatchesDrain) {
 
 TEST(RouteOutboxBatching, RoundLoopBenchmarkVerifiesEquivalence) {
   bench::JsonReporter reporter("roundloop_test");
-  // Tiny sizes: this asserts the legacy/batched runs deliver identical
-  // traffic (the helper throws otherwise) and emits the three rows.
+  // Tiny sizes: this asserts the legacy/batched/pooled runs deliver
+  // identical traffic (the helper throws otherwise) and emits the
+  // three ns_per_op rows plus the two speedup rows.
   scenario::append_round_loop_benchmark(reporter, /*nodes=*/16, /*fanout=*/2,
                                         /*rounds=*/8);
-  EXPECT_EQ(reporter.rows(), 3u);
+  EXPECT_EQ(reporter.rows(), 5u);
+}
+
+TEST(RouteOutboxBatching, ChatterRoundLoopTraceIgnoresStorageToggles) {
+  // The chatter trace must be a pure function of the traffic shape:
+  // all four storage configurations (recycling x pooling) deliver
+  // byte-identical messages, with payloads both inline and spilled.
+  for (const std::size_t payload_words : {std::size_t{2}, std::size_t{11}}) {
+    scenario::RoundLoopConfig config;
+    config.nodes = 12;
+    config.fanout = 2;
+    config.rounds = 10;
+    config.payload_words = payload_words;
+    std::uint64_t reference = 0;
+    for (const bool recycle : {false, true}) {
+      for (const bool pool : {false, true}) {
+        config.recycle_buffers = recycle;
+        config.pool_payloads = pool;
+        const auto run = scenario::run_chatter_round_loop(config);
+        if (reference == 0) reference = run.trace_hash;
+        EXPECT_EQ(run.trace_hash, reference)
+            << "payload_words=" << payload_words << " recycle=" << recycle
+            << " pool=" << pool;
+        if (pool && payload_words > net::Words::kInlineCapacity) {
+          EXPECT_GT(run.arena_allocated, 0u);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -17,8 +17,15 @@ win, regardless of which box either file was recorded on.
 meaningful when both were produced on the same machine).  Rows without
 the needed fields are skipped.
 
+A metric that the BASELINE tracks but the CURRENT run no longer emits
+is an error in its own right (a silently dropped bench is how a perf
+guard rots): it fails with the missing names listed.  Pass
+--allow-missing to tolerate it (e.g. comparing a full baseline against
+one bench's partial output).
+
 Usage:
-  check_perf_regression.py BASELINE CURRENT [--threshold 0.25] [--absolute]
+  check_perf_regression.py BASELINE CURRENT [--threshold 0.25]
+                           [--absolute] [--allow-missing]
 """
 
 import argparse
@@ -27,8 +34,11 @@ import sys
 
 
 def load_rows(path):
-    with open(path, encoding="utf-8") as handle:
-        doc = json.load(handle)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"cannot read bench file {path}: {error}")
     rows = {}
     for row in doc.get("metrics", []):
         name = row.get("name")
@@ -66,6 +76,8 @@ def main():
                         help="maximum tolerated fractional drop")
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw ops_per_sec (same-machine files)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate baseline metrics absent from CURRENT")
     args = parser.parse_args()
 
     baseline_rows = load_rows(args.baseline)
@@ -79,6 +91,19 @@ def main():
         label = "speedup-vs-seed"
         baseline = normalized_speedups(baseline_rows)
         current = normalized_speedups(current_rows)
+
+    missing = sorted(name for name in baseline if name not in current)
+    if missing and not args.allow_missing:
+        print(f"{len(missing)} metric(s) present in the baseline "
+              f"({args.baseline}) are missing from the current run "
+              f"({args.current}):", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        print("Did a bench stop emitting a row (or its _seed_baseline "
+              "companion)?  Regenerate the baseline if the removal is "
+              "intentional, or pass --allow-missing for a partial "
+              "comparison.", file=sys.stderr)
+        return 1
 
     compared = 0
     regressions = []
