@@ -194,6 +194,15 @@ int main() {
          "persistent pool measurably faster than the seed");
 
   JsonReporter report("crypto");
+  // Which kernels this run actually dispatched to — without this the
+  // hardware-normalized rows are not interpretable across runners
+  // (a SHA-NI-less or AVX-512-less box legitimately shows different
+  // speedups-vs-seed).
+  report.set_meta("hash_kernel", crypto::Sha256::kernel_name());
+  report.set_meta("lanes", std::to_string(crypto::Sha256::lane_width()));
+  std::cout << "hash kernel: " << crypto::Sha256::kernel_name()
+            << " (lane width " << crypto::Sha256::lane_width() << ")\n";
+
   Table t({"metric", "seed ns/op", "now ns/op", "speedup"});
   t.set_title("hot-path ns/op, seed baseline vs current");
 
@@ -216,6 +225,11 @@ int main() {
     t.add_row({name, seed_ns, now_ns, seed_ns / now_ns});
   };
 
+  // Single-lane ns/op, kept for the explicit multi-lane-vs-single
+  // speedup rows below.
+  double value_u64_single_ns = 0.0;
+  double pow_attempt_single_ns = 0.0;
+
   // --- Oracle value_u64: the innermost hot call of h1/h2/f/g/h. ---
   {
     const double seed_ns = measure_ns_per_op([&](std::size_t iters) {
@@ -231,6 +245,7 @@ int main() {
       do_not_optimize(acc);
     });
     bench_pair("oracle_value_u64", seed_ns, now_ns);
+    value_u64_single_ns = now_ns;
   }
 
   // --- Oracle value_pair: group-membership hash h1(w, i). ---
@@ -303,8 +318,102 @@ int main() {
       do_not_optimize(found);
     });
     bench_pair("pow_attempt", seed_ns, now_ns);
+    pow_attempt_single_ns = now_ns;
     report.add("pow_attempts_per_sec",
                {{"now", 1e9 / now_ns}, {"seed_baseline", 1e9 / seed_ns}});
+  }
+
+  // --- Multi-lane oracle batching: eval_many through the lane engine.
+  // One op is still one oracle evaluation; a full lane group is hashed
+  // per multi-buffer compression.  The *_vs_single rows quote the win
+  // over this binary's own single-lane path (PR 1's design), which is
+  // the number the lane engine exists for.
+  {
+    const double seed_ns = measure_ns_per_op([&](std::size_t iters) {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < iters; ++i) {
+        acc ^= seed_baseline::oracle_value_u64("tinygroups/h1", 42, i);
+      }
+      do_not_optimize(acc);
+    });
+    auto stream = oracle.stream_u64();
+    constexpr std::size_t kBatch = 1024;
+    std::vector<std::uint64_t> xs(kBatch), outs(kBatch);
+    const double now_ns = measure_ns_per_op([&](std::size_t iters) {
+      std::uint64_t acc = 0;
+      for (std::size_t done = 0; done < iters; done += kBatch) {
+        const std::size_t m = std::min(kBatch, iters - done);
+        for (std::size_t i = 0; i < m; ++i) xs[i] = done + i;
+        stream.eval_many(xs.data(), outs.data(), m);
+        acc ^= outs[m - 1];
+      }
+      do_not_optimize(acc);
+    });
+    bench_pair("oracle_value_u64_multilane", seed_ns, now_ns);
+    report.add("speedup_oracle_value_u64_multilane_vs_single",
+               {{"speedup", value_u64_single_ns / now_ns}});
+  }
+
+  // --- Multi-lane membership hashing: StreamPair::eval_many, the
+  // h(w, slot) draw shape of the group graphs. ---
+  {
+    const double seed_ns = measure_ns_per_op([&](std::size_t iters) {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < iters; ++i) {
+        acc ^= seed_baseline::oracle_value_pair("tinygroups/h1", 42, i, i + 1);
+      }
+      do_not_optimize(acc);
+    });
+    auto stream = oracle.stream_pair();
+    constexpr std::size_t kSlots = 64;  // a generous group size
+    std::vector<std::uint64_t> slots(kSlots), outs(kSlots);
+    for (std::size_t s = 0; s < kSlots; ++s) slots[s] = s;
+    const double now_ns = measure_ns_per_op([&](std::size_t iters) {
+      std::uint64_t acc = 0;
+      for (std::size_t done = 0; done < iters; done += kSlots) {
+        const std::size_t m = std::min(kSlots, iters - done);
+        stream.eval_many(/*w=*/done, slots.data(), outs.data(), m);
+        acc ^= outs[m - 1];
+      }
+      do_not_optimize(acc);
+    });
+    bench_pair("oracle_value_pair_multilane", seed_ns, now_ns);
+  }
+
+  // --- Multi-lane PoW attempts: the solver's lane-interleaved inner
+  // loop — draw a lane group of sigmas, hash them together, count
+  // threshold hits. ---
+  {
+    const double seed_ns = measure_ns_per_op([&](std::size_t iters) {
+      Rng rng(7);
+      std::uint64_t found = 0;
+      for (std::size_t i = 0; i < iters; ++i) {
+        const std::uint64_t sigma = rng.u64();
+        found += seed_baseline::oracle_value_u64("tinygroups/g", 91,
+                                                 sigma ^ 0x5151) <= tau;
+      }
+      do_not_optimize(found);
+    });
+    auto g_stream = oracles.g.stream_u64();
+    constexpr std::size_t kLanes = crypto::Sha256::kMaxLanes;
+    std::uint64_t xs[kLanes];
+    std::uint64_t gs[kLanes];
+    const double now_ns = measure_ns_per_op([&](std::size_t iters) {
+      Rng rng(7);
+      std::uint64_t found = 0;
+      for (std::size_t done = 0; done < iters; done += kLanes) {
+        const std::size_t m = std::min(kLanes, iters - done);
+        for (std::size_t i = 0; i < m; ++i) xs[i] = rng.u64() ^ 0x5151;
+        g_stream.eval_many(xs, gs, m);
+        for (std::size_t i = 0; i < m; ++i) found += gs[i] <= tau;
+      }
+      do_not_optimize(found);
+    });
+    bench_pair("pow_attempt_multilane", seed_ns, now_ns);
+    report.add("pow_attempts_per_sec_multilane",
+               {{"now", 1e9 / now_ns}, {"seed_baseline", 1e9 / seed_ns}});
+    report.add("speedup_pow_attempt_multilane_vs_single",
+               {{"speedup", pow_attempt_single_ns / now_ns}});
   }
 
   // --- End-to-end batched solving (64 machines to completion). ---

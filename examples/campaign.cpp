@@ -127,6 +127,10 @@ int main(int argc, char** argv) {
   scenario::CampaignRunner::print(results, std::cout);
 
   bench::JsonReporter reporter("scenarios");
+  // Scenario trials hash through the same oracle substrate as the
+  // crypto micros; record the dispatch so cross-runner comparisons of
+  // cell timings stay interpretable.
+  reporter.set_meta("hash_kernel", crypto::Sha256::kernel_name());
   scenario::CampaignRunner::report(results, reporter);
   if (round_loop) {
     scenario::append_round_loop_benchmark(reporter);

@@ -45,19 +45,37 @@ ChosenInputReport simulate_chosen_input(const crypto::OracleSuite& oracles,
   std::size_t composed_hits = 0;
   std::size_t made = 0;
   std::uint64_t spent = 0;
+  // The adversary grinds inputs and KEEPS only those whose single-hash
+  // ID g(x) falls in the target region — full control.  Grinding is
+  // pure independent hashing, so attempts go through the multi-lane
+  // engine a lane group at a time (clamped to the remaining budget;
+  // hits are consumed in draw order, so counts match a sequential
+  // grind exactly).  The grind draws from a private fork so the
+  // lane-group lookahead never perturbs the caller's rng: the caller
+  // pays exactly one fork regardless of attempts spent.
+  Rng grind_rng = rng.fork();
+  auto g_stream = oracles.g.stream_u64();
+  auto f_stream = oracles.f.stream_u64();
+  constexpr std::size_t kLanes = crypto::Sha256::kMaxLanes;
+  std::uint64_t xs[kLanes];
+  std::uint64_t gs[kLanes];
   while (made < target_ids && spent < attempt_budget) {
-    // The adversary grinds inputs and KEEPS only those whose
-    // single-hash ID g(x) falls in the target region — full control.
-    const std::uint64_t x = rng.u64();
-    ++spent;
-    const std::uint64_t g_out = oracles.g.value_u64(x);
-    if (g_out >= region_bound) continue;
-    ++made;
-    ++single_hits;  // by construction: g(x) is the ID and it is in range
-    // Under the paper's scheme the same ground-out solution yields the
-    // ID f(g(x)) — a fresh oracle output the adversary cannot steer.
-    const std::uint64_t composed = oracles.f.value_u64(g_out);
-    if (composed < region_bound) ++composed_hits;
+    const std::uint64_t remaining = attempt_budget - spent;
+    const std::size_t chunk = remaining < kLanes
+                                  ? static_cast<std::size_t>(remaining)
+                                  : kLanes;
+    for (std::size_t i = 0; i < chunk; ++i) xs[i] = grind_rng.u64();
+    g_stream.eval_many(xs, gs, chunk);
+    for (std::size_t i = 0; i < chunk && made < target_ids; ++i) {
+      ++spent;
+      if (gs[i] >= region_bound) continue;
+      ++made;
+      ++single_hits;  // by construction: g(x) is the ID, in range
+      // Under the paper's scheme the same ground-out solution yields
+      // the ID f(g(x)) — a fresh oracle output the adversary cannot
+      // steer.
+      if (f_stream(gs[i]) < region_bound) ++composed_hits;
+    }
   }
   report.ids = made;
   if (made > 0) {

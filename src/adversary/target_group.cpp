@@ -32,16 +32,19 @@ TargetedJoinReport run(const core::Params& params, bool chosen_placement,
   } else {
     // No-PoW counterfactual: place IDs just counter-clockwise of the
     // victim's membership points h1(victim, slot), so each becomes the
-    // successor that membership resolution selects.
+    // successor that membership resolution selects.  The g points are
+    // independent single-block oracle calls: draw them once through
+    // the multi-lane engine instead of re-hashing per planted ID.
     const std::uint64_t victim_raw = good_pts.front().raw();
     const std::size_t g = params.group_size();
+    std::vector<std::uint64_t> slots(g), points(g);
+    for (std::size_t slot = 0; slot < g; ++slot) slots[slot] = slot;
+    auto h1 = oracles.h1.stream_pair();
+    h1.eval_many(victim_raw, slots.data(), points.data(), g);
     for (std::size_t i = 0; i < budget; ++i) {
-      const std::size_t slot = i % g;
-      const std::uint64_t point =
-          oracles.h1.value_pair(victim_raw, slot);
       // Land essentially on the point (one tick before its successor
       // search key) so suc(point) is this adversarial ID.
-      bad_pts.emplace_back(point + 1 + (i / g));
+      bad_pts.emplace_back(points[i % g] + 1 + (i / g));
     }
   }
 

@@ -89,6 +89,13 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
   std::vector<Group> groups(n);
   std::vector<std::uint32_t> scratch;
 
+  // Membership-request keys h(w, slot) are independent single-block
+  // oracle calls; draw each leader's g keys through the multi-lane
+  // engine in one batched sweep before walking the slots.
+  auto h = membership_oracle.stream_pair();
+  std::vector<std::uint64_t> slots(g), points(g);
+  for (std::size_t slot = 0; slot < g; ++slot) slots[slot] = slot;
+
   // One dual search: a single H route in the (shared) old topology,
   // evaluated against both old graphs' red sets.  Returns success and
   // charges messages to `cat`.
@@ -113,9 +120,10 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
     // ---- Group-membership requests (via the bootstrap group) ----
     scratch.clear();
     std::size_t corrupted = 0;
+    h.eval_many(w, slots.data(), points.data(), g);
     for (std::size_t slot = 0; slot < g; ++slot) {
       ++st.membership_requests;
-      const ids::RingPoint target{membership_oracle.value_pair(w, slot)};
+      const ids::RingPoint target{points[slot]};
       const std::size_t boot = old_pop.random_good_index(rng);
       if (!dual_search(boot, target, sim::MsgCat::membership)) {
         ++st.membership_dual_failures;

@@ -30,15 +30,21 @@ GroupGraph GroupGraph::pristine(const Params& params,
   const std::size_t g = params.group_size();
   std::vector<Group> groups(n);
   std::vector<std::uint32_t> scratch;
+  // All g membership points of a leader are independent single-block
+  // oracle calls — exactly the multi-lane engine's shape, so draw them
+  // per leader in one lane-batched sweep.
+  auto h = membership_oracle.stream_pair();
+  std::vector<std::uint64_t> slots(g), points(g);
+  for (std::size_t slot = 0; slot < g; ++slot) slots[slot] = slot;
   for (std::size_t i = 0; i < n; ++i) {
     Group& grp = groups[i];
     grp.leader = i;
     scratch.clear();
     const std::uint64_t w = pop->table().at(i).raw();
+    h.eval_many(w, slots.data(), points.data(), g);
     for (std::size_t slot = 0; slot < g; ++slot) {
-      const std::uint64_t point = membership_oracle.value_pair(w, slot);
       const auto member = static_cast<std::uint32_t>(
-          pop->table().successor_index(ids::RingPoint{point}));
+          pop->table().successor_index(ids::RingPoint{points[slot]}));
       scratch.push_back(member);
     }
     // Deduplicate: a physical ID holds one membership per group.

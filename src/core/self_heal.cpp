@@ -12,15 +12,21 @@ bool rebuild_group(GroupGraph& graph, std::size_t index,
   Group& grp = graph.mutable_group(index);
   const std::uint64_t w = graph.leaders().table().at(grp.leader).raw();
 
+  // Salted redraw: same mechanism as the original membership draw,
+  // different points — the oracle's uniformity makes the rebuilt
+  // composition an independent sample.  All g draws are independent
+  // single-block oracle calls, so they go through the multi-lane
+  // engine in one batch.
+  std::vector<std::uint64_t> slots(g), points(g);
+  for (std::size_t slot = 0; slot < g; ++slot) slots[slot] = slot;
+  auto h = membership_oracle.stream_pair();
+  h.eval_many(w ^ salt, slots.data(), points.data(), g);
+
   std::vector<std::uint32_t> members;
   members.reserve(g);
   for (std::size_t slot = 0; slot < g; ++slot) {
-    // Salted redraw: same mechanism as the original membership draw,
-    // different points — the oracle's uniformity makes the rebuilt
-    // composition an independent sample.
-    const std::uint64_t point = membership_oracle.value_pair(w ^ salt, slot);
     members.push_back(static_cast<std::uint32_t>(
-        pool.table().successor_index(ids::RingPoint{point})));
+        pool.table().successor_index(ids::RingPoint{points[slot]})));
   }
   std::sort(members.begin(), members.end());
   members.erase(std::unique(members.begin(), members.end()), members.end());

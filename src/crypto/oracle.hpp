@@ -19,12 +19,17 @@
 // value_pair forms the oracle additionally keeps fully prepadded
 // 64-byte block templates (padding byte and message bit length already
 // in place), so an evaluation is: copy template, write the 8/16
-// argument bytes, one SHA-256 compression.  Outputs are byte-identical
-// to hashing domain || seed || args from scratch (asserted by tests).
+// argument bytes, one SHA-256 compression.  Tight loops go further
+// through the StreamU64 / StreamPair attempt streams, whose eval_many
+// forms feed batches of independent arguments to the multi-lane
+// SHA-256 engine (up to Sha256::kMaxLanes compressions interleaved
+// across SIMD lanes).  Outputs are byte-identical to hashing
+// domain || seed || args from scratch (asserted by tests).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -50,34 +55,120 @@ class RandomOracle {
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Attempt stream for tight evaluation loops (PoW solving, benches):
-  /// owns a private copy of the single-block template so consecutive
-  /// value_u64 evaluations rewrite only the 8 argument bytes — no
-  /// template copy, no context setup per call.  Outputs are identical
-  /// to value_u64.
+  /// owns private copies of the single-block template — one per SIMD
+  /// lane — so consecutive value_u64 evaluations rewrite only the 8
+  /// argument bytes, no template copy, no context setup per call.
+  /// `eval_many` feeds whole batches of independent arguments through
+  /// the multi-lane SHA-256 engine (Sha256::compress_padded_blocks_
+  /// u64xN), up to kMaxLanes blocks per compression group.  Outputs
+  /// are identical to value_u64 either way.
   class StreamU64 {
    public:
     explicit StreamU64(const RandomOracle& oracle)
         : oracle_(&oracle),
           fast_(oracle.fast_u64_),
-          prefix_len_(oracle.prefix_len_),
-          block_(oracle.template_u64_) {}
+          prefix_len_(oracle.prefix_len_) {
+      for (std::size_t lane = 0; lane < Sha256::kMaxLanes; ++lane) {
+        std::memcpy(blocks_.data() + lane * 64, oracle.template_u64_.data(),
+                    64);
+      }
+    }
 
     [[nodiscard]] std::uint64_t operator()(std::uint64_t x) noexcept {
       if (fast_) {
-        store_u64_be(block_.data() + prefix_len_, x);
-        return Sha256::compress_padded_block_u64(block_.data());
+        store_u64_be(blocks_.data() + prefix_len_, x);
+        return Sha256::compress_padded_block_u64(blocks_.data());
       }
       return oracle_->value_u64(x);
+    }
+
+    /// Lane-batched form: outs[i] = value_u64(xs[i]) for i < n, with
+    /// every full lane group hashed in one multi-buffer compression.
+    void eval_many(const std::uint64_t* xs, std::uint64_t* outs,
+                   std::size_t n) noexcept {
+      if (!fast_) {
+        for (std::size_t i = 0; i < n; ++i) outs[i] = oracle_->value_u64(xs[i]);
+        return;
+      }
+      while (n > 0) {
+        const std::size_t m = n < Sha256::kMaxLanes ? n : Sha256::kMaxLanes;
+        for (std::size_t i = 0; i < m; ++i) {
+          store_u64_be(blocks_.data() + i * 64 + prefix_len_, xs[i]);
+        }
+        Sha256::compress_padded_blocks_u64xN(blocks_.data(), m, outs);
+        xs += m;
+        outs += m;
+        n -= m;
+      }
     }
 
    private:
     const RandomOracle* oracle_;
     bool fast_;
     std::size_t prefix_len_;
-    alignas(8) std::array<std::uint8_t, 64> block_;
+    /// kMaxLanes prepadded template copies, lane i at offset i*64.
+    alignas(64) std::array<std::uint8_t, Sha256::kMaxLanes * 64> blocks_;
   };
 
   [[nodiscard]] StreamU64 stream_u64() const { return StreamU64(*this); }
+
+  /// Two-argument analogue of StreamU64 for the h1/h2 membership-hash
+  /// inner loops (h(w, slot) of Section III-A): private per-lane
+  /// copies of the pair template, batch evaluation through the
+  /// multi-lane engine.  Outputs are identical to value_pair.
+  class StreamPair {
+   public:
+    explicit StreamPair(const RandomOracle& oracle)
+        : oracle_(&oracle),
+          fast_(oracle.fast_pair_),
+          prefix_len_(oracle.prefix_len_) {
+      for (std::size_t lane = 0; lane < Sha256::kMaxLanes; ++lane) {
+        std::memcpy(blocks_.data() + lane * 64, oracle.template_pair_.data(),
+                    64);
+      }
+    }
+
+    [[nodiscard]] std::uint64_t operator()(std::uint64_t a,
+                                           std::uint64_t b) noexcept {
+      if (fast_) {
+        store_u64_be(blocks_.data() + prefix_len_, a);
+        store_u64_be(blocks_.data() + prefix_len_ + 8, b);
+        return Sha256::compress_padded_block_u64(blocks_.data());
+      }
+      return oracle_->value_pair(a, b);
+    }
+
+    /// Fixed-first-argument batch — the membership-draw shape
+    /// h(w, slot) for slot = bs[0..n): outs[i] = value_pair(a, bs[i]).
+    void eval_many(std::uint64_t a, const std::uint64_t* bs,
+                   std::uint64_t* outs, std::size_t n) noexcept {
+      if (!fast_) {
+        for (std::size_t i = 0; i < n; ++i) {
+          outs[i] = oracle_->value_pair(a, bs[i]);
+        }
+        return;
+      }
+      while (n > 0) {
+        const std::size_t m = n < Sha256::kMaxLanes ? n : Sha256::kMaxLanes;
+        for (std::size_t i = 0; i < m; ++i) {
+          store_u64_be(blocks_.data() + i * 64 + prefix_len_, a);
+          store_u64_be(blocks_.data() + i * 64 + prefix_len_ + 8, bs[i]);
+        }
+        Sha256::compress_padded_blocks_u64xN(blocks_.data(), m, outs);
+        bs += m;
+        outs += m;
+        n -= m;
+      }
+    }
+
+   private:
+    const RandomOracle* oracle_;
+    bool fast_;
+    std::size_t prefix_len_;
+    alignas(64) std::array<std::uint8_t, Sha256::kMaxLanes * 64> blocks_;
+  };
+
+  [[nodiscard]] StreamPair stream_pair() const { return StreamPair(*this); }
 
  private:
   std::string domain_;

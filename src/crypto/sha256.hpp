@@ -11,7 +11,11 @@
 // `finish_with_tail`, which costs a single compression when the tail
 // plus padding fits the current block.  Fully prepadded single-block
 // messages can bypass the streaming machinery entirely via
-// `compress_padded_block`.
+// `compress_padded_block`, and batches of INDEPENDENT prepadded blocks
+// go through the multi-lane engine (`compress_padded_blocks_u64xN`):
+// 16 blocks interleaved across AVX-512 lanes (8 under AVX2, 4 under
+// SSE2), the shape every PoW-attempt and membership-hash hot loop
+// reduces to.  See docs/ARCHITECTURE.md, "Hash engine".
 #pragma once
 
 #include <array>
@@ -59,6 +63,34 @@ class Sha256 {
       const std::uint8_t* block) noexcept;
   [[nodiscard]] static std::uint64_t compress_padded_block_u64(
       const std::uint8_t* block) noexcept;
+
+  /// Widest lane group the multi-lane engine ever processes at once.
+  static constexpr std::size_t kMaxLanes = 16;
+
+  /// Compress `count` INDEPENDENT fully padded 64-byte blocks
+  /// (contiguous at `blocks`, block i at blocks + i*64), each from the
+  /// initial state; outs[i] receives the leading 8 digest bytes of
+  /// block i as a big-endian uint64 — byte-identical to calling
+  /// compress_padded_block_u64 per block.  Dispatch: groups of 16
+  /// through the AVX-512F multi-buffer kernel, then — only when
+  /// SHA-NI is off, which beats them per block — groups of 8 (AVX2)
+  /// and 4 (SSE2); ragged tails go one block at a time through the
+  /// scalar/SHA-NI path.  Any count (including 0) is accepted.
+  static void compress_padded_blocks_u64xN(const std::uint8_t* blocks,
+                                           std::size_t count,
+                                           std::uint64_t* outs) noexcept;
+
+  /// Lane width of the currently active multi-lane dispatch tier:
+  /// 16 (AVX-512F), 8 (AVX2), 4 (SSE2) or 1 (per-block scalar/SHA-NI
+  /// only; also reported when SHA-NI outranks the 8-/4-lane tiers).
+  [[nodiscard]] static std::size_t lane_width() noexcept;
+
+  /// Human-readable name of the active dispatch combination (e.g.
+  /// "avx512x16+sha-ni", "sha-ni", "avx2x8+scalar", "scalar"),
+  /// consistent with lane_width()'s tier ordering.  The stable entry
+  /// point for benches/tools recording run metadata — non-crypto code
+  /// should use this instead of the detail:: seams.
+  [[nodiscard]] static const char* kernel_name() noexcept;
 
   /// Bytes absorbed so far (prefix length when used as a midstate).
   [[nodiscard]] std::uint64_t bytes_absorbed() const noexcept {

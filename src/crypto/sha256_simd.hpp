@@ -1,13 +1,50 @@
-// Hardware SHA-256 compression (x86 SHA extensions), internal to the
-// crypto layer.  The kernel lives in its own translation unit compiled
-// with -msha so the rest of the library carries no ISA requirements;
-// callers must consult shani_available() (cpuid) before dispatching.
+// Hardware SHA-256 kernels (x86), internal to the crypto layer.
+//
+// Two acceleration families live behind runtime cpuid dispatch:
+//
+//  * SHA-NI — one block at a time through the sha256rnds2 pipeline;
+//    the kernel lives in its own translation unit compiled with -msha
+//    so the rest of the library carries no ISA requirements.
+//  * Multi-lane (multi-buffer) — N *independent* single-block
+//    compressions interleaved across SIMD lanes with transposed state:
+//    a 16-lane AVX-512F kernel (its own TU, -mavx512f), an 8-lane
+//    AVX2 kernel (its own TU, -mavx2) and a 4-lane SSE2 kernel
+//    (baseline ISA on x86-64, no special flags).  This is the engine
+//    behind Sha256::compress_padded_blocks_u64xN and every
+//    lane-batched oracle loop above it.
+//
+// Callers must consult the *_available() probes (cpuid, constant after
+// first call) before dispatching.  Every family also has a
+// set_*_enabled test seam so tests and CI can force any dispatch
+// combination on capable hosts; enabling a kernel on a host without
+// the hardware is a no-op.  The TG_HASH_KERNEL environment variable
+// ("scalar" / "shani" / "multilane" / "avx512" / "avx2" / "sse2")
+// forces the *initial* dispatch state process-wide, which is how CI
+// exercises every kernel tier regardless of runner hardware.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace tg::crypto::detail {
+
+/// FIPS 180-4 SHA-256 round constants — defined once here so every
+/// kernel TU (scalar, SHA-NI, SSE2, AVX2, AVX-512) reads the same
+/// table; a per-TU copy that drifted would produce kernels that only
+/// disagree on hosts with that ISA.
+inline constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
 /// True iff the CPU reports the SHA extensions (CPUID.7.0:EBX.SHA) and
 /// this build carries the kernel.  Constant after first call.
@@ -23,5 +60,60 @@ void compress_shani(std::array<std::uint32_t, 8>& state,
 /// Enabling on a host without the extensions is a no-op.
 void set_shani_enabled(bool enabled) noexcept;
 [[nodiscard]] bool shani_enabled() noexcept;
+
+// --- Multi-lane engine ---
+
+/// True iff the CPU reports AVX-512F (CPUID.7.0:EBX.AVX512F), the OS
+/// has enabled ZMM + opmask state (OSXSAVE + XCR0), and this build
+/// carries the 16-lane kernel.  Constant after first call.
+[[nodiscard]] bool avx512_available() noexcept;
+
+/// Sixteen independent SHA-256 compressions from the initial state
+/// over sixteen contiguous fully padded 64-byte blocks
+/// (blocks[0..1023]); outs[i] receives the leading 8 digest bytes of
+/// block i as a big-endian uint64.  Only callable when
+/// avx512_available().
+void compress_blocks_avx512x16(const std::uint8_t* blocks,
+                               std::uint64_t* outs) noexcept;
+
+/// True iff the CPU reports AVX2 (CPUID.7.0:EBX.AVX2), the OS has
+/// enabled YMM state (OSXSAVE + XCR0), and this build carries the
+/// 8-lane kernel.  Constant after first call.
+[[nodiscard]] bool avx2_available() noexcept;
+
+/// Eight independent SHA-256 compressions from the initial state over
+/// eight contiguous fully padded 64-byte blocks (blocks[0..511]);
+/// outs[i] receives the leading 8 digest bytes of block i as a
+/// big-endian uint64.  Only callable when avx2_available().
+void compress_blocks_avx2x8(const std::uint8_t* blocks,
+                            std::uint64_t* outs) noexcept;
+
+/// True iff this build carries the 4-lane SSE2 kernel (x86-64 only;
+/// SSE2 is baseline there, so no cpuid probe is needed).
+[[nodiscard]] bool sse2_available() noexcept;
+
+/// Four independent compressions over four contiguous padded blocks
+/// (blocks[0..255]), same output convention as the 8-lane form.
+void compress_blocks_sse2x4(const std::uint8_t* blocks,
+                            std::uint64_t* outs) noexcept;
+
+/// Test seams for the multi-lane tiers, mirroring set_shani_enabled:
+/// forced-off drops batched compressions to the next tier down
+/// (16-lane -> 8-lane -> 4-lane -> per-block scalar/SHA-NI).
+/// Enabling without the hardware is a no-op.
+void set_avx512_enabled(bool enabled) noexcept;
+[[nodiscard]] bool avx512_enabled() noexcept;
+void set_avx2_enabled(bool enabled) noexcept;
+[[nodiscard]] bool avx2_enabled() noexcept;
+void set_sse2_enabled(bool enabled) noexcept;
+[[nodiscard]] bool sse2_enabled() noexcept;
+
+/// Human-readable name of the currently active dispatch combination,
+/// e.g. "avx512x16+sha-ni", "avx2x8+scalar", "sha-ni", "scalar".  The
+/// batch tier (if any) comes first, then the per-block kernel that
+/// handles ragged tails and streaming hashes.  Recorded in the
+/// BENCH_*.json metadata so perf rows are interpretable across
+/// runners.
+[[nodiscard]] const char* hash_kernel_name() noexcept;
 
 }  // namespace tg::crypto::detail

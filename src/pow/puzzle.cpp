@@ -1,5 +1,6 @@
 #include "pow/puzzle.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace tg::pow {
@@ -38,25 +39,85 @@ std::vector<Solution> PuzzleSolver::solve_batch(std::uint64_t r,
                                                 std::size_t machines,
                                                 std::uint64_t max_attempts,
                                                 Rng& rng) const {
-  auto g_stream = g_->stream_u64();
-  auto f_stream = f_->stream_u64();
+  // Lane-interleaved solving: up to Sha256::kMaxLanes machines run
+  // their attempt streams side by side, one sigma draw per machine per
+  // step, all g evaluations of a step hashed in one multi-lane
+  // compression group (ragged groups — fewer live machines than lanes
+  // — fall back to narrower tiers / scalar inside eval_many).  A
+  // machine that solves or exhausts its budget retires and the next
+  // pending machine takes its lane, so lanes stay full.
+  //
+  // Equivalence to one solve() per forked rng is structural: machines
+  // are admitted (and therefore forked) in index order, each machine's
+  // sigma sequence depends only on its own fork, and results are
+  // collected per machine before being appended in machine order.
+  constexpr std::size_t kLanes = crypto::Sha256::kMaxLanes;
+
   std::vector<Solution> out;
   out.reserve(machines);
-  for (std::size_t i = 0; i < machines; ++i) {
-    Rng machine_rng = rng.fork();
-    for (std::uint64_t a = 1; a <= max_attempts; ++a) {
-      const std::uint64_t sigma = machine_rng.u64();
-      const std::uint64_t g_out = g_stream(sigma ^ r);
-      if (g_out <= tau) {
-        Solution s;
-        s.sigma = sigma;
-        s.g_output = g_out;
-        s.id = f_stream(g_out);
-        s.attempts = a;
-        out.push_back(s);
-        break;
-      }
+  if (max_attempts == 0) {
+    // Sequential solve() still forks each machine's rng before its
+    // empty attempt loop; mirror that so the caller's rng state stays
+    // identical to the per-machine path.
+    for (std::size_t i = 0; i < machines; ++i) (void)rng.fork();
+    return out;
+  }
+  if (machines == 0) return out;
+
+  auto g_stream = g_->stream_u64();
+  auto f_stream = f_->stream_u64();
+
+  struct LaneState {
+    Rng rng{0};
+    std::size_t machine = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t sigma = 0;
+  };
+  std::array<LaneState, kLanes> lanes;
+  std::vector<Solution> found(machines);       // slot per machine
+  std::vector<std::uint8_t> solved(machines, 0);
+
+  std::size_t next_machine = 0;
+  std::size_t active = 0;
+  std::uint64_t xs[kLanes];
+  std::uint64_t gs[kLanes];
+
+  while (next_machine < machines || active > 0) {
+    while (active < kLanes && next_machine < machines) {
+      lanes[active].rng = rng.fork();
+      lanes[active].machine = next_machine++;
+      lanes[active].attempts = 0;
+      ++active;
     }
+    for (std::size_t i = 0; i < active; ++i) {
+      lanes[i].sigma = lanes[i].rng.u64();
+      ++lanes[i].attempts;
+      xs[i] = lanes[i].sigma ^ r;
+    }
+    g_stream.eval_many(xs, gs, active);
+    for (std::size_t i = 0; i < active;) {
+      if (gs[i] <= tau) {
+        Solution& s = found[lanes[i].machine];
+        s.sigma = lanes[i].sigma;
+        s.g_output = gs[i];
+        s.id = f_stream(gs[i]);
+        s.attempts = lanes[i].attempts;
+        solved[lanes[i].machine] = 1;
+      } else if (lanes[i].attempts < max_attempts) {
+        ++i;
+        continue;
+      }
+      // Retire this lane (solved or exhausted): compact by moving the
+      // last active lane down.  gs/xs for already-checked lanes are
+      // dead, so only the swapped-in lane's g output must follow.
+      --active;
+      lanes[i] = lanes[active];
+      gs[i] = gs[active];
+    }
+  }
+
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (solved[m]) out.push_back(found[m]);
   }
   return out;
 }

@@ -55,10 +55,14 @@ class PuzzleSolver {
                                               Rng& rng) const;
 
   /// Batched solving: `machines` independent solvers, each drawing from
-  /// an rng forked from `rng`, evaluated back-to-back through a single
-  /// pair of oracle attempt streams — no per-attempt allocation or
-  /// context setup.  Results are identical to calling solve() once per
-  /// forked rng; machines that exhaust max_attempts produce no entry.
+  /// an rng forked from `rng`.  Up to Sha256::kMaxLanes machines run
+  /// interleaved, their per-step g evaluations hashed together through
+  /// the multi-lane SHA-256 engine (retired machines hand their lane
+  /// to the next pending one; ragged groups fall back to narrower
+  /// tiers / scalar) — no per-attempt allocation or context setup.
+  /// Results are byte-identical to calling solve() once per forked rng
+  /// under every dispatch combination; machines that exhaust
+  /// max_attempts produce no entry.
   [[nodiscard]] std::vector<Solution> solve_batch(std::uint64_t r,
                                                   std::uint64_t tau,
                                                   std::size_t machines,

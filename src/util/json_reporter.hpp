@@ -23,13 +23,17 @@ namespace tg::bench {
 ///
 ///   {
 ///     "bench": "<name>", "schema": 1,
+///     "meta": { "<key>": "<string>", ... },          // optional
 ///     "metrics": [ {"name": "...", "ns_per_op": ..., "ops_per_sec": ...,
 ///                   <extra numeric fields>}, ... ]
 ///   }
 ///
 /// Every metric row carries free-form numeric fields; ns_per_op /
 /// ops_per_sec / speedup / threads are the conventional keys consumed
-/// by the perf trajectory (see bench/README.md).
+/// by the perf trajectory (see bench/README.md).  `meta` holds
+/// free-form string annotations about the run environment — notably
+/// the detected hash kernel — so hardware-normalized comparisons stay
+/// interpretable across runners; consumers ignore unknown keys.
 class JsonReporter {
  public:
   using Fields = std::vector<std::pair<std::string, double>>;
@@ -38,6 +42,19 @@ class JsonReporter {
 
   void add(std::string metric, Fields fields) {
     rows_.emplace_back(std::move(metric), std::move(fields));
+  }
+
+  /// Attach (or overwrite) a run-environment annotation emitted in the
+  /// top-level "meta" object.  Values are written as JSON strings with
+  /// minimal escaping; keep them short and printable.
+  void set_meta(const std::string& key, std::string value) {
+    for (auto& [existing, v] : meta_) {
+      if (existing == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    meta_.emplace_back(key, std::move(value));
   }
 
   /// Convenience: record a ns/op measurement (ops_per_sec derived).
@@ -66,8 +83,16 @@ class JsonReporter {
       std::cerr << "JsonReporter: cannot open " << path << " for writing\n";
       return false;
     }
-    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema\": 1,\n"
-        << "  \"metrics\": [\n";
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema\": 1,\n";
+    if (!meta_.empty()) {
+      out << "  \"meta\": {";
+      for (std::size_t i = 0; i < meta_.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << '"' << escape(meta_[i].first)
+            << "\": \"" << escape(meta_[i].second) << '"';
+      }
+      out << "},\n";
+    }
+    out << "  \"metrics\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       out << "    {\"name\": \"" << rows_[i].first << '"';
       for (const auto& [key, value] : rows_[i].second) {
@@ -81,6 +106,16 @@ class JsonReporter {
   }
 
  private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
   static std::string format_number(double v) {
     if (std::isnan(v) || std::isinf(v)) return "null";
     char buf[32];
@@ -95,6 +130,7 @@ class JsonReporter {
   }
 
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::pair<std::string, Fields>> rows_;
 };
 

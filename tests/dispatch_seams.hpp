@@ -1,0 +1,41 @@
+// Shared helpers for tests that force SHA-256 hash-kernel dispatch
+// through the crypto::detail seams: an RAII save/restore guard (so an
+// ASSERT failure mid-test cannot leave the process pinned to a forced
+// combo for later tests) and an enumerator over all seam combinations.
+// Adding a kernel tier means extending BOTH helpers here — every suite
+// that includes this header picks the new tier up automatically.
+#pragma once
+
+#include "crypto/sha256_simd.hpp"
+
+namespace tg::crypto::seams {
+
+/// Saves the dispatch seams and restores them on destruction.
+struct DispatchGuard {
+  bool shani = detail::shani_enabled();
+  bool avx512 = detail::avx512_enabled();
+  bool avx2 = detail::avx2_enabled();
+  bool sse2 = detail::sse2_enabled();
+  ~DispatchGuard() {
+    detail::set_shani_enabled(shani);
+    detail::set_avx512_enabled(avx512);
+    detail::set_avx2_enabled(avx2);
+    detail::set_sse2_enabled(sse2);
+  }
+};
+
+/// Runs `body(combo)` under all 16 on/off combinations of the four
+/// kernels (seams are no-ops for tiers the host lacks, so the loop
+/// degenerates gracefully on modest hardware).
+template <typename Body>
+void for_each_dispatch(Body&& body) {
+  for (int combo = 0; combo < 16; ++combo) {
+    detail::set_shani_enabled((combo & 1) != 0);
+    detail::set_sse2_enabled((combo & 2) != 0);
+    detail::set_avx2_enabled((combo & 4) != 0);
+    detail::set_avx512_enabled((combo & 8) != 0);
+    body(combo);
+  }
+}
+
+}  // namespace tg::crypto::seams

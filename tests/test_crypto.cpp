@@ -13,6 +13,7 @@
 #include "crypto/sha256.hpp"
 #include "crypto/sha256_simd.hpp"
 #include "crypto/signature.hpp"
+#include "dispatch_seams.hpp"
 
 namespace tg::crypto {
 namespace {
@@ -307,6 +308,136 @@ TEST(Sha256, CompressPaddedBlockMatchesOneShot) {
     EXPECT_EQ(Sha256::compress_padded_block(block), expected) << "len=" << len;
     EXPECT_EQ(Sha256::compress_padded_block_u64(block),
               digest_to_u64(expected));
+  }
+}
+
+// --- Multi-lane engine: cross-kernel determinism ---
+//
+// The multi-lane kernels (AVX-512 x16, AVX2 x8, SSE2 x4) and the
+// per-block paths (SHA-NI, scalar) must be byte-identical for every
+// lane count and ragged tail, under every forcible dispatch
+// combination (helpers shared with test_pow via dispatch_seams.hpp).
+// On hosts without some tier the corresponding set_*_enabled is a
+// no-op, so the loop degenerates gracefully.
+
+using seams::DispatchGuard;
+using seams::for_each_dispatch;
+
+TEST(Sha256MultiLane, MatchesScalarForAllWidthsAndTails) {
+  const DispatchGuard guard;
+  // Every count from a single block to just under two full widest
+  // groups, so each tier's group loop AND every ragged-tail ladder
+  // rung is exercised.
+  const std::size_t max_count = 2 * Sha256::kMaxLanes - 1;
+  const auto bytes = pseudo_bytes(max_count * 64, 0xb10c);
+  std::vector<std::uint64_t> expected(max_count);
+  detail::set_shani_enabled(false);
+  detail::set_avx512_enabled(false);
+  detail::set_avx2_enabled(false);
+  detail::set_sse2_enabled(false);
+  for (std::size_t i = 0; i < max_count; ++i) {
+    expected[i] = Sha256::compress_padded_block_u64(bytes.data() + i * 64);
+  }
+  for_each_dispatch([&](int combo) {
+    for (std::size_t count = 1; count <= max_count; ++count) {
+      std::vector<std::uint64_t> outs(count, 0);
+      Sha256::compress_padded_blocks_u64xN(bytes.data(), count, outs.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(outs[i], expected[i])
+            << "combo=" << combo << " count=" << count << " i=" << i
+            << " kernel=" << detail::hash_kernel_name();
+      }
+    }
+  });
+}
+
+TEST(Sha256MultiLane, LaneWidthReflectsDispatch) {
+  const DispatchGuard guard;
+  detail::set_shani_enabled(false);
+  detail::set_avx512_enabled(false);
+  detail::set_avx2_enabled(false);
+  detail::set_sse2_enabled(false);
+  EXPECT_EQ(Sha256::lane_width(), 1u);
+  EXPECT_STREQ(detail::hash_kernel_name(), "scalar");
+  if (detail::avx512_available()) {
+    detail::set_avx512_enabled(true);
+    EXPECT_EQ(Sha256::lane_width(), 16u);
+    detail::set_avx512_enabled(false);
+  }
+  if (detail::avx2_available()) {
+    detail::set_avx2_enabled(true);
+    EXPECT_EQ(Sha256::lane_width(), 8u);
+    // SHA-NI outranks the 8-lane tier per block, so enabling it takes
+    // the batch path back to per-block dispatch.
+    if (detail::shani_available()) {
+      detail::set_shani_enabled(true);
+      EXPECT_EQ(Sha256::lane_width(), 1u);
+      detail::set_shani_enabled(false);
+    }
+    detail::set_avx2_enabled(false);
+  }
+  if (detail::sse2_available()) {
+    detail::set_sse2_enabled(true);
+    EXPECT_EQ(Sha256::lane_width(), 4u);
+  }
+}
+
+TEST(Oracle, EvalManyMatchesValueU64UnderEveryKernel) {
+  const DispatchGuard guard;
+  // Domain lengths cover the fast single-block template (<= 47-byte
+  // prefix) and the slow fallback path.
+  for (const std::size_t domain_len : {13u, 47u, 48u, 80u}) {
+    const RandomOracle oracle(std::string(domain_len, 'm'), 21);
+    std::vector<std::uint64_t> xs(2 * Sha256::kMaxLanes + 3);
+    std::vector<std::uint64_t> expected(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = i * 0x9e3779b97f4a7c15ULL + domain_len;
+      expected[i] = oracle.value_u64(xs[i]);
+    }
+    for_each_dispatch([&](int combo) {
+      auto stream = oracle.stream_u64();
+      for (const std::size_t n :
+           {std::size_t{1}, std::size_t{3}, Sha256::kMaxLanes - 1,
+            Sha256::kMaxLanes, Sha256::kMaxLanes + 5, xs.size()}) {
+        std::vector<std::uint64_t> outs(n, 0);
+        stream.eval_many(xs.data(), outs.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(outs[i], expected[i])
+              << "combo=" << combo << " domain_len=" << domain_len
+              << " n=" << n << " i=" << i;
+        }
+      }
+    });
+  }
+}
+
+TEST(Oracle, StreamPairMatchesValuePairUnderEveryKernel) {
+  const DispatchGuard guard;
+  // Domain lengths straddle the pair fast-path boundary (prefix <= 39
+  // bytes for a single padded block with 16 argument bytes).
+  for (const std::size_t domain_len : {1u, 13u, 39u, 40u, 60u}) {
+    const RandomOracle oracle(std::string(domain_len, 'p'), 33);
+    const std::uint64_t w = 0xfeedface00c0ffeeULL + domain_len;
+    std::vector<std::uint64_t> slots(2 * Sha256::kMaxLanes + 1);
+    std::vector<std::uint64_t> expected(slots.size());
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      slots[s] = s;
+      expected[s] = oracle.value_pair(w, s);
+    }
+    for_each_dispatch([&](int combo) {
+      auto stream = oracle.stream_pair();
+      EXPECT_EQ(stream(w, 7), oracle.value_pair(w, 7)) << "combo=" << combo;
+      for (const std::size_t n :
+           {std::size_t{1}, Sha256::kMaxLanes, slots.size()}) {
+        std::vector<std::uint64_t> outs(n, 0);
+        stream.eval_many(w, slots.data(), outs.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(outs[i], expected[i])
+              << "combo=" << combo << " domain_len=" << domain_len
+              << " n=" << n << " i=" << i;
+        }
+      }
+    });
   }
 }
 

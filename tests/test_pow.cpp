@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "dispatch_seams.hpp"
 #include "pow/epoch_string.hpp"
 #include "pow/gossip.hpp"
 #include "pow/id_generation.hpp"
@@ -43,9 +44,11 @@ TEST(Puzzle, RealSolverFindsSolutions) {
 }
 
 TEST(Puzzle, SolveBatchMatchesSequentialSolve) {
-  // The batched attempt-stream path is an optimization only: with the
-  // same rng fork order it must produce byte-identical solutions to
-  // one solve() call per machine.
+  // The batched, lane-interleaved attempt-stream path is an
+  // optimization only: with the same rng fork order it must produce
+  // byte-identical solutions to one solve() call per machine — under
+  // EVERY forcible hash-kernel dispatch combination (scalar, SHA-NI,
+  // and each multi-lane tier; seams are no-ops without the hardware).
   const crypto::OracleSuite oracles(17);
   const PuzzleSolver solver(oracles.f, oracles.g);
   const std::uint64_t tau = tau_for_expected_attempts(200.0);
@@ -58,17 +61,51 @@ TEST(Puzzle, SolveBatchMatchesSequentialSolve) {
       sequential.push_back(*s);
     }
   }
+  ASSERT_FALSE(sequential.empty());
 
-  Rng rng_batch(99);
-  const auto batched = solver.solve_batch(0x5151, tau, 32, 4096, rng_batch);
+  const crypto::seams::DispatchGuard guard;
+  crypto::seams::for_each_dispatch([&](int combo) {
+    Rng rng_batch(99);
+    const auto batched = solver.solve_batch(0x5151, tau, 32, 4096, rng_batch);
 
-  ASSERT_EQ(batched.size(), sequential.size());
-  ASSERT_FALSE(batched.empty());
-  for (std::size_t i = 0; i < batched.size(); ++i) {
-    EXPECT_EQ(batched[i].sigma, sequential[i].sigma);
-    EXPECT_EQ(batched[i].g_output, sequential[i].g_output);
-    EXPECT_EQ(batched[i].id, sequential[i].id);
-    EXPECT_EQ(batched[i].attempts, sequential[i].attempts);
+    ASSERT_EQ(batched.size(), sequential.size()) << "combo=" << combo;
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i].sigma, sequential[i].sigma) << "combo=" << combo;
+      EXPECT_EQ(batched[i].g_output, sequential[i].g_output)
+          << "combo=" << combo;
+      EXPECT_EQ(batched[i].id, sequential[i].id) << "combo=" << combo;
+      EXPECT_EQ(batched[i].attempts, sequential[i].attempts)
+          << "combo=" << combo;
+    }
+  });
+}
+
+TEST(Puzzle, SolveBatchEdgeCases) {
+  const crypto::OracleSuite oracles(18);
+  const PuzzleSolver solver(oracles.f, oracles.g);
+  const std::uint64_t tau = tau_for_expected_attempts(10.0);
+  Rng rng(5);
+  EXPECT_TRUE(solver.solve_batch(1, tau, 0, 100, rng).empty());
+  EXPECT_TRUE(solver.solve_batch(1, tau, 8, 0, rng).empty());
+  // Machine counts straddling the lane-group width, incl. ragged tails.
+  for (const std::size_t machines : {1u, 3u, 15u, 16u, 17u, 33u}) {
+    Rng seq_rng(41);
+    std::vector<Solution> sequential;
+    for (std::size_t i = 0; i < machines; ++i) {
+      Rng machine_rng = seq_rng.fork();
+      if (const auto s = solver.solve(0x77, tau, 64, machine_rng)) {
+        sequential.push_back(*s);
+      }
+    }
+    Rng batch_rng(41);
+    const auto batched = solver.solve_batch(0x77, tau, machines, 64, batch_rng);
+    ASSERT_EQ(batched.size(), sequential.size()) << "machines=" << machines;
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i].sigma, sequential[i].sigma)
+          << "machines=" << machines;
+      EXPECT_EQ(batched[i].attempts, sequential[i].attempts)
+          << "machines=" << machines;
+    }
   }
 }
 

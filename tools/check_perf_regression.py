@@ -23,17 +23,32 @@ guard rots): it fails with the missing names listed.  Pass
 --allow-missing to tolerate it (e.g. comparing a full baseline against
 one bench's partial output).
 
+Hardware normalization cancels clock speed but NOT instruction sets:
+benches record the hash-kernel dispatch they ran under in the file's
+"meta" object (meta.hash_kernel, e.g. "avx512x16+sha-ni"), and a
+runner without the baseline's top tier legitimately shows smaller
+speedups-vs-seed on hash-bound rows.  When the two files disagree on
+meta.hash_kernel, regressions on rows whose name matches
+--kernel-sensitive (default: sha256 / oracle / pow / crypto rows) are
+therefore reported as WARNINGS, while every other row — executor,
+trial-runner, net — stays fully enforced.  Pass --strict-kernel to
+enforce the hash-bound rows anyway (same-fleet runners where a kernel
+change is itself the regression).  Matching kernels (or files without
+meta) enforce everything.
+
 Usage:
   check_perf_regression.py BASELINE CURRENT [--threshold 0.25]
                            [--absolute] [--allow-missing]
+                           [--strict-kernel] [--kernel-sensitive REGEX]
 """
 
 import argparse
 import json
+import re
 import sys
 
 
-def load_rows(path):
+def load_doc(path):
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -44,7 +59,9 @@ def load_rows(path):
         name = row.get("name")
         if isinstance(name, str):
             rows[name] = row
-    return rows
+    meta = doc.get("meta")
+    kernel = meta.get("hash_kernel") if isinstance(meta, dict) else None
+    return rows, kernel
 
 
 def normalized_speedups(rows):
@@ -78,10 +95,27 @@ def main():
                         help="compare raw ops_per_sec (same-machine files)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="tolerate baseline metrics absent from CURRENT")
+    parser.add_argument("--strict-kernel", action="store_true",
+                        help="fail on hash-bound regressions even when the "
+                             "two files report different meta.hash_kernel "
+                             "dispatches")
+    parser.add_argument("--kernel-sensitive",
+                        default=r"sha256|oracle|pow|crypto",
+                        help="regex naming the rows whose speedup depends on "
+                             "the hash-kernel dispatch (waived on kernel "
+                             "mismatch; default: %(default)s)")
     args = parser.parse_args()
 
-    baseline_rows = load_rows(args.baseline)
-    current_rows = load_rows(args.current)
+    baseline_rows, baseline_kernel = load_doc(args.baseline)
+    current_rows, current_kernel = load_doc(args.current)
+
+    kernel_mismatch = (baseline_kernel != current_kernel
+                       and baseline_kernel is not None
+                       and current_kernel is not None)
+    if baseline_kernel or current_kernel:
+        print(f"hash kernel: baseline={baseline_kernel or '(unrecorded)'} "
+              f"current={current_kernel or '(unrecorded)'}"
+              + ("  <-- DIFFERENT DISPATCH" if kernel_mismatch else ""))
 
     if args.absolute:
         label = "ops_per_sec"
@@ -124,14 +158,28 @@ def main():
         print(f"no comparable {label} rows between the two files",
               file=sys.stderr)
         return 1
+    waived = []
+    if kernel_mismatch and not args.strict_kernel:
+        sensitive = re.compile(args.kernel_sensitive)
+        waived = [r for r in regressions if sensitive.search(r[0])]
+        regressions = [r for r in regressions if not sensitive.search(r[0])]
+    if waived:
+        print(f"\nWARNING ONLY ({len(waived)} hash-bound metric(s) below "
+              f"baseline, not enforced because the files ran under "
+              f"different hash-kernel dispatches — {baseline_kernel} vs "
+              f"{current_kernel}; pass --strict-kernel to enforce):",
+              file=sys.stderr)
+        for name, ratio in waived:
+            print(f"  {name}: {1 - ratio:.1%} below baseline", file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "
               f"{args.threshold:.0%}:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {1 - ratio:.1%} below baseline", file=sys.stderr)
         return 1
-    print(f"\nall {compared} compared metrics within {args.threshold:.0%} "
-          f"of baseline ({label})")
+    print(f"\nall {compared - len(waived)} enforced metrics within "
+          f"{args.threshold:.0%} of baseline ({label})"
+          + (f"; {len(waived)} hash-bound metrics waived" if waived else ""))
     return 0
 
 

@@ -5,6 +5,8 @@ Schema (version 1):
   {
     "bench": "<name>",          # non-empty string
     "schema": 1,
+    "meta": {"<key>": "<str>"}, # optional run-environment annotations
+                                # (e.g. hash_kernel, lanes)
     "metrics": [                # non-empty list
       {"name": "<row>", <numeric or null fields>...},
       ...
@@ -42,6 +44,13 @@ def validate(path, min_scenario_cells):
         return fail(path, "'bench' missing or not a non-empty string")
     if doc.get("schema") != 1:
         return fail(path, f"'schema' is {doc.get('schema')!r}, expected 1")
+    meta = doc.get("meta")
+    if meta is not None:
+        if not isinstance(meta, dict):
+            return fail(path, "'meta' is not an object")
+        for key, value in meta.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                return fail(path, f"meta.{key!r} must map string -> string")
     metrics = doc.get("metrics")
     if not isinstance(metrics, list) or not metrics:
         return fail(path, "'metrics' missing, not a list, or empty")
