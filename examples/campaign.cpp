@@ -8,7 +8,14 @@
 //
 //   campaign [--list] [--filter <substring|campaign>] [--trials N]
 //            [--seed S] [--n N] [--threads T] [--out DIR|FILE.json]
-//            [--no-roundloop]
+//            [--no-roundloop] [--churn NAME]
+//            [--workload kv|lookup] [--loop open|closed] [--rate R]
+//            [--clients N]
+//
+// With --workload, every matched cell runs UNDER CLIENT TRAFFIC: the
+// workload engine (src/workload/) drives the service's ops over the
+// cell's adversary x topology world and the JSON rows carry latency
+// percentiles / throughput / loss instead of the analytic metrics.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -37,7 +44,22 @@ void usage(const char* argv0) {
       << "  --out PATH       where to write the JSON: a directory (gets\n"
       << "                   BENCH_scenarios.json inside) or a path ending\n"
       << "                   in .json (written verbatim); default .\n"
-      << "  --no-roundloop   skip the network round-loop perf rows\n";
+      << "  --no-roundloop   skip the network round-loop perf rows\n"
+      << "  --churn NAME     churn-schedule preset applied to every cell:\n"
+      << "                   ";
+  for (const auto& preset : tg::scenario::churn_presets()) {
+    std::cerr << preset.name << " (" << preset.schedule.epochs << "x"
+              << preset.schedule.rounds_per_epoch << ") ";
+  }
+  std::cerr
+      << "\n"
+      << "  --workload SVC   run matched cells under client traffic with\n"
+      << "                   service kv or lookup (reports latency\n"
+      << "                   percentiles, throughput, loss)\n"
+      << "  --loop MODE      workload generation mode: open (scheduled\n"
+      << "                   arrivals, default) or closed (waiting clients)\n"
+      << "  --rate R         open-loop arrivals per round (default 4)\n"
+      << "  --clients N      closed-loop client count (default 8)\n";
 }
 
 bool ends_with_json(std::string_view path) {
@@ -78,6 +100,35 @@ int main(int argc, char** argv) {
       options.beta_override = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--threads") {
       options.threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--churn") {
+      const std::string name = next();
+      const auto schedule = scenario::churn_schedule_by_name(name);
+      if (!schedule) {
+        std::cerr << "unknown churn preset '" << name << "' (see --help)\n";
+        return 2;
+      }
+      options.churn_override = *schedule;
+    } else if (arg == "--workload") {
+      const std::string name = next();
+      const auto service = scenario::workload_service_by_name(name);
+      if (!service) {
+        std::cerr << "unknown workload service '" << name
+                  << "' (kv | lookup)\n";
+        return 2;
+      }
+      options.workload.service = *service;
+    } else if (arg == "--loop") {
+      const std::string name = next();
+      const auto loop = scenario::workload_loop_by_name(name);
+      if (!loop) {
+        std::cerr << "unknown loop mode '" << name << "' (open | closed)\n";
+        return 2;
+      }
+      options.workload.loop = *loop;
+    } else if (arg == "--rate") {
+      options.workload.rate = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--clients") {
+      options.workload.clients = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--no-roundloop") {
@@ -118,8 +169,16 @@ int main(int argc, char** argv) {
                     ? std::string()
                     : " (filter '" + options.filter + "')")
             << ", threads=" << options.threads
-            << (options.threads == 0 ? " (default shard count)" : "")
-            << '\n';
+            << (options.threads == 0 ? " (default shard count)" : "");
+  if (options.workload.enabled()) {
+    std::cout << ", workload=" << to_string(options.workload.service) << "/"
+              << to_string(options.workload.loop)
+              << (options.workload.loop == scenario::WorkloadAxis::Loop::open
+                      ? " rate=" + std::to_string(options.workload.rate)
+                      : " clients=" +
+                            std::to_string(options.workload.clients));
+  }
+  std::cout << '\n';
 
   const scenario::CampaignRunner runner(options);
   const auto results = runner.run();

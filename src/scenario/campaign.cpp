@@ -11,6 +11,7 @@
 #include "sim/trial_runner.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "workload/traffic.hpp"
 
 namespace tg::scenario {
 
@@ -25,6 +26,8 @@ std::vector<ScenarioResult> CampaignRunner::run() const {
     if (options_.seed_override) spec.seed = *options_.seed_override;
     if (options_.n_override) spec.n = *options_.n_override;
     if (options_.beta_override) spec.beta = *options_.beta_override;
+    if (options_.churn_override) spec.churn = *options_.churn_override;
+    spec.workload = options_.workload;
     results.push_back(run_cell(*cell, spec, options_.threads));
   }
   return results;
@@ -35,12 +38,18 @@ ScenarioResult CampaignRunner::run_cell(const Scenario& cell,
                                         std::size_t threads) {
   ScenarioResult result;
   result.spec = spec;
-  result.metric_names = cell.metrics;
+  const bool under_traffic = spec.workload.enabled();
+  result.metric_names =
+      under_traffic ? workload::traffic_metric_names() : cell.metrics;
   const Stopwatch sw;
   result.metrics = sim::run_trials_multi(
-      spec.trials, cell.metrics.size(), spec.seed,
+      spec.trials, result.metric_names.size(), spec.seed,
       [&](Rng& rng, std::size_t /*index*/, std::vector<double>& out) {
-        cell.trial(spec, rng, out);
+        if (under_traffic) {
+          workload::run_traffic_trial(spec, rng, out);
+        } else {
+          cell.trial(spec, rng, out);
+        }
       },
       threads);
   result.seconds = sw.seconds();

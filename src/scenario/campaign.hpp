@@ -32,6 +32,15 @@ struct CampaignOptions {
   std::optional<std::uint64_t> seed_override;
   std::optional<std::size_t> n_override;
   std::optional<double> beta_override;
+  /// Churn axis: a named preset (see churn_presets()) applied to every
+  /// matched cell, sweeping the grid across schedules.
+  std::optional<ChurnSchedule> churn_override;
+  /// Workload axis: when enabled(), every matched cell runs UNDER
+  /// CLIENT TRAFFIC — the workload engine drives its service over the
+  /// cell's adversary x topology world and the cell reports service
+  /// metrics (latency percentiles, throughput, loss) instead of its
+  /// analytic trial's.
+  WorkloadAxis workload;
   /// Fan-out width passed to sim::run_trials_multi.  0 keeps the
   /// default shard count — REQUIRED for cross-machine determinism
   /// (the shard count is part of the merge order).
@@ -53,7 +62,9 @@ class CampaignRunner {
   [[nodiscard]] std::vector<ScenarioResult> run() const;
 
   /// Run one cell under an explicit spec (tests use this to assert
-  /// seed determinism at reduced sizes).
+  /// seed determinism at reduced sizes).  A spec with
+  /// `workload.enabled()` runs the workload engine's traffic trial
+  /// over the cell's world instead of the cell's own trial.
   [[nodiscard]] static ScenarioResult run_cell(const Scenario& cell,
                                                const ScenarioSpec& spec,
                                                std::size_t threads = 0);

@@ -26,6 +26,55 @@ std::string_view to_string(Topology topology) noexcept {
   return "unknown";
 }
 
+const std::vector<ChurnPreset>& churn_presets() {
+  // Spans the schedule space the builtin cells read: epochs drive the
+  // graph/pow families (turnover count, stockpiling horizon),
+  // rounds_per_epoch drives the region baselines' join-leave budget.
+  static const std::vector<ChurnPreset> presets = {
+      {"calm", {1, 128}},        // barely any turnover: the floor
+      {"default", {4, 512}},     // the builtin cells' schedule
+      {"epoch-heavy", {12, 512}},// many turnovers, moderate rounds
+      {"round-heavy", {4, 4096}},// long join-leave campaigns per epoch
+      {"marathon", {12, 4096}},  // both axes maxed: the stress corner
+  };
+  return presets;
+}
+
+std::optional<ChurnSchedule> churn_schedule_by_name(std::string_view name) {
+  for (const ChurnPreset& preset : churn_presets()) {
+    if (preset.name == name) return preset.schedule;
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(WorkloadAxis::Service s) noexcept {
+  switch (s) {
+    case WorkloadAxis::Service::none: return "none";
+    case WorkloadAxis::Service::kv: return "kv";
+    case WorkloadAxis::Service::lookup: return "lookup";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(WorkloadAxis::Loop loop) noexcept {
+  return loop == WorkloadAxis::Loop::open ? "open" : "closed";
+}
+
+std::optional<WorkloadAxis::Service> workload_service_by_name(
+    std::string_view name) {
+  if (name == "kv") return WorkloadAxis::Service::kv;
+  if (name == "lookup") return WorkloadAxis::Service::lookup;
+  if (name == "none") return WorkloadAxis::Service::none;
+  return std::nullopt;
+}
+
+std::optional<WorkloadAxis::Loop> workload_loop_by_name(
+    std::string_view name) {
+  if (name == "open") return WorkloadAxis::Loop::open;
+  if (name == "closed") return WorkloadAxis::Loop::closed;
+  return std::nullopt;
+}
+
 Registry& Registry::instance() {
   static Registry registry;
   return registry;

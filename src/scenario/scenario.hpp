@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,7 +69,49 @@ struct ChurnSchedule {
   [[nodiscard]] std::size_t total_rounds() const noexcept {
     return epochs * rounds_per_epoch;
   }
+
+  friend bool operator==(const ChurnSchedule&,
+                         const ChurnSchedule&) = default;
 };
+
+/// Named churn schedules — the campaign grid's churn axis.  The CLI's
+/// `--churn <name>` (and CampaignOptions::churn_override) sweep cells
+/// across these without touching cell definitions.
+struct ChurnPreset {
+  std::string_view name;
+  ChurnSchedule schedule;
+};
+
+[[nodiscard]] const std::vector<ChurnPreset>& churn_presets();
+/// Preset lookup; nullopt for unknown names.
+[[nodiscard]] std::optional<ChurnSchedule> churn_schedule_by_name(
+    std::string_view name);
+
+/// The workload axis: run a cell's adversary x topology world under
+/// client traffic (see src/workload/) instead of its analytic trial.
+/// `service == none` leaves the cell's own trial in charge.
+struct WorkloadAxis {
+  enum class Service { none, kv, lookup };
+  enum class Loop { open, closed };
+
+  Service service = Service::none;
+  Loop loop = Loop::open;
+  double rate = 4.0;               ///< open-loop arrivals per round
+  std::size_t clients = 8;         ///< closed-loop population
+  std::size_t rounds = 192;        ///< traffic-generation window
+  std::size_t timeout_rounds = 48; ///< client patience
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return service != Service::none;
+  }
+};
+
+[[nodiscard]] std::string_view to_string(WorkloadAxis::Service s) noexcept;
+[[nodiscard]] std::string_view to_string(WorkloadAxis::Loop loop) noexcept;
+[[nodiscard]] std::optional<WorkloadAxis::Service> workload_service_by_name(
+    std::string_view name);
+[[nodiscard]] std::optional<WorkloadAxis::Loop> workload_loop_by_name(
+    std::string_view name);
 
 /// One cell of the campaign matrix.  `name` is the registry key
 /// ("<adversary>/<topology>"); `campaign` tags the sweep family the
@@ -80,6 +123,7 @@ struct ScenarioSpec {
   AdversaryKind adversary = AdversaryKind::target_group;
   Topology topology = Topology::tinygroups;
   ChurnSchedule churn;
+  WorkloadAxis workload;
   std::size_t n = 1024;
   double beta = 0.05;
   std::size_t trials = 8;

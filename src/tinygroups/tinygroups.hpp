@@ -47,6 +47,12 @@
 #include "scenario/campaign.hpp"
 #include "scenario/scenario.hpp"
 
+// Workload engine (deterministic client traffic over the overlay)
+#include "workload/engine.hpp"
+#include "workload/histogram.hpp"
+#include "workload/service.hpp"
+#include "workload/traffic.hpp"
+
 // In-group Byzantine fault tolerance
 #include "bft/coded_storage.hpp"
 #include "bft/dkg.hpp"

@@ -1,0 +1,402 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace tg::workload {
+namespace {
+
+constexpr std::uint64_t kTagRequest = 1;
+constexpr std::uint64_t kTagReply = 2;
+
+// Reply status words.
+constexpr std::uint64_t kStatusOk = 0;
+constexpr std::uint64_t kStatusFailed = 1;
+constexpr std::uint64_t kStatusCorrupted = 2;
+
+// Request payload layout (reply layout: op_id, status, value).  The
+// hop-count word is kFreshRequest on client-sent requests; the ENTRY
+// group computes the H route once and embeds the remaining hop chain
+// (matching the paper's search semantics — the route is fixed by the
+// start, evaluated group by group; per-hop re-routing would loop on
+// source-path overlays like de Bruijn).
+enum : std::size_t {
+  kReqOpId = 0,
+  kReqReplyTo = 1,
+  kReqKind = 2,
+  kReqKey = 3,
+  kReqValue = 4,
+  kReqHopCount = 5,
+  kReqHops = 6,  // kReqHopCount hop words follow, then padding
+};
+constexpr std::uint64_t kFreshRequest = ~std::uint64_t{0};
+
+void pad_payload(net::Words& payload, std::uint64_t op_id,
+                 std::size_t padding_words) {
+  // Synthetic certificate words (cf. RelayMember): deterministic
+  // filler so the trace hash covers them.
+  for (std::size_t i = 0; i < padding_words; ++i) {
+    payload.push_back(mix64(op_id + i + 1));
+  }
+}
+
+void send_request(net::Context& ctx, net::NodeId dst, const Operation& op,
+                  std::uint64_t op_id, net::NodeId reply_to,
+                  std::size_t padding_words) {
+  net::Words payload = ctx.payload();
+  payload.reserve(kReqHops + padding_words);
+  payload.push_back(op_id);
+  payload.push_back(reply_to);
+  payload.push_back(static_cast<std::uint64_t>(op.kind));
+  payload.push_back(op.key.raw());
+  payload.push_back(op.value);
+  payload.push_back(kFreshRequest);
+  pad_payload(payload, op_id, padding_words);
+  ctx.send(dst, kTagRequest, std::move(payload));
+}
+
+/// One group's collective actor: forwards requests along the overlay
+/// route, executes ops when responsible, and embodies the red-group
+/// hazard (silent drop en route, garbage service when responsible).
+class GroupNode final : public net::Node {
+ public:
+  GroupNode(std::size_t index, Service& service, std::size_t padding_words)
+      : index_(index), service_(&service), padding_words_(padding_words) {}
+
+  void on_message(const net::Message& m, net::Context& ctx) override {
+    if (m.tag != kTagRequest || m.payload.size() < kReqHops) return;
+    const World& world = service_->world();
+    Operation op;
+    op.kind = static_cast<OpKind>(m.payload[kReqKind]);
+    op.key = ids::RingPoint{m.payload[kReqKey]};
+    op.value = m.payload[kReqValue];
+    const std::uint64_t op_id = m.payload[kReqOpId];
+    const auto reply_to = static_cast<net::NodeId>(m.payload[kReqReplyTo]);
+
+    // All-to-all accounting: a group-to-group hop costs |G_a| x |G_b|.
+    if (m.src < world.groups()) {
+      analytic_messages_ += world.pair_messages(m.src, index_);
+    }
+
+    const bool responsible = world.responsible(op.key) == index_;
+    if (world.is_red(index_)) {
+      if (!responsible) return;  // the search dies here; client times out
+      // Adversary-controlled owner: serve garbage.
+      reply(ctx, reply_to, op_id, kStatusCorrupted, ~op.value);
+      analytic_messages_ += world.composition(index_).size;
+      return;
+    }
+    if (responsible) {
+      const Execution exec = service_->execute(op, index_);
+      reply(ctx, reply_to, op_id, exec.ok ? kStatusOk : kStatusFailed,
+            exec.value);
+      // Each member returns its copy for majority filtering.
+      analytic_messages_ += world.composition(index_).size;
+      return;
+    }
+
+    // Forward along the hop chain; the entry group establishes it.
+    net::Words payload = ctx.payload();
+    payload.reserve(m.payload.size());
+    for (std::size_t i = 0; i < kReqHopCount; ++i) {
+      payload.push_back(m.payload[i]);
+    }
+    std::size_t next;
+    if (m.payload[kReqHopCount] == kFreshRequest) {
+      const overlay::Route route = world.route(index_, op.key);
+      if (!route.ok || route.path.size() < 2) return;  // routing dead end
+      next = route.path[1];
+      payload.push_back(route.path.size() - 2);
+      for (std::size_t i = 2; i < route.path.size(); ++i) {
+        payload.push_back(route.path[i]);
+      }
+    } else {
+      const std::uint64_t remaining = m.payload[kReqHopCount];
+      if (remaining == 0 || m.payload.size() < kReqHops + remaining) {
+        return;  // chain exhausted without reaching the owner
+      }
+      next = static_cast<std::size_t>(m.payload[kReqHops]);
+      payload.push_back(remaining - 1);
+      for (std::size_t i = 1; i < remaining; ++i) {
+        payload.push_back(m.payload[kReqHops + i]);
+      }
+    }
+    if (next >= world.groups()) return;  // malformed hop
+    pad_payload(payload, op_id, padding_words_);
+    ctx.send(static_cast<net::NodeId>(next), kTagRequest, std::move(payload));
+  }
+
+  [[nodiscard]] std::uint64_t analytic_messages() const noexcept {
+    return analytic_messages_;
+  }
+
+ private:
+  void reply(net::Context& ctx, net::NodeId reply_to, std::uint64_t op_id,
+             std::uint64_t status, std::uint64_t value) {
+    net::Words payload = ctx.payload();
+    payload.reserve(3 + padding_words_);
+    payload.push_back(op_id);
+    payload.push_back(status);
+    payload.push_back(value);
+    pad_payload(payload, op_id, padding_words_);
+    ctx.send(reply_to, kTagReply, std::move(payload));
+  }
+
+  std::size_t index_;
+  Service* service_;
+  std::size_t padding_words_;
+  std::uint64_t analytic_messages_ = 0;
+};
+
+/// Shared issuing machinery: op numbering, start-group selection
+/// (uniform, or steered by the eclipse knob), reply matching.
+class IssuerBase : public net::Node {
+ public:
+  IssuerBase(const Spec& spec, Service& service, std::uint64_t seed)
+      : spec_(&spec), service_(&service), rng_(seed) {}
+
+  [[nodiscard]] const Recorder& recorder() const noexcept { return recorder_; }
+  [[nodiscard]] virtual std::size_t inflight() const noexcept = 0;
+
+ protected:
+  [[nodiscard]] net::NodeId pick_start() {
+    const World& world = service_->world();
+    if (spec_->eclipsed_fraction > 0.0 &&
+        rng_.bernoulli(spec_->eclipsed_fraction)) {
+      return static_cast<net::NodeId>(world.most_bad_group());
+    }
+    return static_cast<net::NodeId>(rng_.below(world.groups()));
+  }
+
+  /// Issue the next op from this node; returns its id.
+  std::uint64_t issue(net::Context& ctx) {
+    const Operation op = service_->next_operation(rng_);
+    // Node id in the high bits keeps op ids globally unique.
+    const std::uint64_t op_id =
+        (static_cast<std::uint64_t>(ctx.self()) << 40) | next_serial_++;
+    send_request(ctx, pick_start(), op, op_id, ctx.self(),
+                 spec_->padding_words);
+    ++recorder_.issued;
+    return op_id;
+  }
+
+  void record_reply(const net::Message& m, std::uint64_t delivery_round,
+                    std::uint64_t issue_round) {
+    // Client-observed latency: delivery round minus issue round (>= 1;
+    // delayed replies count their delay).
+    recorder_.latency.record(
+        std::max<std::uint64_t>(1, delivery_round - issue_round));
+    if (m.payload.size() >= 2 && m.payload[1] == kStatusOk) {
+      ++recorder_.completed;
+    } else {
+      ++recorder_.failed;
+    }
+  }
+
+  void record_timeout() {
+    recorder_.latency.record(spec_->timeout_rounds);
+    ++recorder_.timed_out;
+  }
+
+  const Spec* spec_;
+  Service* service_;
+  Rng rng_;
+  Recorder recorder_;
+  std::uint64_t next_serial_ = 0;
+};
+
+/// Open-loop generator: a deterministic arrival schedule, issued
+/// whether or not earlier ops completed.  `bogus` turns it into the
+/// flood attack's background traffic source: same arrivals, nothing
+/// tracked or recorded.
+class GeneratorNode final : public IssuerBase {
+ public:
+  GeneratorNode(const Spec& spec, Service& service, std::uint64_t seed,
+                double rate, bool bogus)
+      : IssuerBase(spec, service, seed), rate_(rate), bogus_(bogus) {}
+
+  void on_message(const net::Message& m, net::Context& ctx) override {
+    if (bogus_ || m.tag != kTagReply || m.payload.empty()) return;
+    const auto it = inflight_.find(m.payload[0]);
+    if (it == inflight_.end()) return;  // already timed out
+    record_reply(m, ctx.round(), it->second);
+    inflight_.erase(it);
+  }
+
+  void on_round_end(net::Context& ctx) override {
+    const std::uint64_t round = ctx.round();
+    // Expire overdue ops (issue order == FIFO order).
+    while (!expiry_.empty() &&
+           round - expiry_.front().second >= spec_->timeout_rounds) {
+      const auto op_id = expiry_.front().first;
+      expiry_.pop_front();
+      if (inflight_.erase(op_id) != 0) record_timeout();
+    }
+    if (round > spec_->rounds) return;  // generation window over: drain
+    double rate = rate_;
+    if (spec_->burst_every != 0 &&
+        round % spec_->burst_every < spec_->burst_rounds) {
+      rate *= spec_->burst_multiplier;
+    }
+    accumulator_ += rate;
+    while (accumulator_ >= 1.0) {
+      accumulator_ -= 1.0;
+      const std::uint64_t op_id = issue(ctx);
+      if (bogus_) {
+        recorder_.issued = 0;  // bogus load keeps no ledger
+      } else {
+        inflight_.emplace(op_id, round);
+        expiry_.emplace_back(op_id, round);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t inflight() const noexcept override {
+    return inflight_.size();
+  }
+
+ private:
+  double rate_;
+  bool bogus_;
+  double accumulator_ = 0.0;
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight_;  // id -> round
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> expiry_;
+};
+
+/// Closed-loop client: one op in flight, then think, then the next.
+class ClientNode final : public IssuerBase {
+ public:
+  ClientNode(const Spec& spec, Service& service, std::uint64_t seed)
+      : IssuerBase(spec, service, seed) {}
+
+  void on_start(net::Context& ctx) override {
+    inflight_id_ = issue(ctx);
+    issue_round_ = ctx.round();
+  }
+
+  void on_message(const net::Message& m, net::Context& ctx) override {
+    if (m.tag != kTagReply || m.payload.empty() ||
+        m.payload[0] != inflight_id_ || inflight_id_ == 0) {
+      return;
+    }
+    record_reply(m, ctx.round(), issue_round_);
+    inflight_id_ = 0;
+    think_left_ = spec_->think_rounds;
+  }
+
+  void on_round_end(net::Context& ctx) override {
+    const std::uint64_t round = ctx.round();
+    if (inflight_id_ != 0 &&
+        round - issue_round_ >= spec_->timeout_rounds) {
+      record_timeout();
+      inflight_id_ = 0;
+      think_left_ = spec_->think_rounds;
+    }
+    if (inflight_id_ != 0 || round > spec_->rounds) return;
+    if (think_left_ > 0) {
+      --think_left_;
+      return;
+    }
+    inflight_id_ = issue(ctx);
+    issue_round_ = round;
+  }
+
+  [[nodiscard]] std::size_t inflight() const noexcept override {
+    return inflight_id_ != 0 ? 1 : 0;
+  }
+
+ private:
+  std::uint64_t inflight_id_ = 0;
+  std::uint64_t issue_round_ = 0;
+  std::size_t think_left_ = 0;
+};
+
+}  // namespace
+
+std::string_view to_string(Mode mode) noexcept {
+  return mode == Mode::open_loop ? "open" : "closed";
+}
+
+RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
+              std::size_t threads) {
+  const World& world = service.world();
+  net::DeliveryPolicy policy;
+  policy.drop_prob = spec.drop_prob;
+  policy.max_delay_rounds = spec.max_delay_rounds;
+  net::Network network(std::move(policy), mix64(seed ^ 0x776b6c6f6164ULL),
+                       threads);
+  network.set_buffer_recycling(spec.recycle_buffers);
+  network.set_payload_pooling(spec.pool_payloads);
+
+  std::vector<GroupNode*> groups;
+  groups.reserve(world.groups());
+  for (std::size_t g = 0; g < world.groups(); ++g) {
+    auto node = std::make_unique<GroupNode>(g, service, spec.padding_words);
+    groups.push_back(node.get());
+    network.add_node(std::move(node));
+  }
+
+  // Issuer seeds derive from (seed, node index) so clients draw
+  // decorrelated deterministic streams.
+  std::vector<IssuerBase*> issuers;
+  const auto issuer_seed = [&](std::size_t index) {
+    return mix64(seed ^ (0x636c69656e74ULL + index * 0x9e3779b97f4a7c15ULL));
+  };
+  if (spec.mode == Mode::open_loop) {
+    auto node = std::make_unique<GeneratorNode>(
+        spec, service, issuer_seed(0), spec.rate, /*bogus=*/false);
+    issuers.push_back(node.get());
+    network.add_node(std::move(node));
+  } else {
+    const std::size_t clients = std::max<std::size_t>(1, spec.clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      auto node =
+          std::make_unique<ClientNode>(spec, service, issuer_seed(c));
+      issuers.push_back(node.get());
+      network.add_node(std::move(node));
+    }
+  }
+  if (spec.background_rate > 0.0) {
+    network.add_node(std::make_unique<GeneratorNode>(
+        spec, service, issuer_seed(~std::size_t{0}), spec.background_rate,
+        /*bogus=*/true));
+  }
+
+  const Stopwatch sw;
+  network.start();
+  for (std::size_t r = 0; r < spec.rounds; ++r) network.run_round();
+  // Drain: every tracked op resolves within the timeout horizon.
+  std::size_t drain = 0;
+  const auto any_inflight = [&] {
+    for (const IssuerBase* issuer : issuers) {
+      if (issuer->inflight() != 0) return true;
+    }
+    return false;
+  };
+  while (any_inflight() && drain < spec.timeout_rounds + 8) {
+    network.run_round();
+    ++drain;
+  }
+
+  RunResult out;
+  out.seconds = sw.seconds();
+  for (const IssuerBase* issuer : issuers) {
+    out.recorder.merge(issuer->recorder());
+  }
+  out.recorder.rounds = spec.rounds;
+  for (const GroupNode* group : groups) {
+    out.recorder.analytic_messages += group->analytic_messages();
+  }
+  out.net = network.stats();
+  out.recorder.wire_messages = out.net.delivered;
+  out.trace_hash = network.trace_hash();
+  out.rounds_run = spec.rounds + drain;
+  return out;
+}
+
+}  // namespace tg::workload

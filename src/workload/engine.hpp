@@ -1,0 +1,101 @@
+// The load-generation engine: deterministic open/closed-loop client
+// traffic executed over the message runtime.
+//
+// Every op is REAL net::Network traffic: a request message hops
+// group-to-group along the overlay route toward the key's responsible
+// group (one node per group — the group's collective actor), which
+// executes the op against the service's per-group state and replies
+// to the issuing client node.  Red groups on the route silently drop
+// the request (the Section II search semantics: the search dies at
+// the first red group), so the client times out; a red RESPONSIBLE
+// group serves garbage, which the harness flags as a corrupted reply.
+//
+// Two generation modes, both driven entirely by the run seed:
+//   * OPEN LOOP — a deterministic arrival schedule (fixed-rate via an
+//     integer-emitting accumulator, optional bursty phases) issues
+//     ops regardless of completions: the mode that exposes queueing
+//     collapse under overload.
+//   * CLOSED LOOP — N concurrent clients, each issue -> wait ->
+//     think -> reissue: the mode that models interactive users.
+//
+// Determinism contract: (service spec, engine spec, seed) fully
+// determine every op outcome, the network trace hash, and every
+// histogram bucket — at ANY executor thread count.  Client state is
+// per-node (the runtime's actor discipline), recorders merge in node
+// order, and histogram counts are integers, so tests assert
+// bit-identical percentiles between 1-thread and N-thread runs.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "workload/histogram.hpp"
+#include "workload/service.hpp"
+
+namespace tg::workload {
+
+enum class Mode {
+  open_loop,
+  closed_loop,
+};
+
+[[nodiscard]] std::string_view to_string(Mode mode) noexcept;
+
+struct Spec {
+  Mode mode = Mode::open_loop;
+  /// Rounds of traffic generation; the run then drains in-flight ops
+  /// (every op resolves: reply or timeout).
+  std::size_t rounds = 256;
+  std::size_t timeout_rounds = 48;
+
+  // Open loop.
+  double rate = 4.0;  ///< mean arrivals per round
+  /// Bursty phases: every `burst_every` rounds the first `burst_rounds`
+  /// run at rate * burst_multiplier (0 = steady rate).
+  std::size_t burst_every = 0;
+  std::size_t burst_rounds = 0;
+  double burst_multiplier = 4.0;
+
+  // Closed loop.
+  std::size_t clients = 8;
+  std::size_t think_rounds = 2;
+
+  // Adversary-facing knobs (set by the scenario bridge).
+  /// Fraction of ops whose start group is steered to the bad-heaviest
+  /// group (the eclipse attack observed from the service side).
+  double eclipsed_fraction = 0.0;
+  /// Bogus background requests per round that consume service and
+  /// network capacity but are never recorded (the flood attack).
+  double background_rate = 0.0;
+  /// Delivery-policy hazards (late_release maps to delay).
+  double drop_prob = 0.0;
+  std::size_t max_delay_rounds = 0;
+
+  /// Synthetic certificate words padding every request/reply (above
+  /// net::Words::kInlineCapacity the traffic exercises the payload
+  /// arena — what the engine's perf pair measures).
+  std::size_t padding_words = 4;
+
+  // Runtime storage toggles, kept selectable like the net layer's so
+  // the workload bench can measure pooled vs the seed allocation path
+  // on byte-identical traffic.
+  bool recycle_buffers = true;
+  bool pool_payloads = true;
+};
+
+struct RunResult {
+  Recorder recorder;
+  net::NetworkStats net;
+  std::uint64_t trace_hash = 0;  ///< runtime determinism fingerprint
+  std::uint64_t rounds_run = 0;  ///< generation + drain
+  double seconds = 0.0;          ///< wall clock (perf reporting only)
+};
+
+/// Drive `spec` traffic for `service` over its world.  The service
+/// must be freshly built per run (its per-group state mutates).
+/// `threads` is the network executor width; results are identical for
+/// any value.
+[[nodiscard]] RunResult run(Service& service, const Spec& spec,
+                            std::uint64_t seed, std::size_t threads = 1);
+
+}  // namespace tg::workload

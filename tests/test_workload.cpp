@@ -1,0 +1,424 @@
+// Workload engine: histogram bucket math and merge determinism, the
+// engine's bit-reproducibility contract (same (spec, seed) =>
+// identical op outcomes and percentiles at any thread count, both
+// loop modes, benign and adversary cells), service semantics, and the
+// campaign integration (workload axis, churn presets).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+#include "scenario/scenario.hpp"
+#include "workload/engine.hpp"
+#include "workload/histogram.hpp"
+#include "workload/service.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+using namespace tg;
+using workload::KvService;
+using workload::LatencyHistogram;
+using workload::LookupService;
+using workload::Recorder;
+using workload::World;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Below the overflow threshold every value owns its own bucket.
+  for (std::uint64_t v = 0; v < LatencyHistogram::overflow_threshold(); ++v) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower_bound(index), v) << v;
+    EXPECT_EQ(LatencyHistogram::bucket_upper_bound(index), v) << v;
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundariesBracketEveryValue) {
+  const std::uint64_t probes[] = {
+      0,   1,   15,  16,  31,  32,  33,  63,  64,   100,  1000, 4095, 4096,
+      1ull << 20, (1ull << 20) + 17, 1ull << 40, ~std::uint64_t{0} - 1,
+      ~std::uint64_t{0}};
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(index, LatencyHistogram::kBuckets) << v;
+    EXPECT_LE(LatencyHistogram::bucket_lower_bound(index), v) << v;
+    EXPECT_GE(LatencyHistogram::bucket_upper_bound(index), v) << v;
+    // Buckets tile the axis: the next bucket starts right after.
+    if (index + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_EQ(LatencyHistogram::bucket_lower_bound(index + 1),
+                LatencyHistogram::bucket_upper_bound(index) + 1)
+          << v;
+    }
+    // Bounded relative error: bucket width <= value / kSubBuckets + 1.
+    const double width =
+        static_cast<double>(LatencyHistogram::bucket_upper_bound(index) -
+                            LatencyHistogram::bucket_lower_bound(index));
+    EXPECT_LE(width, static_cast<double>(v) / LatencyHistogram::kSubBuckets + 1)
+        << v;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesOfKnownSequence) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  // 50 and 96 are exact bucket lower bounds (see bucket math); the
+  // quantile reports the bucket floor of the order statistic.
+  EXPECT_EQ(h.p50(), 50u);
+  EXPECT_EQ(h.value_at_quantile(0.99), 96u);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 100u);
+}
+
+TEST(LatencyHistogram, EmptyAndOverflowEdges) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+
+  h.record(0);
+  EXPECT_EQ(h.p50(), 0u);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  // The top bucket clamps to the recorded max, not the bucket bound.
+  EXPECT_EQ(h.value_at_quantile(1.0), ~std::uint64_t{0});
+
+  LatencyHistogram zero_counts;
+  zero_counts.record(7, 0);  // zero-count record is a no-op
+  EXPECT_TRUE(zero_counts.empty());
+}
+
+TEST(LatencyHistogram, ShardMergeIsOrderAndShardCountInvariant) {
+  // The determinism contract behind parallel recording: counts are
+  // integers, so ANY shard split, merged in ANY order, reproduces the
+  // reference percentiles bit-for-bit.
+  Rng rng(99);
+  std::vector<std::uint64_t> values(10000);
+  for (auto& v : values) v = rng.below(1u << 20);
+
+  LatencyHistogram reference;
+  for (const auto v : values) reference.record(v);
+
+  for (const std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+    std::vector<LatencyHistogram> shard_hists(shards);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shard_hists[i % shards].record(values[i]);
+    }
+    LatencyHistogram forward;
+    for (const auto& h : shard_hists) forward.merge(h);
+    LatencyHistogram backward;
+    for (auto it = shard_hists.rbegin(); it != shard_hists.rend(); ++it) {
+      backward.merge(*it);
+    }
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(forward.value_at_quantile(q), reference.value_at_quantile(q))
+          << shards << " shards @ q=" << q;
+      EXPECT_EQ(backward.value_at_quantile(q), reference.value_at_quantile(q))
+          << shards << " shards reversed @ q=" << q;
+    }
+    EXPECT_EQ(forward.count(), reference.count());
+    EXPECT_EQ(forward.min(), reference.min());
+    EXPECT_EQ(forward.max(), reference.max());
+  }
+}
+
+TEST(RecorderTest, MergeSumsLedger) {
+  Recorder a;
+  a.latency.record(5);
+  a.issued = 3;
+  a.completed = 1;
+  a.failed = 1;
+  a.timed_out = 1;
+  a.rounds = 10;
+  Recorder b;
+  b.latency.record(7);
+  b.issued = 2;
+  b.completed = 2;
+  b.rounds = 10;
+  a.merge(b);
+  EXPECT_EQ(a.issued, 5u);
+  EXPECT_EQ(a.completed, 3u);
+  EXPECT_EQ(a.finished(), 5u);
+  EXPECT_EQ(a.rounds, 20u);
+  EXPECT_EQ(a.latency.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.ops_per_round(), 3.0 / 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism
+// ---------------------------------------------------------------------------
+
+scenario::ScenarioSpec small_traffic_spec(
+    scenario::WorkloadAxis::Service service, scenario::WorkloadAxis::Loop loop,
+    scenario::AdversaryKind adversary = scenario::AdversaryKind::omit_ids,
+    scenario::Topology topology = scenario::Topology::tinygroups) {
+  scenario::ScenarioSpec spec;
+  spec.adversary = adversary;
+  spec.topology = topology;
+  spec.n = 256;
+  spec.beta = 0.08;
+  spec.trials = 3;
+  spec.seed = 4242;
+  spec.churn = {1, 64};
+  spec.workload.service = service;
+  spec.workload.loop = loop;
+  spec.workload.rate = 2.0;
+  spec.workload.clients = 4;
+  spec.workload.rounds = 64;
+  spec.workload.timeout_rounds = 24;
+  return spec;
+}
+
+struct RunSnapshot {
+  std::uint64_t trace = 0;
+  std::uint64_t issued = 0, completed = 0, failed = 0, timed_out = 0;
+  std::uint64_t p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+
+  static RunSnapshot of(const workload::Recorder& r, std::uint64_t trace) {
+    return {trace,    r.issued,         r.completed,     r.failed,
+            r.timed_out, r.latency.p50(), r.latency.p90(), r.latency.p99(),
+            r.latency.p999()};
+  }
+
+  friend bool operator==(const RunSnapshot&, const RunSnapshot&) = default;
+};
+
+RunSnapshot run_engine(const scenario::ScenarioSpec& spec, std::uint64_t seed,
+                       std::size_t threads) {
+  Rng rng(seed);
+  const World world = workload::world_for_trial(spec, false, rng);
+  const auto service =
+      workload::make_service(spec.workload.service, world, 128, rng());
+  const workload::RunResult res = workload::run(
+      *service, workload::engine_spec(spec, false), rng(), threads);
+  return RunSnapshot::of(res.recorder, res.trace_hash);
+}
+
+TEST(WorkloadEngine, OpenLoopBitIdenticalAcrossThreadCounts) {
+  const auto spec = small_traffic_spec(scenario::WorkloadAxis::Service::kv,
+                                       scenario::WorkloadAxis::Loop::open);
+  const RunSnapshot t1 = run_engine(spec, 11, 1);
+  const RunSnapshot t8 = run_engine(spec, 11, 8);
+  EXPECT_EQ(t1, t8);
+  EXPECT_GT(t1.issued, 0u);
+  // Rerun reproduces; a different seed does not.
+  EXPECT_EQ(run_engine(spec, 11, 1), t1);
+  EXPECT_NE(run_engine(spec, 12, 1).trace, t1.trace);
+}
+
+TEST(WorkloadEngine, ClosedLoopBitIdenticalAcrossThreadCounts) {
+  const auto spec = small_traffic_spec(scenario::WorkloadAxis::Service::lookup,
+                                       scenario::WorkloadAxis::Loop::closed);
+  const RunSnapshot t1 = run_engine(spec, 21, 1);
+  const RunSnapshot t8 = run_engine(spec, 21, 8);
+  EXPECT_EQ(t1, t8);
+  EXPECT_GT(t1.issued, 0u);
+  EXPECT_GT(t1.completed, 0u);
+}
+
+TEST(WorkloadEngine, StorageTogglesAreInvisibleInTraffic) {
+  // The engine inherits the net runtime's equivalence contract: the
+  // pooled and seed allocation paths carry byte-identical traffic.
+  const auto spec = small_traffic_spec(scenario::WorkloadAxis::Service::kv,
+                                       scenario::WorkloadAxis::Loop::open);
+  Rng rng_a(31);
+  Rng rng_b(31);
+  const World world_a = workload::world_for_trial(spec, false, rng_a);
+  const World world_b = workload::world_for_trial(spec, false, rng_b);
+  const auto svc_a = workload::make_service(spec.workload.service, world_a,
+                                            128, rng_a());
+  const auto svc_b = workload::make_service(spec.workload.service, world_b,
+                                            128, rng_b());
+  workload::Spec pooled = workload::engine_spec(spec, false);
+  workload::Spec legacy = pooled;
+  legacy.recycle_buffers = false;
+  legacy.pool_payloads = false;
+  const auto a = workload::run(*svc_a, pooled, 77, 1);
+  const auto b = workload::run(*svc_b, legacy, 77, 1);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.recorder.completed, b.recorder.completed);
+  EXPECT_EQ(a.net.delivered, b.net.delivered);
+}
+
+TEST(WorkloadEngine, AdversaryCellTrafficBitIdenticalAcrossShardCounts) {
+  // One adversary cell under traffic, trials sharded 1-wide vs 4-wide:
+  // merged histograms, counters and the trial-ordered trace fold must
+  // all be bit-identical (the acceptance criterion's core clause).
+  for (const auto loop : {scenario::WorkloadAxis::Loop::open,
+                          scenario::WorkloadAxis::Loop::closed}) {
+    const auto spec =
+        small_traffic_spec(scenario::WorkloadAxis::Service::kv, loop);
+    const auto one = workload::run_traffic_cell(spec, true, 1);
+    const auto four = workload::run_traffic_cell(spec, true, 4);
+    EXPECT_EQ(one.trace_hash, four.trace_hash);
+    EXPECT_EQ(one.recorder.issued, four.recorder.issued);
+    EXPECT_EQ(one.recorder.completed, four.recorder.completed);
+    EXPECT_EQ(one.recorder.failed, four.recorder.failed);
+    EXPECT_EQ(one.recorder.timed_out, four.recorder.timed_out);
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(one.recorder.latency.value_at_quantile(q),
+                four.recorder.latency.value_at_quantile(q));
+    }
+    EXPECT_GT(one.recorder.issued, 0u);
+  }
+}
+
+TEST(WorkloadEngine, RegionTopologyServesTraffic) {
+  const auto spec = small_traffic_spec(
+      scenario::WorkloadAxis::Service::kv, scenario::WorkloadAxis::Loop::open,
+      scenario::AdversaryKind::target_group, scenario::Topology::cuckoo);
+  const auto cell = workload::run_traffic_cell(spec, true, 0);
+  EXPECT_GT(cell.recorder.issued, 0u);
+  EXPECT_GT(cell.recorder.finished(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service semantics
+// ---------------------------------------------------------------------------
+
+/// Hand-built region world: 8 groups, two with a bad majority (red).
+World synthetic_world(std::size_t red_groups = 2) {
+  std::vector<baseline::GroupComposition> regions(8);
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    regions[i].size = 9;
+    regions[i].bad = i < red_groups ? 6 : 1;
+  }
+  return World::from_regions(std::move(regions));
+}
+
+TEST(WorkloadWorld, RegionWorldClassifiesAndRoutes) {
+  const World world = synthetic_world();
+  EXPECT_EQ(world.groups(), 8u);
+  EXPECT_TRUE(world.is_red(0));
+  EXPECT_TRUE(world.is_red(1));
+  EXPECT_FALSE(world.is_red(5));
+  EXPECT_DOUBLE_EQ(world.red_fraction(), 0.25);
+  EXPECT_LT(world.most_bad_group(), 2u);
+  EXPECT_EQ(world.pair_messages(0, 1), 81u);
+  // Routes terminate at the responsible group.
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const ids::RingPoint key{rng()};
+    const auto route = world.route(rng.below(world.groups()), key);
+    ASSERT_TRUE(route.ok);
+    EXPECT_EQ(route.path.back(), world.responsible(key));
+  }
+}
+
+TEST(WorkloadService, AllBlueWorldServesEverything) {
+  const World world = synthetic_world(/*red_groups=*/0);
+  KvService service(world, 64, /*salt=*/3);
+  EXPECT_EQ(service.preloaded(), 64u);
+  workload::Spec spec;
+  spec.mode = workload::Mode::closed_loop;
+  spec.clients = 4;
+  spec.rounds = 64;
+  spec.timeout_rounds = 16;
+  const auto res = workload::run(service, spec, 9, 1);
+  EXPECT_GT(res.recorder.completed, 0u);
+  EXPECT_EQ(res.recorder.failed, 0u);
+  EXPECT_EQ(res.recorder.timed_out, 0u);
+  EXPECT_EQ(res.recorder.finished(),
+            res.recorder.completed);
+}
+
+TEST(WorkloadService, RedGroupsDropOrCorrupt) {
+  const World world = synthetic_world(/*red_groups=*/4);
+  KvService service(world, 64, /*salt=*/3);
+  EXPECT_LT(service.preloaded(), 64u);  // red owners hold no data
+  workload::Spec spec;
+  spec.mode = workload::Mode::open_loop;
+  spec.rate = 2.0;
+  spec.rounds = 96;
+  spec.timeout_rounds = 16;
+  const auto res = workload::run(service, spec, 9, 1);
+  EXPECT_GT(res.recorder.issued, 0u);
+  // Half the world is adversarial: some ops die en route (timeout)
+  // and some reach red owners (corrupted replies count as failed).
+  EXPECT_GT(res.recorder.failed + res.recorder.timed_out, 0u);
+}
+
+TEST(WorkloadService, LookupRegistersOnlyOnBlueOwners) {
+  const World world = synthetic_world(/*red_groups=*/4);
+  LookupService service(world, 200, /*salt=*/17);
+  EXPECT_LT(service.registered(), 200u);
+  EXPECT_GT(service.registered(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign integration
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadCampaign, ChurnPresetsResolveByName) {
+  EXPECT_FALSE(scenario::churn_presets().empty());
+  for (const auto& preset : scenario::churn_presets()) {
+    const auto schedule = scenario::churn_schedule_by_name(preset.name);
+    ASSERT_TRUE(schedule.has_value()) << preset.name;
+    EXPECT_EQ(*schedule, preset.schedule);
+  }
+  EXPECT_FALSE(scenario::churn_schedule_by_name("no-such-churn").has_value());
+  const auto heavy = scenario::churn_schedule_by_name("epoch-heavy");
+  ASSERT_TRUE(heavy.has_value());
+  EXPECT_GT(heavy->epochs, scenario::ChurnSchedule{}.epochs);
+}
+
+TEST(WorkloadCampaign, WorkloadServiceAndLoopParseByName) {
+  EXPECT_EQ(scenario::workload_service_by_name("kv"),
+            scenario::WorkloadAxis::Service::kv);
+  EXPECT_EQ(scenario::workload_service_by_name("lookup"),
+            scenario::WorkloadAxis::Service::lookup);
+  EXPECT_FALSE(scenario::workload_service_by_name("bogus").has_value());
+  EXPECT_EQ(scenario::workload_loop_by_name("closed"),
+            scenario::WorkloadAxis::Loop::closed);
+  EXPECT_FALSE(scenario::workload_loop_by_name("bogus").has_value());
+}
+
+TEST(WorkloadCampaign, RunnerAppliesWorkloadAndChurnAxes) {
+  scenario::CampaignOptions options;
+  options.filter = "omit_ids/tinygroups";
+  options.trials_override = 2;
+  options.n_override = 256;
+  options.churn_override = scenario::ChurnSchedule{1, 64};
+  options.workload.service = scenario::WorkloadAxis::Service::kv;
+  options.workload.rounds = 48;
+  options.workload.timeout_rounds = 16;
+  const auto results = scenario::CampaignRunner(options).run();
+  ASSERT_EQ(results.size(), 1u);
+  const auto& r = results.front();
+  EXPECT_EQ(r.spec.churn, (scenario::ChurnSchedule{1, 64}));
+  EXPECT_TRUE(r.spec.workload.enabled());
+  ASSERT_EQ(r.metric_names, workload::traffic_metric_names());
+  ASSERT_EQ(r.metrics.size(), r.metric_names.size());
+  for (const auto& m : r.metrics) {
+    EXPECT_EQ(m.count(), 2u);
+    EXPECT_TRUE(std::isfinite(m.mean()));
+  }
+}
+
+TEST(WorkloadCampaign, CellUnderTrafficIsBitIdenticalAcrossRuns) {
+  const auto* cell =
+      scenario::Registry::instance().find("eclipse/tinygroups");
+  ASSERT_NE(cell, nullptr);
+  auto spec = small_traffic_spec(scenario::WorkloadAxis::Service::lookup,
+                                 scenario::WorkloadAxis::Loop::closed,
+                                 cell->spec.adversary, cell->spec.topology);
+  spec.name = cell->spec.name;
+  const auto a = scenario::CampaignRunner::run_cell(*cell, spec);
+  const auto b = scenario::CampaignRunner::run_cell(*cell, spec);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    EXPECT_EQ(a.metrics[m].mean(), b.metrics[m].mean());
+    EXPECT_EQ(a.metrics[m].stddev(), b.metrics[m].stddev());
+  }
+}
+
+}  // namespace

@@ -150,7 +150,7 @@ def main():
         marker = ""
         if ratio < 1.0 - args.threshold:
             marker = "  <-- REGRESSION"
-            regressions.append((name, ratio))
+            regressions.append((name, ratio, base_value, cur_value))
         print(f"{name:40s} baseline {label}={base_value:12.6g} "
               f"current={cur_value:12.6g} ratio={ratio:6.3f}{marker}")
 
@@ -163,19 +163,28 @@ def main():
         sensitive = re.compile(args.kernel_sensitive)
         waived = [r for r in regressions if sensitive.search(r[0])]
         regressions = [r for r in regressions if not sensitive.search(r[0])]
+
+    def report_row(name, ratio, base_value, cur_value):
+        # The offending numbers belong in the failure summary itself:
+        # a CI log cut off above the comparison table must still show
+        # what regressed from what to what.
+        print(f"  {name}: baseline {label}={base_value:.6g} "
+              f"fresh={cur_value:.6g} ({1 - ratio:.1%} below baseline)",
+              file=sys.stderr)
+
     if waived:
         print(f"\nWARNING ONLY ({len(waived)} hash-bound metric(s) below "
               f"baseline, not enforced because the files ran under "
               f"different hash-kernel dispatches — {baseline_kernel} vs "
               f"{current_kernel}; pass --strict-kernel to enforce):",
               file=sys.stderr)
-        for name, ratio in waived:
-            print(f"  {name}: {1 - ratio:.1%} below baseline", file=sys.stderr)
+        for row in waived:
+            report_row(*row)
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "
               f"{args.threshold:.0%}:", file=sys.stderr)
-        for name, ratio in regressions:
-            print(f"  {name}: {1 - ratio:.1%} below baseline", file=sys.stderr)
+        for row in regressions:
+            report_row(*row)
         return 1
     print(f"\nall {compared - len(waived)} enforced metrics within "
           f"{args.threshold:.0%} of baseline ({label})"

@@ -23,6 +23,7 @@ adversary x topology grid must have run).
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -69,6 +70,17 @@ def validate(path, min_scenario_cells):
                 return fail(
                     path, f"metrics[{index}].{key} is {type(value).__name__},"
                     " expected number or null")
+            if isinstance(value, float) and (math.isnan(value)
+                                             or math.isinf(value)):
+                # json.load accepts bare NaN/Infinity tokens; a reporter
+                # that emitted one produced garbage, not a metric.
+                return fail(path, f"metrics[{index}].{key} is {value!r}, "
+                            "expected a finite number")
+            if isinstance(value, (int, float)) and value < 0:
+                # Every schema-1 field is a count, ratio, duration or
+                # split seed half: all non-negative by construction.
+                return fail(path, f"metrics[{index}].{key} is {value!r}, "
+                            "expected a non-negative number")
         if name == "campaign.summary":
             cells = row.get("cells")
 
