@@ -18,6 +18,7 @@
 // percentiles / throughput / loss instead of the analytic metrics.
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -34,7 +35,10 @@ void usage(const char* argv0) {
       << "                   campaign tag equals STR (static|dynamic|pow)\n"
       << "  --trials N       override Monte-Carlo trials per cell\n"
       << "  --seed S         override the experiment seed\n"
-      << "  --n N            override the system size\n"
+      << "  --n N            override the system size (any N, including far\n"
+      << "                   above the registry defaults; the estimated\n"
+      << "                   per-world memory is printed up front and the\n"
+      << "                   run refuses to start when it cannot fit)\n"
       << "  --beta B         override the adversarial fraction\n"
       << "  --threads T      trial fan-out width.  Per-trial values are\n"
       << "                   scheduling-independent, but aggregated stats\n"
@@ -64,6 +68,33 @@ void usage(const char* argv0) {
 
 bool ends_with_json(std::string_view path) {
   return path.ends_with(".json");
+}
+
+/// Rough per-trial-world footprint at system size n: two group graphs
+/// (member slab + flag/counter columns under the SoA layout) plus the
+/// population's ID/ring tables.  Deliberately generous — the point is
+/// an honest order of magnitude before any trial starts.
+std::uint64_t estimated_world_bytes(std::size_t n) {
+  tg::core::Params p;
+  p.n = n;
+  const std::uint64_t g = p.group_size();
+  const std::uint64_t per_graph =
+      static_cast<std::uint64_t>(n) * g * sizeof(std::uint32_t)  // slab
+      + static_cast<std::uint64_t>(n) * 29;  // offset/length/flag columns
+  const std::uint64_t population = static_cast<std::uint64_t>(n) * 48;
+  return 2 * per_graph + population;
+}
+
+/// MemAvailable from /proc/meminfo, in bytes; 0 when unreadable.
+std::uint64_t available_memory_bytes() {
+  std::ifstream meminfo("/proc/meminfo");
+  std::string line;
+  while (std::getline(meminfo, line)) {
+    if (line.rfind("MemAvailable:", 0) == 0) {
+      return std::strtoull(line.c_str() + 13, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -155,6 +186,27 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
     return 0;
+  }
+
+  // --n can push cells far above their registry defaults (that is the
+  // point: million-node campaigns).  Estimate the world footprint UP
+  // FRONT so a hopeless run dies at the prompt, not minutes into its
+  // first epoch build.
+  if (options.n_override) {
+    const std::uint64_t estimate = estimated_world_bytes(*options.n_override);
+    const std::uint64_t available = available_memory_bytes();
+    std::cout << "campaign: --n " << *options.n_override
+              << " -> estimated ~" << (estimate >> 20)
+              << " MB per trial world";
+    if (available != 0) {
+      std::cout << " (" << (available >> 20) << " MB available)";
+    }
+    std::cout << '\n';
+    if (available != 0 && estimate > available) {
+      std::cerr << "campaign: estimated world footprint exceeds available "
+                   "memory; refusing to start (lower --n)\n";
+      return 2;
+    }
   }
 
   const auto matched = registry.match(options.filter);

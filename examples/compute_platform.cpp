@@ -51,7 +51,7 @@ int main() {
   // --- A scheduling decision via authenticated Byzantine agreement
   // inside one group (the substrate groups use to act as one node).
   const crypto::SignatureAuthority authority(params.seed);
-  const core::Group& g0 = graph.group(0);
+  const core::GroupView g0 = graph.group(0);
   std::vector<std::uint8_t> is_bad(g0.size(), 0);
   for (std::size_t m = 0; m < g0.size(); ++m) {
     is_bad[m] = graph.member_pool().is_bad(g0.members[m]) ? 1 : 0;

@@ -10,7 +10,7 @@ PolyCommitment commit_poly(const Poly& p) {
   return c;
 }
 
-DkgResult run_dkg(const core::Group& group, const core::Population& pool,
+DkgResult run_dkg(const core::GroupView& group, const core::Population& pool,
                   DealerFault fault, Rng& rng) {
   DkgResult out;
   const std::size_t n = group.members.size();

@@ -75,7 +75,7 @@ struct DkgResult {
 /// deal with `fault` and additionally complain spuriously about one
 /// honest dealer (complaints against honest dealers are refuted by the
 /// dealer's justification broadcast, so they only cost messages).
-[[nodiscard]] DkgResult run_dkg(const core::Group& group,
+[[nodiscard]] DkgResult run_dkg(const core::GroupView& group,
                                 const core::Population& pool,
                                 DealerFault fault, Rng& rng);
 

@@ -11,7 +11,7 @@ std::uint64_t job_function(std::uint64_t input) noexcept {
   return mix64(input ^ 0x0123456789abcdefULL);
 }
 
-JobResult execute_job(const core::Group& group,
+JobResult execute_job(const core::GroupView& group,
                       const core::Population& member_pool,
                       std::uint64_t input) {
   JobResult out;

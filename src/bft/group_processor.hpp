@@ -31,7 +31,7 @@ struct JobResult {
 /// Execute `input` on the group: members exchange results all-to-all,
 /// each good member majority-filters, the group reports the filtered
 /// value.  Bad members collude on a common forged result.
-[[nodiscard]] JobResult execute_job(const core::Group& group,
+[[nodiscard]] JobResult execute_job(const core::GroupView& group,
                                     const core::Population& member_pool,
                                     std::uint64_t input);
 

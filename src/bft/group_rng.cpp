@@ -2,7 +2,7 @@
 
 namespace tg::bft {
 
-GroupRngResult group_random(const core::Group& group,
+GroupRngResult group_random(const core::GroupView& group,
                             const core::Population& pool, bool prefer_low_bit,
                             Rng& rng) {
   GroupRngResult out;
@@ -62,7 +62,7 @@ GroupRngResult group_random(const core::Group& group,
   return out;
 }
 
-double measure_abort_bias(const core::Group& group,
+double measure_abort_bias(const core::GroupView& group,
                           const core::Population& pool, std::size_t rounds,
                           Rng& rng) {
   if (rounds == 0) return 0.0;

@@ -34,7 +34,7 @@ struct GroupRngResult {
 /// reveals whenever doing so can flip the XOR's low bit toward the
 /// adversary's preference (`prefer_low_bit`), the strongest selective-
 /// abort strategy for a single-bit target.
-[[nodiscard]] GroupRngResult group_random(const core::Group& group,
+[[nodiscard]] GroupRngResult group_random(const core::GroupView& group,
                                           const core::Population& pool,
                                           bool prefer_low_bit, Rng& rng);
 
@@ -44,7 +44,7 @@ struct GroupRngResult {
 /// because aborters are identified and excluded on re-run, the
 /// effective bias after retries collapses; this function measures the
 /// single-round (worst-case) figure.
-[[nodiscard]] double measure_abort_bias(const core::Group& group,
+[[nodiscard]] double measure_abort_bias(const core::GroupView& group,
                                         const core::Population& pool,
                                         std::size_t rounds, Rng& rng);
 

@@ -24,7 +24,7 @@ std::vector<std::uint64_t> share(std::uint64_t value, std::size_t parts,
 
 }  // namespace
 
-SecretSumResult secret_sum(const core::Group& group,
+SecretSumResult secret_sum(const core::GroupView& group,
                            const core::Population& pool,
                            const std::vector<std::uint64_t>& inputs,
                            Rng& rng) {
@@ -90,7 +90,7 @@ SecretSumResult secret_sum(const core::Group& group,
   return out;
 }
 
-double coalition_view_ks(const core::Group& group,
+double coalition_view_ks(const core::GroupView& group,
                          const std::vector<std::uint64_t>& inputs,
                          std::size_t runs, Rng& rng) {
   const std::size_t n = group.size();

@@ -41,7 +41,7 @@ struct SecretSumResult {
 /// group.size()).  Bad members tamper with their broadcast partial sum
 /// (adding a random error) — always caught by the commitment check,
 /// after which the run is flagged.
-[[nodiscard]] SecretSumResult secret_sum(const core::Group& group,
+[[nodiscard]] SecretSumResult secret_sum(const core::GroupView& group,
                                          const core::Population& pool,
                                          const std::vector<std::uint64_t>& inputs,
                                          Rng& rng);
@@ -50,7 +50,7 @@ struct SecretSumResult {
 /// (all shares except one member's) over repeated runs of the SAME
 /// inputs is statistically uniform.  Returns the KS statistic of the
 /// coalition's reconstructed "partial knowledge" against uniform.
-[[nodiscard]] double coalition_view_ks(const core::Group& group,
+[[nodiscard]] double coalition_view_ks(const core::GroupView& group,
                                        const std::vector<std::uint64_t>& inputs,
                                        std::size_t runs, Rng& rng);
 

@@ -86,8 +86,22 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
   BuildStats local_stats;
   BuildStats& st = stats ? *stats : local_stats;
 
-  std::vector<Group> groups(n);
+  // Streaming assembly: in soa mode each group's accepted members are
+  // appended straight into the slab's open span (finish_group sorts
+  // and dedupes in place), so the build never materializes a per-group
+  // candidate vector.  The legacy layout keeps the scratch-vector
+  // path.  Both run the SAME per-slot decision sequence below, so RNG
+  // consumption — and therefore the built epoch — is byte-identical
+  // across layouts.
+  const bool soa = default_group_layout() == GroupLayout::soa;
+  GroupTable table;
+  std::vector<Group> groups;
   std::vector<std::uint32_t> scratch;
+  if (soa) {
+    table.reserve(n, n * g);
+  } else {
+    groups.resize(n);
+  }
 
   // Membership-request keys h(w, slot) are independent single-block
   // oracle calls; draw each leader's g keys through the multi-lane
@@ -113,13 +127,26 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
   };
 
   for (std::size_t i = 0; i < n; ++i) {
-    Group& grp = groups[i];
-    grp.leader = i;
     const std::uint64_t w = new_pop->table().at(i).raw();
 
+    GroupId id{};
+    if (soa) {
+      id = table.begin_group(static_cast<std::uint32_t>(i));
+    } else {
+      groups[i].leader = i;
+      scratch.clear();
+    }
+    const auto emit = [&](std::uint32_t member) {
+      if (soa) {
+        table.add_member(member);
+      } else {
+        scratch.push_back(member);
+      }
+    };
+
     // ---- Group-membership requests (via the bootstrap group) ----
-    scratch.clear();
     std::size_t corrupted = 0;
+    std::size_t rejected = 0;
     h.eval_many(w, slots.data(), points.data(), g);
     for (std::size_t slot = 0; slot < g; ++slot) {
       ++st.membership_requests;
@@ -130,8 +157,7 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
         if (config_.adversary_corrupts_on_failure && !old_bad_indices.empty()) {
           // The adversary answers the search: it plants one of its own
           // old IDs as the member.
-          scratch.push_back(
-              old_bad_indices[rng.below(old_bad_indices.size())]);
+          emit(old_bad_indices[rng.below(old_bad_indices.size())]);
           ++corrupted;
         }
         continue;
@@ -144,27 +170,41 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
       const std::size_t vboot = old_pop.random_good_index(rng);
       if (!dual_search(vboot, target, sim::MsgCat::membership)) {
         ++st.membership_rejects;
-        ++grp.rejected_slots;
+        ++rejected;
         continue;
       }
-      scratch.push_back(static_cast<std::uint32_t>(member));
+      emit(static_cast<std::uint32_t>(member));
     }
-    std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-    grp.members = scratch;
-    grp.corrupted_slots = corrupted;
-    for (const auto m : grp.members) {
-      if (old_pop.is_bad(m)) ++grp.bad_members;
+    std::size_t bad = 0;
+    if (soa) {
+      table.finish_group();  // sort + dedupe the open span in place
+      for (const auto m : table.members(id)) {
+        if (old_pop.is_bad(m)) ++bad;
+      }
+      table.set_bad_members(id, static_cast<std::uint32_t>(bad));
+      table.set_corrupted_slots(id, static_cast<std::uint32_t>(corrupted));
+      table.set_rejected_slots(id, static_cast<std::uint32_t>(rejected));
+    } else {
+      Group& grp = groups[i];
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+      grp.members = scratch;
+      grp.corrupted_slots = corrupted;
+      grp.rejected_slots = rejected;
+      for (const auto m : grp.members) {
+        if (old_pop.is_bad(m)) ++grp.bad_members;
+      }
     }
 
     // ---- Neighbor requests (final link resolution; Lemma 8) ----
+    bool confused = false;
     for (const ids::RingPoint target :
          new_topology->link_targets(new_pop->table().at(i))) {
       ++st.neighbor_requests;
       const std::size_t boot = old_pop.random_good_index(rng);
       if (!dual_search(boot, target, sim::MsgCat::neighbor_setup)) {
         ++st.neighbor_dual_failures;
-        grp.confused = true;  // adversary supplied a wrong neighbor
+        confused = true;  // adversary supplied a wrong neighbor
         continue;
       }
       // The located neighbor verifies the request through Gboot with
@@ -172,13 +212,21 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
       const std::size_t vboot = old_pop.random_good_index(rng);
       if (!dual_search(vboot, target, sim::MsgCat::neighbor_setup)) {
         ++st.neighbor_rejects;
-        grp.confused = true;  // erroneous rejection leaves the link unset
+        confused = true;  // erroneous rejection leaves the link unset
       }
+    }
+    if (soa) {
+      table.set_confused(id, confused);
+    } else {
+      groups[i].confused = confused;
     }
   }
 
-  auto graph = std::make_shared<GroupGraph>(params_, new_pop, old.pop,
-                                            std::move(groups));
+  auto graph =
+      soa ? std::make_shared<GroupGraph>(params_, new_pop, old.pop,
+                                         std::move(table))
+          : std::make_shared<GroupGraph>(params_, new_pop, old.pop,
+                                         std::move(groups));
   for (std::size_t i = 0; i < graph->size(); ++i) {
     if (graph->group(i).confused) ++st.confused_groups;
     if (graph->group(i).is_bad(params_)) ++st.bad_groups;

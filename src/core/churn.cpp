@@ -1,6 +1,7 @@
 #include "core/churn.hpp"
 
 #include <algorithm>
+#include <span>
 
 namespace tg::core {
 
@@ -23,28 +24,30 @@ ChurnReport apply_good_departures(GroupGraph& graph, double fraction,
   report.departed_good = departures;
 
   for (std::size_t gi = 0; gi < graph.size(); ++gi) {
-    Group& grp = graph.mutable_group(gi);
-    const bool was_good = !grp.is_bad(graph.params());
-    const bool had_majority = grp.has_good_majority();
+    const GroupView before = graph.group(gi);
+    const bool was_good = !before.is_bad(graph.params());
+    const bool had_majority = before.has_good_majority();
     if (was_good && had_majority) ++report.initially_good_groups;
 
-    grp.members.erase(std::remove_if(grp.members.begin(), grp.members.end(),
-                                     [&](std::uint32_t m) {
-                                       return departed[m] != 0;
-                                     }),
-                      grp.members.end());
-    grp.bad_members = 0;
-    for (const auto m : grp.members) {
-      if (pool.is_bad(m)) ++grp.bad_members;
+    // Filter departures in place within the group's span, then shrink.
+    const std::span<std::uint32_t> span = graph.mutable_members(gi);
+    auto* kept_end = std::remove_if(
+        span.data(), span.data() + span.size(),
+        [&](std::uint32_t m) { return departed[m] != 0; });
+    const auto kept = static_cast<std::size_t>(kept_end - span.data());
+    graph.truncate_members(gi, kept);
+    std::size_t bad = 0;
+    for (const auto m : graph.members(gi)) {
+      if (pool.is_bad(m)) ++bad;
     }
+    graph.set_bad_members(gi, bad);
 
-    if (grp.members.empty()) ++report.groups_emptied;
+    if (kept == 0) ++report.groups_emptied;
     if (was_good && had_majority) {
-      if (!grp.has_good_majority()) ++report.groups_lost_majority;
-      if (!grp.members.empty()) {
+      if (!group_has_good_majority(kept, bad)) ++report.groups_lost_majority;
+      if (kept != 0) {
         const double good_frac =
-            1.0 - static_cast<double>(grp.bad_members) /
-                      static_cast<double>(grp.members.size());
+            1.0 - static_cast<double>(bad) / static_cast<double>(kept);
         report.min_good_fraction = std::min(report.min_good_fraction, good_frac);
       } else {
         report.min_good_fraction = 0.0;

@@ -10,12 +10,21 @@
 // both modes are supported so Lemmas 1-4 can be validated exactly in
 // the model they are stated in, and then re-checked against the
 // composition-derived classification.
+//
+// Storage: each graph adopts one of two epoch representations at
+// construction (see group_table.hpp) — the SoA `GroupTable` (default;
+// one member slab + packed columns) or the legacy AoS `std::vector<
+// Group>`.  All reads go through `GroupView`/`MemberSpan` and all
+// mutation through the layout-agnostic member/counter setters below,
+// so churn and self-heal run one code path against either layout.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/group.hpp"
+#include "core/group_table.hpp"
 #include "core/params.hpp"
 #include "core/population.hpp"
 #include "crypto/oracle.hpp"
@@ -27,14 +36,22 @@ namespace tg::core {
 
 class GroupGraph {
  public:
-  /// Assemble from explicitly built groups (the epoch builder path).
-  /// `leaders` is this graph's population; `member_pool` the population
-  /// whose IDs fill the groups (previous epoch's IDs in the dynamic
-  /// construction; equal to `leaders` for pristine graphs).
+  /// Assemble from explicitly built groups (the legacy builder path
+  /// and hand-built test graphs).  Converts to the SoA table when the
+  /// process-wide default layout is `soa`.  `leaders` is this graph's
+  /// population; `member_pool` the population whose IDs fill the
+  /// groups (previous epoch's IDs in the dynamic construction; equal
+  /// to `leaders` for pristine graphs).
   GroupGraph(const Params& params,
              std::shared_ptr<const Population> leaders,
              std::shared_ptr<const Population> member_pool,
              std::vector<Group> groups);
+
+  /// Assemble from a streaming-built SoA table (always soa layout).
+  GroupGraph(const Params& params,
+             std::shared_ptr<const Population> leaders,
+             std::shared_ptr<const Population> member_pool,
+             GroupTable table);
 
   /// Trusted initialization (epoch 0; Appendix X): membership drawn
   /// directly through the oracle, neighbor sets correct by fiat, so
@@ -55,9 +72,47 @@ class GroupGraph {
     return *topology_;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return groups_.size(); }
-  [[nodiscard]] const Group& group(std::size_t i) const { return groups_.at(i); }
-  [[nodiscard]] Group& mutable_group(std::size_t i) { return groups_.at(i); }
+  /// The representation this graph was built with.
+  [[nodiscard]] GroupLayout layout() const noexcept { return layout_; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return layout_ == GroupLayout::soa ? table_.size() : groups_.size();
+  }
+
+  /// Read-only projection of group i (bounds-checked, either layout).
+  [[nodiscard]] GroupView group(std::size_t i) const {
+    check_index(i);
+    return layout_ == GroupLayout::soa ? table_.view(GroupId{i})
+                                       : GroupView(groups_[i]);
+  }
+
+  /// Member-index span of group i (bounds-checked, either layout).
+  [[nodiscard]] MemberSpan members(std::size_t i) const {
+    check_index(i);
+    return layout_ == GroupLayout::soa ? table_.members(GroupId{i})
+                                       : MemberSpan(groups_[i].members);
+  }
+
+  [[nodiscard]] std::size_t group_size(std::size_t i) const noexcept {
+    return layout_ == GroupLayout::soa ? table_.members(GroupId{i}).size()
+                                       : groups_[i].members.size();
+  }
+
+  /// Approximate heap footprint of the membership storage.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  // ---- Layout-agnostic mutation (churn / self-heal) ---------------------
+  // Spans returned by mutable_members (and views handed out by group /
+  // members) are invalidated by assign_members.
+
+  [[nodiscard]] std::span<std::uint32_t> mutable_members(std::size_t i);
+  void truncate_members(std::size_t i, std::size_t new_size);
+  void assign_members(std::size_t i, const std::uint32_t* data,
+                      std::size_t count);
+  void set_bad_members(std::size_t i, std::size_t n);
+  void set_corrupted_slots(std::size_t i, std::size_t n);
+  void set_rejected_slots(std::size_t i, std::size_t n);
+  void set_confused(std::size_t i, bool confused);
 
   /// Red classification; honours synthetic mode when enabled.
   [[nodiscard]] bool is_red(std::size_t i) const {
@@ -80,23 +135,28 @@ class GroupGraph {
 
   /// Cost of one all-to-all exchange between groups a and b (messages).
   [[nodiscard]] std::uint64_t pair_messages(std::size_t a, std::size_t b) const {
-    return static_cast<std::uint64_t>(groups_[a].size()) *
-           static_cast<std::uint64_t>(groups_[b].size());
+    return static_cast<std::uint64_t>(group_size(a)) *
+           static_cast<std::uint64_t>(group_size(b));
   }
 
   /// Cost of one intra-group all-to-all round (group communication,
   /// Section I item (i)): |G| * (|G| - 1).
   [[nodiscard]] std::uint64_t intra_group_messages(std::size_t i) const {
-    const auto s = static_cast<std::uint64_t>(groups_[i].size());
+    const auto s = static_cast<std::uint64_t>(group_size(i));
     return s * (s - 1);
   }
 
  private:
+  void check_index(std::size_t i) const;
+  void finish_init();
+
   Params params_;
   std::shared_ptr<const Population> leaders_;
   std::shared_ptr<const Population> member_pool_;
   std::unique_ptr<overlay::InputGraph> topology_;
-  std::vector<Group> groups_;
+  GroupLayout layout_ = GroupLayout::soa;
+  GroupTable table_;           ///< soa storage (empty in legacy mode)
+  std::vector<Group> groups_;  ///< legacy storage (empty in soa mode)
   std::vector<std::uint8_t> composition_red_;
   std::vector<std::uint8_t> synthetic_red_;
   bool synthetic_mode_ = false;

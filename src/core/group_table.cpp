@@ -1,0 +1,153 @@
+#include "core/group_table.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tg::core {
+
+namespace {
+std::atomic<GroupLayout> g_default_layout{GroupLayout::soa};
+}  // namespace
+
+GroupLayout default_group_layout() noexcept {
+  return g_default_layout.load(std::memory_order_relaxed);
+}
+
+void set_default_group_layout(GroupLayout layout) noexcept {
+  g_default_layout.store(layout, std::memory_order_relaxed);
+}
+
+void GroupTable::reserve(std::size_t groups, std::size_t member_capacity) {
+  slab_.reserve(member_capacity);
+  offset_.reserve(groups);
+  length_.reserve(groups);
+  capacity_.reserve(groups);
+  leader_.reserve(groups);
+  bad_members_.reserve(groups);
+  corrupted_slots_.reserve(groups);
+  rejected_slots_.reserve(groups);
+  confused_.reserve(groups);
+}
+
+std::size_t GroupTable::member_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto len : length_) total += len;
+  return total;
+}
+
+std::size_t GroupTable::memory_bytes() const noexcept {
+  return slab_.capacity() * sizeof(std::uint32_t) +
+         offset_.capacity() * sizeof(std::uint64_t) +
+         (length_.capacity() + capacity_.capacity() + leader_.capacity() +
+          bad_members_.capacity() + corrupted_slots_.capacity() +
+          rejected_slots_.capacity()) *
+             sizeof(std::uint32_t) +
+         confused_.capacity();
+}
+
+GroupId GroupTable::begin_group(std::uint32_t leader) {
+  offset_.push_back(slab_.size());
+  length_.push_back(0);
+  capacity_.push_back(0);
+  leader_.push_back(leader);
+  bad_members_.push_back(0);
+  corrupted_slots_.push_back(0);
+  rejected_slots_.push_back(0);
+  confused_.push_back(0);
+  return GroupId{size() - 1};
+}
+
+void GroupTable::add_member(std::uint32_t member_index) {
+  slab_.push_back(member_index);
+  ++length_.back();
+}
+
+void GroupTable::finish_group() {
+  auto* first = slab_.data() + offset_.back();
+  auto* last = first + length_.back();
+  std::sort(first, last);
+  auto* unique_end = std::unique(first, last);
+  const auto kept = static_cast<std::size_t>(unique_end - first);
+  slab_.resize(offset_.back() + kept);
+  length_.back() = static_cast<std::uint32_t>(kept);
+  capacity_.back() = static_cast<std::uint32_t>(kept);
+}
+
+GroupTable GroupTable::from_groups(const std::vector<Group>& groups) {
+  GroupTable table;
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.members.size();
+  table.reserve(groups.size(), total);
+  for (const auto& g : groups) {
+    const GroupId id =
+        table.begin_group(static_cast<std::uint32_t>(g.leader));
+    table.slab_.insert(table.slab_.end(), g.members.begin(), g.members.end());
+    table.length_.back() = static_cast<std::uint32_t>(g.members.size());
+    table.capacity_.back() = table.length_.back();
+    table.set_bad_members(id, static_cast<std::uint32_t>(g.bad_members));
+    table.set_corrupted_slots(id,
+                              static_cast<std::uint32_t>(g.corrupted_slots));
+    table.set_rejected_slots(id, static_cast<std::uint32_t>(g.rejected_slots));
+    table.set_confused(id, g.confused);
+  }
+  return table;
+}
+
+void GroupTable::truncate_members(GroupId g, std::size_t new_size) noexcept {
+  const std::size_t i = g.index();
+  if (new_size < length_[i]) {
+    length_[i] = static_cast<std::uint32_t>(new_size);
+  }
+}
+
+void GroupTable::assign_members(GroupId g, const std::uint32_t* data,
+                                std::size_t count) {
+  const std::size_t i = g.index();
+  if (count > capacity_[i]) {
+    // Relocate to the slab tail; the old span becomes a dead gap.
+    offset_[i] = slab_.size();
+    capacity_[i] = static_cast<std::uint32_t>(count);
+    slab_.insert(slab_.end(), data, data + count);
+  } else {
+    std::copy(data, data + count, slab_.begin() + static_cast<std::ptrdiff_t>(
+                                                      offset_[i]));
+  }
+  length_[i] = static_cast<std::uint32_t>(count);
+}
+
+void GroupTable::classify_red(const Params& p,
+                              std::vector<std::uint8_t>& out) const {
+  out.assign(size(), 0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[i] = (group_is_bad(length_[i], bad_members_[i], p) ||
+              confused_[i] != 0)
+                 ? 1
+                 : 0;
+  }
+}
+
+std::size_t GroupTable::count_bad(const Params& p) const noexcept {
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (group_is_bad(length_[i], bad_members_[i], p)) ++bad;
+  }
+  return bad;
+}
+
+std::size_t GroupTable::count_confused() const noexcept {
+  std::size_t confused = 0;
+  for (const auto flag : confused_) {
+    if (flag != 0) ++confused;
+  }
+  return confused;
+}
+
+std::size_t GroupTable::count_majority_bad() const noexcept {
+  std::size_t lost = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!group_has_good_majority(length_[i], bad_members_[i])) ++lost;
+  }
+  return lost;
+}
+
+}  // namespace tg::core

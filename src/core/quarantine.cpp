@@ -26,7 +26,7 @@ std::size_t QuarantineTracker::quarantined_count() const {
   return count;
 }
 
-SpamOutcome simulate_spam_campaign(const Group& group, const Population& pool,
+SpamOutcome simulate_spam_campaign(const GroupView& group, const Population& pool,
                                    std::uint32_t spammer, std::size_t volume) {
   SpamOutcome out;
   QuarantineTracker tracker(group.size());
@@ -46,7 +46,7 @@ SpamOutcome simulate_spam_campaign(const Group& group, const Population& pool,
   return out;
 }
 
-bool bad_minority_can_frame(const Group& group, const Population& pool,
+bool bad_minority_can_frame(const GroupView& group, const Population& pool,
                             std::uint32_t honest_victim) {
   QuarantineTracker tracker(group.size());
   // Every bad member files a (false) report against the victim.

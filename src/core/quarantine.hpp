@@ -50,14 +50,14 @@ struct SpamOutcome {
   bool quarantined = false;
 };
 
-[[nodiscard]] SpamOutcome simulate_spam_campaign(const Group& group,
+[[nodiscard]] SpamOutcome simulate_spam_campaign(const GroupView& group,
                                                  const Population& pool,
                                                  std::uint32_t spammer,
                                                  std::size_t volume);
 
 /// The converse safety property: colluding bad members alone cannot
 /// quarantine an honest ID (they lack a majority).
-[[nodiscard]] bool bad_minority_can_frame(const Group& group,
+[[nodiscard]] bool bad_minority_can_frame(const GroupView& group,
                                           const Population& pool,
                                           std::uint32_t honest_victim);
 

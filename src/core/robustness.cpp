@@ -66,12 +66,16 @@ StateCostReport measure_state_cost(const GroupGraph& graph) {
   StateCostReport report;
 
   // Memberships: count, per member-pool ID, the groups containing it.
-  std::vector<std::size_t> membership_count(graph.member_pool().size(), 0);
+  // The counter array is hoisted to reusable thread-local scratch:
+  // at n = 10^6 it spans megabytes, and repeated scans would otherwise
+  // reallocate (and page-fault) it on every invocation.
+  static thread_local std::vector<std::size_t> membership_count;
+  membership_count.assign(graph.member_pool().size(), 0);
   RunningStats group_size;
   for (std::size_t gi = 0; gi < graph.size(); ++gi) {
-    const Group& grp = graph.group(gi);
-    group_size.add(static_cast<double>(grp.size()));
-    for (const auto m : grp.members) ++membership_count[m];
+    const MemberSpan members = graph.members(gi);
+    group_size.add(static_cast<double>(members.size()));
+    for (const auto m : members) ++membership_count[m];
   }
   report.mean_group_size = group_size.mean();
   for (std::size_t i = 0; i < membership_count.size(); ++i) {

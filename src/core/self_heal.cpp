@@ -9,8 +9,8 @@ bool rebuild_group(GroupGraph& graph, std::size_t index,
                    std::uint64_t salt) {
   const Population& pool = graph.member_pool();
   const std::size_t g = graph.params().group_size();
-  Group& grp = graph.mutable_group(index);
-  const std::uint64_t w = graph.leaders().table().at(grp.leader).raw();
+  const std::uint64_t w =
+      graph.leaders().table().at(graph.group(index).leader).raw();
 
   // Salted redraw: same mechanism as the original membership draw,
   // different points — the oracle's uniformity makes the rebuilt
@@ -31,12 +31,13 @@ bool rebuild_group(GroupGraph& graph, std::size_t index,
   std::sort(members.begin(), members.end());
   members.erase(std::unique(members.begin(), members.end()), members.end());
 
-  grp.members = std::move(members);
-  grp.bad_members = 0;
-  grp.confused = false;
-  for (const auto m : grp.members) {
-    if (pool.is_bad(m)) ++grp.bad_members;
+  graph.assign_members(index, members.data(), members.size());
+  std::size_t bad = 0;
+  for (const auto m : graph.members(index)) {
+    if (pool.is_bad(m)) ++bad;
   }
+  graph.set_bad_members(index, bad);
+  graph.set_confused(index, false);
   graph.reclassify();
   return !graph.is_red(index);
 }

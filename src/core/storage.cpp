@@ -28,7 +28,7 @@ ReplicatedStore::GetResult ReplicatedStore::get(RingPoint key,
   out.found = true;
 
   // Majority-filter the copies the owner group's members return.
-  const Group& owner = generation_->g1->group(it->second.owner_group);
+  const GroupView owner = generation_->g1->group(it->second.owner_group);
   std::vector<std::uint64_t> copies;
   copies.reserve(owner.size());
   for (const auto m : owner.members) {
@@ -52,7 +52,7 @@ HandoffReport ReplicatedStore::handoff(const EpochGraphs& next, Rng& rng) {
     const RingPoint key{key_raw};
     // 1. The old owner group must still deliver a majority-correct
     // copy to push.
-    const Group& old_owner = generation_->g1->group(item.owner_group);
+    const GroupView old_owner = generation_->g1->group(item.owner_group);
     if (!old_owner.has_good_majority()) {
       ++report.lost_bad_owner;
       continue;

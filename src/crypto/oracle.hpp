@@ -161,6 +161,32 @@ class RandomOracle {
       }
     }
 
+    /// Varying-pair batch — the streaming epoch-build shape, where the
+    /// batch crosses leader boundaries: outs[i] = value_pair(as[i],
+    /// bs[i]).  Keeps every SIMD lane busy even when one leader's slot
+    /// count is below the lane width.
+    void eval_many(const std::uint64_t* as, const std::uint64_t* bs,
+                   std::uint64_t* outs, std::size_t n) noexcept {
+      if (!fast_) {
+        for (std::size_t i = 0; i < n; ++i) {
+          outs[i] = oracle_->value_pair(as[i], bs[i]);
+        }
+        return;
+      }
+      while (n > 0) {
+        const std::size_t m = n < Sha256::kMaxLanes ? n : Sha256::kMaxLanes;
+        for (std::size_t i = 0; i < m; ++i) {
+          store_u64_be(blocks_.data() + i * 64 + prefix_len_, as[i]);
+          store_u64_be(blocks_.data() + i * 64 + prefix_len_ + 8, bs[i]);
+        }
+        Sha256::compress_padded_blocks_u64xN(blocks_.data(), m, outs);
+        as += m;
+        bs += m;
+        outs += m;
+        n -= m;
+      }
+    }
+
    private:
     const RandomOracle* oracle_;
     bool fast_;

@@ -30,10 +30,16 @@
 namespace tg::net {
 
 /// Thread-safe free-list pool of spill blocks, bucketed by
-/// power-of-two capacity class.  Producers (parallel node handlers
-/// building outgoing payloads) allocate concurrently with the runtime
-/// releasing consumed deliveries; a mutex suffices because only
-/// payloads longer than Words::kInlineCapacity ever reach it.
+/// power-of-two capacity class and SHARDED to keep wide executors off
+/// a single mutex: each thread is pinned to a home shard (round-robin
+/// at first contact) whose free lists serve its allocations, and
+/// releases are scattered round-robin across shards so the drain
+/// thread — which destroys most delivered payloads — feeds every
+/// worker's shard instead of pooling all blocks in its own.  A shard
+/// miss steals from siblings before touching the heap, so the
+/// steady-state no-allocation guarantee of the single-pool arena is
+/// preserved; only payloads longer than Words::kInlineCapacity ever
+/// reach the arena at all.
 class WordArena {
  public:
   struct Stats {
@@ -42,6 +48,10 @@ class WordArena {
     std::uint64_t released = 0;   ///< blocks returned to the free lists
     std::uint64_t unpooled = 0;   ///< oversize blocks (plain heap)
   };
+
+  /// Fixed shard fan-out; covers the executor widths the round-loop
+  /// bench sweeps without making free_blocks() scans expensive.
+  static constexpr std::size_t kShardCount = 8;
 
   WordArena() = default;
   WordArena(const WordArena&) = delete;
@@ -54,9 +64,15 @@ class WordArena {
   [[nodiscard]] std::uint64_t* allocate(std::size_t& capacity);
   void release(std::uint64_t* block, std::size_t capacity) noexcept;
 
+  /// Aggregate counters across all shards.  `allocated`/`unpooled`
+  /// are charged to the allocating thread's home shard and
+  /// `recycled`/`released` to the shard that served/received the
+  /// block, so per-shard rows may differ while aggregates stay exact.
   [[nodiscard]] Stats stats() const;
-  /// Blocks currently parked in the free lists.
+  [[nodiscard]] Stats shard_stats(std::size_t shard) const;
+  /// Blocks currently parked in the free lists (all shards).
   [[nodiscard]] std::size_t free_blocks() const;
+  [[nodiscard]] std::size_t shard_free_blocks(std::size_t shard) const;
   /// Heap allocations that could not be served from a free list —
   /// flat in steady state, which is what the round-loop bench asserts.
   [[nodiscard]] std::uint64_t heap_allocations() const;
@@ -67,10 +83,17 @@ class WordArena {
   /// Index of the free list serving `capacity`, or -1 when the block
   /// is oversize and bypasses pooling.
   static int class_index(std::size_t capacity) noexcept;
+  /// This thread's pinned allocation shard (round-robin on first use).
+  static std::size_t home_slot() noexcept;
+  /// Rotating release target (per thread, uniform across shards).
+  static std::size_t release_slot() noexcept;
 
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t*> free_[kClassCount];
-  Stats stats_;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<std::uint64_t*> free[kClassCount];
+    Stats stats;
+  };
+  Shard shards_[kShardCount];
 };
 
 /// Small-buffer-optimized u64 sequence: the payload type of

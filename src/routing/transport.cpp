@@ -26,7 +26,7 @@ struct HoldState {
 
 /// Composition of a group: good/bad member counts from the pool.
 std::pair<std::size_t, std::size_t> composition(
-    const core::Group& g, const core::Population& pool) {
+    const core::GroupView& g, const core::Population& pool) {
   std::size_t good = 0, bad = 0;
   for (const auto m : g.members) {
     if (pool.is_bad(m)) {
@@ -144,7 +144,7 @@ TransportOutcome transmit(const core::GroupGraph& graph,
   for (std::size_t k = 1; k < route.path.size(); ++k) {
     const std::size_t prev = route.path[k - 1];
     const std::size_t idx = route.path[k];
-    const core::Group& dst = graph.group(idx);
+    const core::GroupView dst = graph.group(idx);
     const auto [dst_good, dst_bad] = composition(dst, pool);
     const std::size_t src_size = graph.group(prev).size();
 

@@ -57,6 +57,19 @@ class JsonReporter {
     meta_.emplace_back(key, std::move(value));
   }
 
+  /// Numeric run-environment annotation (e.g. peak_rss_bytes), emitted
+  /// unquoted in "meta".  Schema consumers accept string or finite
+  /// non-negative number meta values (see tools/validate_bench_json.py).
+  void set_meta_number(const std::string& key, double value) {
+    for (auto& [existing, v] : meta_numbers_) {
+      if (existing == key) {
+        v = value;
+        return;
+      }
+    }
+    meta_numbers_.emplace_back(key, value);
+  }
+
   /// Convenience: record a ns/op measurement (ops_per_sec derived).
   void add_ns_per_op(const std::string& metric, double ns_per_op,
                      Fields extra = {}) {
@@ -84,11 +97,16 @@ class JsonReporter {
       return false;
     }
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema\": 1,\n";
-    if (!meta_.empty()) {
+    if (!meta_.empty() || !meta_numbers_.empty()) {
       out << "  \"meta\": {";
-      for (std::size_t i = 0; i < meta_.size(); ++i) {
-        out << (i == 0 ? "" : ", ") << '"' << escape(meta_[i].first)
-            << "\": \"" << escape(meta_[i].second) << '"';
+      std::size_t written = 0;
+      for (const auto& [key, value] : meta_) {
+        out << (written++ == 0 ? "" : ", ") << '"' << escape(key) << "\": \""
+            << escape(value) << '"';
+      }
+      for (const auto& [key, value] : meta_numbers_) {
+        out << (written++ == 0 ? "" : ", ") << '"' << escape(key)
+            << "\": " << format_number(value);
       }
       out << "},\n";
     }
@@ -131,6 +149,7 @@ class JsonReporter {
 
   std::string name_;
   std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> meta_numbers_;
   std::vector<std::pair<std::string, Fields>> rows_;
 };
 

@@ -125,7 +125,7 @@ TEST(GroupGraph, PristineShapes) {
   EXPECT_EQ(f.graph->size(), 1024u);
   const std::size_t g = f.params.group_size();
   for (std::size_t i = 0; i < 50; ++i) {
-    const Group& grp = f.graph->group(i);
+    const GroupView grp = f.graph->group(i);
     EXPECT_EQ(grp.leader, i);
     EXPECT_LE(grp.size(), g);
     EXPECT_GE(grp.size(), g - 3);  // dedup may lose a couple of slots
@@ -151,7 +151,7 @@ TEST(GroupGraph, BadMembershipMatchesBinomial) {
   StaticFixture f(4096, 0.1, 11);
   RunningStats bad_fraction;
   for (std::size_t i = 0; i < f.graph->size(); ++i) {
-    const Group& grp = f.graph->group(i);
+    const GroupView grp = f.graph->group(i);
     bad_fraction.add(static_cast<double>(grp.bad_members) /
                      static_cast<double>(grp.size()));
   }

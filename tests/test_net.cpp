@@ -224,6 +224,49 @@ TEST(Words, ArenaRecyclesSpillBlocks) {
   EXPECT_EQ(arena.heap_allocations(), after_first.allocated);
 }
 
+TEST(Words, ArenaShardsScatterReleasesAndStealOnMiss) {
+  WordArena arena;
+  // A multiple of the shard count: round-robin release scattering then
+  // parks the same number of blocks in EVERY shard, wherever this
+  // thread's rotation happens to start.
+  constexpr std::size_t kBlocks = 4 * WordArena::kShardCount;
+  {
+    std::vector<Words> spilled;
+    for (std::size_t i = 0; i < kBlocks; ++i) {
+      Words w(&arena);
+      w.reserve(4 * Words::kInlineCapacity);
+      w.push_back(static_cast<std::uint64_t>(i));
+      spilled.push_back(std::move(w));
+    }
+  }  // all blocks return here, scattered across shards
+  EXPECT_EQ(arena.free_blocks(), kBlocks);
+  std::uint64_t released_total = 0;
+  for (std::size_t s = 0; s < WordArena::kShardCount; ++s) {
+    EXPECT_EQ(arena.shard_free_blocks(s), kBlocks / WordArena::kShardCount);
+    released_total += arena.shard_stats(s).released;
+  }
+  EXPECT_EQ(released_total, kBlocks);
+
+  // Re-allocating every block from this single thread must drain ALL
+  // shards through steal-on-miss — no fresh heap allocation even
+  // though 7/8 of the blocks are parked outside its home shard.
+  const auto heap_before = arena.heap_allocations();
+  {
+    std::vector<Words> again;
+    for (std::size_t i = 0; i < kBlocks; ++i) {
+      Words w(&arena);
+      w.reserve(4 * Words::kInlineCapacity);
+      again.push_back(std::move(w));
+    }
+    EXPECT_EQ(arena.free_blocks(), 0u);
+    EXPECT_EQ(arena.heap_allocations(), heap_before);
+  }
+  // Aggregate invariant across shards: every allocation was either
+  // recycled from some shard's list or charged to the heap.
+  const auto total = arena.stats();
+  EXPECT_EQ(total.allocated, total.recycled + arena.heap_allocations());
+}
+
 TEST(Words, AdoptArenaOnlyRebindsInlineStorage) {
   WordArena arena;
   Words heap_spilled;

@@ -1,0 +1,288 @@
+// SoA-vs-legacy layout equivalence: the GroupTable representation
+// toggle (core::set_default_group_layout) must be invisible in every
+// observable — built epochs, red classification, mutation paths
+// (churn, healing), and delivered client traffic — mirroring the net
+// runtime's recycling/pooling toggle contract.  The layout seam is
+// driven through an RAII guard + enumerator, the same shape as the
+// hash-kernel dispatch seams in dispatch_seams.hpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/churn.hpp"
+#include "core/group_graph.hpp"
+#include "core/group_table.hpp"
+#include "core/self_heal.hpp"
+#include "crypto/oracle.hpp"
+#include "scenario/campaign.hpp"
+#include "util/rng.hpp"
+#include "workload/traffic.hpp"
+
+namespace tg::core {
+namespace {
+
+/// Saves the process-wide layout default and restores it on
+/// destruction, so an ASSERT failure mid-test cannot leave later
+/// tests pinned to the legacy representation.
+struct LayoutGuard {
+  GroupLayout saved = default_group_layout();
+  ~LayoutGuard() { set_default_group_layout(saved); }
+};
+
+/// Runs `body(layout)` under both representations.
+template <typename Body>
+void for_each_layout(Body&& body) {
+  for (const GroupLayout layout :
+       {GroupLayout::soa, GroupLayout::legacy_aos}) {
+    set_default_group_layout(layout);
+    body(layout);
+  }
+}
+
+/// Layout-independent digest of everything a graph observably holds:
+/// FNV-1a over per-group leader, membership, counters, confusion and
+/// red classification.
+std::uint64_t fingerprint(const GroupGraph& graph) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const GroupView g = graph.group(i);
+    mix(g.leader);
+    mix(g.members.size());
+    for (const auto m : g.members) mix(m);
+    mix(g.bad_members);
+    mix(g.corrupted_slots);
+    mix(g.rejected_slots);
+    mix(g.confused ? 1 : 0);
+    mix(graph.is_red(i) ? 1 : 0);
+  }
+  return h;
+}
+
+GroupGraph build_pristine(std::size_t n, std::uint64_t seed) {
+  Params params;
+  params.n = n;
+  params.seed = seed;
+  params.beta = 0.05;
+  Rng rng(seed);
+  const auto pop = std::make_shared<const Population>(
+      Population::uniform(n, params.beta, rng));
+  const crypto::OracleSuite oracles(seed);
+  return GroupGraph::pristine(params, pop, oracles.h1);
+}
+
+// ---------- pristine epochs ----------
+
+TEST(LayoutEquivalence, PristineEpochByteIdenticalAtTenThousand) {
+  // n = 10^4 is the acceptance floor: large enough that the streaming
+  // builder's cross-leader batching exercises partial tail blocks.
+  LayoutGuard guard;
+  set_default_group_layout(GroupLayout::soa);
+  const GroupGraph soa = build_pristine(10'000, 2024);
+  set_default_group_layout(GroupLayout::legacy_aos);
+  const GroupGraph legacy = build_pristine(10'000, 2024);
+
+  ASSERT_EQ(soa.layout(), GroupLayout::soa);
+  ASSERT_EQ(legacy.layout(), GroupLayout::legacy_aos);
+  ASSERT_EQ(soa.size(), legacy.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    const GroupView a = soa.group(i);
+    const GroupView b = legacy.group(i);
+    ASSERT_EQ(a.leader, b.leader) << "group " << i;
+    ASSERT_EQ(a.members, b.members) << "group " << i;
+    ASSERT_EQ(a.bad_members, b.bad_members) << "group " << i;
+    ASSERT_EQ(a.confused, b.confused) << "group " << i;
+    ASSERT_EQ(soa.is_red(i), legacy.is_red(i)) << "group " << i;
+  }
+  EXPECT_EQ(fingerprint(soa), fingerprint(legacy));
+  EXPECT_EQ(soa.red_count(), legacy.red_count());
+  EXPECT_DOUBLE_EQ(soa.bad_fraction(), legacy.bad_fraction());
+  // The slab layout is strictly denser than one heap vector per group.
+  EXPECT_LT(soa.memory_bytes(), legacy.memory_bytes());
+}
+
+// ---------- adversarial epoch construction ----------
+
+TEST(LayoutEquivalence, BuilderEpochAndStatsIdenticalAcrossLayouts) {
+  // build_next runs the full dual-search construction — one shared
+  // decision path whose RNG consumption must not depend on where
+  // members are stored.
+  LayoutGuard guard;
+  Params params;
+  params.n = 2048;
+  params.seed = 99;
+  params.beta = 0.08;
+
+  std::uint64_t g1_print = 0, g2_print = 0;
+  std::size_t dual_failures = 0, rejects = 0, confused = 0, bad_groups = 0;
+  bool first = true;
+  for_each_layout([&](GroupLayout) {
+    const EpochBuilder builder(params);
+    Rng rng(params.seed);
+    const EpochGraphs epoch0 = builder.initial(rng);
+    BuildStats stats;
+    const EpochGraphs epoch1 = builder.build_next(epoch0, rng, &stats);
+    if (first) {
+      g1_print = fingerprint(*epoch1.g1);
+      g2_print = fingerprint(*epoch1.g2);
+      dual_failures = stats.membership_dual_failures;
+      rejects = stats.membership_rejects;
+      confused = stats.confused_groups;
+      bad_groups = stats.bad_groups;
+      first = false;
+      return;
+    }
+    EXPECT_EQ(fingerprint(*epoch1.g1), g1_print);
+    EXPECT_EQ(fingerprint(*epoch1.g2), g2_print);
+    EXPECT_EQ(stats.membership_dual_failures, dual_failures);
+    EXPECT_EQ(stats.membership_rejects, rejects);
+    EXPECT_EQ(stats.confused_groups, confused);
+    EXPECT_EQ(stats.bad_groups, bad_groups);
+  });
+}
+
+// ---------- mutation paths ----------
+
+TEST(LayoutEquivalence, ChurnAndHealingIdenticalAcrossLayouts) {
+  // Departures compact spans in place; healing redraws relocate them
+  // to the slab tail.  Both must land on the same epoch as the legacy
+  // per-group vectors.
+  LayoutGuard guard;
+  std::uint64_t expected_print = 0;
+  std::size_t expected_lost = 0, expected_healed = 0;
+  bool first = true;
+  for_each_layout([&](GroupLayout) {
+    Params params;
+    params.n = 1024;
+    params.seed = 7;
+    params.beta = 0.10;
+    Rng rng(params.seed);
+    const auto pop = std::make_shared<const Population>(
+        Population::uniform(params.n, params.beta, rng));
+    const crypto::OracleSuite oracles(params.seed);
+    GroupGraph graph = GroupGraph::pristine(params, pop, oracles.h1);
+    const GroupGraph partner = GroupGraph::pristine(params, pop, oracles.h2);
+
+    Rng churn_rng(11);
+    const ChurnReport churn = apply_good_departures(graph, 0.10, churn_rng);
+    Rng heal_rng(13);
+    const HealReport heal = self_heal_round(graph, partner, oracles.h1,
+                                            /*salt=*/0xFEED, /*probes=*/64,
+                                            heal_rng);
+    if (first) {
+      expected_print = fingerprint(graph);
+      expected_lost = churn.groups_lost_majority;
+      expected_healed = heal.healed;
+      first = false;
+      return;
+    }
+    EXPECT_EQ(fingerprint(graph), expected_print);
+    EXPECT_EQ(churn.groups_lost_majority, expected_lost);
+    EXPECT_EQ(heal.healed, expected_healed);
+  });
+}
+
+// ---------- GroupTable representation properties ----------
+
+TEST(LayoutEquivalence, FromGroupsRoundTripsVerbatim) {
+  // Conversion preserves member ORDER (no re-sort): a graph converted
+  // at construction must view back exactly what the vectors held.
+  std::vector<Group> groups(3);
+  groups[0].leader = 0;
+  groups[0].members = {5, 1, 9};  // deliberately unsorted
+  groups[0].bad_members = 1;
+  groups[1].leader = 1;
+  groups[1].members = {};
+  groups[2].leader = 2;
+  groups[2].members = {7};
+  groups[2].confused = true;
+  const GroupTable table = GroupTable::from_groups(groups);
+  ASSERT_EQ(table.size(), groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const GroupId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(table.view(id).members, MemberSpan(groups[i].members));
+    EXPECT_EQ(table.view(id).leader, groups[i].leader);
+    EXPECT_EQ(table.view(id).bad_members, groups[i].bad_members);
+    EXPECT_EQ(table.view(id).confused, groups[i].confused);
+  }
+}
+
+TEST(LayoutEquivalence, AssignMembersRelocatesWithoutCorruptingNeighbors) {
+  // Growing a group past its span capacity moves it to the slab tail;
+  // every other group's membership must read back untouched.
+  std::vector<Group> groups(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    groups[i].leader = i;
+    groups[i].members = {static_cast<std::uint32_t>(10 * i),
+                         static_cast<std::uint32_t>(10 * i + 1)};
+  }
+  GroupTable table = GroupTable::from_groups(groups);
+  const std::vector<std::uint32_t> grown{1, 2, 3, 4, 5, 6};
+  table.assign_members(GroupId{std::uint32_t{1}}, grown.data(), grown.size());
+  EXPECT_EQ(table.view(GroupId{std::uint32_t{1}}).members, MemberSpan(grown));
+  EXPECT_EQ(table.view(GroupId{std::uint32_t{0}}).members, MemberSpan(groups[0].members));
+  EXPECT_EQ(table.view(GroupId{std::uint32_t{2}}).members, MemberSpan(groups[2].members));
+
+  // Shrinking stays in place and truncation keeps a prefix.
+  table.truncate_members(GroupId{std::uint32_t{1}}, 2);
+  const std::vector<std::uint32_t> prefix{1, 2};
+  EXPECT_EQ(table.view(GroupId{std::uint32_t{1}}).members, MemberSpan(prefix));
+}
+
+}  // namespace
+}  // namespace tg::core
+
+namespace tg {
+namespace {
+
+// ---------- delivered traffic ----------
+
+TEST(LayoutEquivalence, ClientTrafficIdenticalAcrossLayoutsAndThreads) {
+  // The workload engine builds its worlds through GroupGraph::pristine,
+  // so a layout-dependent epoch would surface here as a diverging
+  // trace.  Sweep layout x shard width: all four runs must carry
+  // bit-identical traffic.
+  core::LayoutGuard guard;
+  scenario::ScenarioSpec spec;
+  spec.adversary = scenario::AdversaryKind::omit_ids;
+  spec.topology = scenario::Topology::tinygroups;
+  spec.n = 256;
+  spec.beta = 0.08;
+  spec.trials = 3;
+  spec.seed = 4242;
+  spec.churn = {1, 64};
+  spec.workload.service = scenario::WorkloadAxis::Service::kv;
+  spec.workload.loop = scenario::WorkloadAxis::Loop::open;
+  spec.workload.rate = 2.0;
+  spec.workload.clients = 4;
+  spec.workload.rounds = 64;
+  spec.workload.timeout_rounds = 24;
+
+  std::uint64_t expected_trace = 0;
+  std::uint64_t expected_completed = 0;
+  bool first = true;
+  core::for_each_layout([&](core::GroupLayout) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const workload::CellTraffic cell =
+          workload::run_traffic_cell(spec, /*with_adversary=*/true, threads);
+      if (first) {
+        expected_trace = cell.trace_hash;
+        expected_completed = cell.recorder.completed;
+        first = false;
+        continue;
+      }
+      EXPECT_EQ(cell.trace_hash, expected_trace);
+      EXPECT_EQ(cell.recorder.completed, expected_completed);
+    }
+  });
+  EXPECT_GT(expected_completed, 0u);
+}
+
+}  // namespace
+}  // namespace tg

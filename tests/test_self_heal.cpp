@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "adversary/eclipse.hpp"
 #include "core/bootstrap.hpp"
@@ -40,7 +41,10 @@ struct Fixture {
 
 TEST(RebuildGroup, ChangesMembershipAndReclassifies) {
   Fixture fx(512, 0.05);
-  const auto before = fx.graph->group(3).members;
+  // Copy the membership out: the rebuild may relocate the group's span
+  // within the SoA slab, so a live MemberSpan would dangle.
+  const std::vector<std::uint32_t> before(fx.graph->members(3).begin(),
+                                          fx.graph->members(3).end());
   (void)rebuild_group(*fx.graph, 3, fx.oracles.h1, /*salt=*/0xABCDEF);
   const auto& after = fx.graph->group(3).members;
   EXPECT_NE(before, after);
@@ -50,9 +54,10 @@ TEST(RebuildGroup, ChangesMembershipAndReclassifies) {
 TEST(RebuildGroup, SaltZeroReproducesOriginalDraw) {
   // salt = 0 XORs nothing: the redraw equals the original membership.
   Fixture fx(512, 0.05);
-  const auto before = fx.graph->group(5).members;
+  const std::vector<std::uint32_t> before(fx.graph->members(5).begin(),
+                                          fx.graph->members(5).end());
   (void)rebuild_group(*fx.graph, 5, fx.oracles.h1, 0);
-  EXPECT_EQ(fx.graph->group(5).members, before);
+  EXPECT_EQ(fx.graph->group(5).members, MemberSpan(before));
 }
 
 TEST(RebuildGroup, FreshDrawIsUsuallyBlueAtLowBeta) {

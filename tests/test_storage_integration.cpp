@@ -35,7 +35,7 @@ struct Fixture {
 };
 
 /// Liar vector for a group: its actual bad members lie on reads.
-std::vector<std::uint8_t> liars_of(const core::Group& grp,
+std::vector<std::uint8_t> liars_of(const core::GroupView& grp,
                                    const core::Population& pool) {
   std::vector<std::uint8_t> liar(grp.size(), 0);
   for (std::size_t i = 0; i < grp.members.size(); ++i) {

@@ -6,7 +6,10 @@ Schema (version 1):
     "bench": "<name>",          # non-empty string
     "schema": 1,
     "meta": {"<key>": "<str>"}, # optional run-environment annotations
-                                # (e.g. hash_kernel, lanes)
+                                # (e.g. hash_kernel, lanes); values are
+                                # strings, or finite non-negative numbers
+                                # for resource annotations such as
+                                # peak_rss_bytes
     "metrics": [                # non-empty list
       {"name": "<row>", <numeric or null fields>...},
       ...
@@ -50,8 +53,24 @@ def validate(path, min_scenario_cells):
         if not isinstance(meta, dict):
             return fail(path, "'meta' is not an object")
         for key, value in meta.items():
-            if not isinstance(key, str) or not isinstance(value, str):
-                return fail(path, f"meta.{key!r} must map string -> string")
+            if not isinstance(key, str):
+                return fail(path, f"meta key {key!r} must be a string")
+            if isinstance(value, str):
+                continue
+            # Numeric meta values carry resource annotations (e.g.
+            # peak_rss_bytes): finite and non-negative, like metric
+            # fields.
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if isinstance(value, float) and (math.isnan(value)
+                                                 or math.isinf(value)):
+                    return fail(path, f"meta.{key} is {value!r}, expected "
+                                "a finite number")
+                if value < 0:
+                    return fail(path, f"meta.{key} is {value!r}, expected "
+                                "a non-negative number")
+                continue
+            return fail(path, f"meta.{key!r} must map string -> string "
+                        "or number")
     metrics = doc.get("metrics")
     if not isinstance(metrics, list) or not metrics:
         return fail(path, "'metrics' missing, not a list, or empty")
