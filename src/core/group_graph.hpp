@@ -82,8 +82,16 @@ class GroupGraph {
   /// Read-only projection of group i (bounds-checked, either layout).
   [[nodiscard]] GroupView group(std::size_t i) const {
     check_index(i);
-    return layout_ == GroupLayout::soa ? table_.view(GroupId{i})
-                                       : GroupView(groups_[i]);
+    GroupView v = layout_ == GroupLayout::soa ? table_.view(GroupId{i})
+                                              : GroupView(groups_[i]);
+    // Test-only seam: detail::set_layout_divergence_fault breaks the
+    // layout-equivalence contract on purpose so the property harness
+    // can prove it catches, shrinks and replays a real divergence.
+    if (i == 0 && layout_ == GroupLayout::soa &&
+        detail::layout_divergence_fault()) {
+      ++v.bad_members;
+    }
+    return v;
   }
 
   /// Member-index span of group i (bounds-checked, either layout).

@@ -7,6 +7,7 @@ namespace tg::core {
 
 namespace {
 std::atomic<GroupLayout> g_default_layout{GroupLayout::soa};
+std::atomic<bool> g_layout_divergence_fault{false};
 }  // namespace
 
 GroupLayout default_group_layout() noexcept {
@@ -16,6 +17,22 @@ GroupLayout default_group_layout() noexcept {
 void set_default_group_layout(GroupLayout layout) noexcept {
   g_default_layout.store(layout, std::memory_order_relaxed);
 }
+
+const char* group_layout_name(GroupLayout layout) noexcept {
+  return layout == GroupLayout::soa ? "soa" : "legacy_aos";
+}
+
+namespace detail {
+
+void set_layout_divergence_fault(bool on) noexcept {
+  g_layout_divergence_fault.store(on, std::memory_order_relaxed);
+}
+
+bool layout_divergence_fault() noexcept {
+  return g_layout_divergence_fault.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 void GroupTable::reserve(std::size_t groups, std::size_t member_capacity) {
   slab_.reserve(member_capacity);

@@ -79,6 +79,19 @@ enum class GroupLayout : std::uint8_t {
 /// Process-wide toggle; graphs built afterwards adopt the new layout.
 /// Existing graphs keep the layout they were built with.
 void set_default_group_layout(GroupLayout layout) noexcept;
+/// Introspection for seam-sweep reports: "soa" / "legacy_aos".
+[[nodiscard]] const char* group_layout_name(GroupLayout layout) noexcept;
+
+namespace detail {
+/// TEST-ONLY fault injection: while enabled, `GroupGraph::group(0)`
+/// misreports `bad_members` (+1) under the SoA layout, deliberately
+/// breaking the layout-equivalence contract.  Exists so the property
+/// harness's catch -> shrink -> replay loop can be exercised end to
+/// end against a real divergence (tests/test_proptest.cpp); never
+/// enabled outside tests.
+void set_layout_divergence_fault(bool on) noexcept;
+[[nodiscard]] bool layout_divergence_fault() noexcept;
+}  // namespace detail
 
 class GroupTable {
  public:

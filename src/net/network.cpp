@@ -191,4 +191,16 @@ std::size_t Network::run_until_quiescent(std::size_t max_rounds) {
   return rounds;
 }
 
+const char* Network::toggles_name() const noexcept {
+  return storage_toggles_name(recycle_buffers_, pool_payloads_);
+}
+
+const char* storage_toggles_name(bool recycle_buffers,
+                                 bool pool_payloads) noexcept {
+  if (recycle_buffers && pool_payloads) return "recycle+pool";
+  if (recycle_buffers) return "recycle";
+  if (pool_payloads) return "pool";
+  return "legacy";
+}
+
 }  // namespace tg::net

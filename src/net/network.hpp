@@ -131,6 +131,10 @@ class Network {
     return arena_;
   }
 
+  /// Names this network's storage-toggle combination (see
+  /// storage_toggles_name below).
+  [[nodiscard]] const char* toggles_name() const noexcept;
+
  private:
   /// Route every message out of `outbox` (delivery policy, mailbox
   /// push or delay scheduling), then clear it with capacity kept.
@@ -161,5 +165,11 @@ class Network {
   std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV offset
   bool started_ = false;
 };
+
+/// Names a (buffer-recycling, payload-pooling) combination —
+/// "recycle+pool", "recycle", "pool" or "legacy" — for seam-sweep
+/// failure reports (tg::proptest) and bench metadata.
+[[nodiscard]] const char* storage_toggles_name(bool recycle_buffers,
+                                               bool pool_payloads) noexcept;
 
 }  // namespace tg::net

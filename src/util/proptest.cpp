@@ -1,0 +1,260 @@
+// Non-template machinery of tg::proptest: environment contract,
+// greedy tape shrinking, report assembly, failing-seed artifacts.
+#include "util/proptest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+namespace tg::proptest::detail {
+namespace {
+
+/// Strict (length, lexicographic) well-order on tapes: every accepted
+/// shrink step strictly decreases it, so shrinking terminates even
+/// without the eval budget.
+bool tape_less(const std::vector<std::uint64_t>& a,
+               const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Replay serves zeros past the end of the tape, so a tape with
+/// trailing zeros is replay-equivalent to its stripped form; keeping
+/// every tape canonical (no trailing zeros) lets the well-order treat
+/// them as the same case and makes minimal tapes as short as possible.
+void canonicalize(std::vector<std::uint64_t>& tape) {
+  while (!tape.empty() && tape.back() == 0) tape.pop_back();
+}
+
+const char* test_binary_name() {
+#if defined(__GLIBC__)
+  if (program_invocation_short_name && *program_invocation_short_name) {
+    return program_invocation_short_name;
+  }
+#endif
+  return "<test-binary>";
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string sanitized(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t default_seed(std::string_view name) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return mix64(h) | 1;  // never 0 (0 means "derive" in Options)
+}
+
+std::optional<std::uint64_t> env_seed() {
+  const char* raw = std::getenv("TG_PROP_SEED");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(raw, &end, 0);
+  if (end == raw || (end != nullptr && *end != '\0')) return std::nullopt;
+  return value;
+}
+
+std::size_t scaled_iters(std::size_t base) {
+  const char* raw = std::getenv("TG_PROP_ITERS");
+  if (raw == nullptr || *raw == '\0') return std::max<std::size_t>(base, 1);
+  char* end = nullptr;
+  const double mult = std::strtod(raw, &end);
+  if (end == raw || mult <= 0.0) return std::max<std::size_t>(base, 1);
+  const double scaled = static_cast<double>(base) * mult;
+  return std::max<std::size_t>(static_cast<std::size_t>(scaled), 1);
+}
+
+std::vector<std::uint64_t> shrink_tape(
+    std::vector<std::uint64_t> best,
+    const std::function<std::optional<std::vector<std::uint64_t>>(
+        std::span<const std::uint64_t>)>& failing_consumed,
+    std::size_t max_evals, std::size_t* steps_out, std::size_t* evals_out) {
+  std::size_t evals = 0, steps = 0;
+  canonicalize(best);
+
+  // Evaluate a candidate; commit it (via its own consumed tape, which
+  // may be shorter than the candidate) when it still fails AND is
+  // strictly smaller than the current best.
+  const auto attempt = [&](std::span<const std::uint64_t> cand) -> bool {
+    if (evals >= max_evals) return false;
+    ++evals;
+    auto consumed = failing_consumed(cand);
+    if (!consumed) return false;
+    canonicalize(*consumed);
+    if (!tape_less(*consumed, best)) return false;
+    best = std::move(*consumed);
+    ++steps;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && evals < max_evals) {
+    improved = false;
+
+    // Pass 1 — chunk deletions, large chunks first, scanning from the
+    // tail (suffix words usually feed the least-significant structure).
+    for (const std::size_t chunk : {std::size_t{8}, std::size_t{4},
+                                    std::size_t{2}, std::size_t{1}}) {
+      bool deleted = true;
+      while (deleted && best.size() >= chunk && evals < max_evals) {
+        deleted = false;
+        for (std::size_t start = best.size() - chunk + 1; start-- > 0;) {
+          std::vector<std::uint64_t> cand;
+          cand.reserve(best.size() - chunk);
+          cand.insert(cand.end(), best.begin(),
+                      best.begin() + static_cast<std::ptrdiff_t>(start));
+          cand.insert(cand.end(),
+                      best.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                      best.end());
+          if (attempt(cand)) {
+            deleted = true;
+            improved = true;
+            break;  // best changed; restart the scan against it
+          }
+        }
+      }
+    }
+
+    // Pass 2 — per-word minimization, tail first (later words carry
+    // the least-significant structure, and minimizing them first keeps
+    // earlier structural words — lengths, flags — intact): try 0, then
+    // 1, then bisect to the exact smallest failing value.  The
+    // bisection only trusts candidates whose consumed tape equals the
+    // candidate verbatim (same generation structure); a structural
+    // change mid-search is committed as a plain shrink step instead.
+    std::size_t i = best.size();
+    while (i-- > 0 && evals < max_evals) {
+      if (i >= best.size()) {  // an earlier commit shortened the tape
+        i = best.size();
+        continue;
+      }
+      if (best[i] == 0) continue;
+      {
+        std::vector<std::uint64_t> cand = best;
+        cand[i] = 0;
+        if (attempt(cand)) {
+          improved = true;
+          continue;
+        }
+      }
+      if (best[i] > 1) {
+        std::vector<std::uint64_t> cand = best;
+        cand[i] = 1;
+        if (attempt(cand)) {
+          improved = true;
+          continue;
+        }
+      }
+      if (best[i] <= 1) continue;  // 0 passed and 1 is the value itself
+      // 0 and 1 pass; find the smallest failing value in (1, best[i]].
+      std::uint64_t lo = 1, hi = best[i];
+      bool structural_commit = false;
+      while (hi - lo > 1 && evals < max_evals) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        std::vector<std::uint64_t> probe = best;
+        probe[i] = mid;
+        ++evals;
+        auto consumed = failing_consumed(probe);
+        if (consumed) canonicalize(*consumed);
+        if (consumed && *consumed == probe) {
+          hi = mid;  // still fails, same structure: keep descending
+        } else if (consumed && tape_less(*consumed, best)) {
+          best = std::move(*consumed);
+          ++steps;
+          improved = true;
+          structural_commit = true;
+          break;
+        } else {
+          lo = mid;  // passes (or grew): smallest failing is above mid
+        }
+      }
+      if (!structural_commit && hi < best[i]) {
+        best[i] = hi;
+        ++steps;
+        improved = true;
+      }
+    }
+  }
+
+  if (steps_out != nullptr) *steps_out = steps;
+  if (evals_out != nullptr) *evals_out = evals;
+  return best;
+}
+
+std::string format_tape(std::span<const std::uint64_t> tape) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    if (i != 0) out << ',';
+    out << hex64(tape[i]);
+  }
+  return out.str();
+}
+
+std::string repro_command(std::uint64_t case_seed) {
+  std::ostringstream out;
+  out << "TG_PROP_SEED=" << hex64(case_seed) << " TG_PROP_ITERS=1 ctest -R '^"
+      << test_binary_name() << "$' --output-on-failure";
+  return out.str();
+}
+
+std::string build_report(const Failure& failure) {
+  // Deliberately excludes run_seed/iteration (and any timing or host
+  // detail): everything here is a pure function of the case seed, so
+  // a TG_PROP_SEED replay regenerates this block byte-for-byte.
+  std::ostringstream out;
+  out << "[tg::proptest] FAILED property '" << failure.property << "'\n"
+      << "  case_seed    = " << hex64(failure.case_seed) << "\n"
+      << "  shrink       = " << failure.shrink_steps << " steps, "
+      << failure.shrink_evals << " evals, minimal tape "
+      << failure.minimal_tape.size() << " words\n"
+      << "  minimal tape = [" << format_tape(failure.minimal_tape) << "]\n"
+      << "  minimal case = " << failure.minimal_show << "\n"
+      << "  repro        : " << failure.repro << "\n";
+  return out.str();
+}
+
+std::string write_seed_file(const Failure& failure) {
+  namespace fs = std::filesystem;
+  const char* env_dir = std::getenv("TG_PROP_ARTIFACT_DIR");
+  const fs::path dir = (env_dir != nullptr && *env_dir != '\0') ? env_dir : ".";
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; open() below decides
+  const fs::path path = dir / (sanitized(failure.property) + ".propseed");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << "# tg::proptest failing-seed artifact\n"
+      << "property: " << failure.property << "\n"
+      << "case_seed: " << hex64(failure.case_seed) << "\n"
+      << "repro: " << failure.repro << "\n"
+      << "minimal_tape: [" << format_tape(failure.minimal_tape) << "]\n"
+      << "minimal_case: " << failure.minimal_show << "\n";
+  out.close();
+  return out.fail() ? std::string{} : path.string();
+}
+
+}  // namespace tg::proptest::detail

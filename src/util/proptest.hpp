@@ -1,0 +1,317 @@
+// tg::proptest — a small, dependency-free property-testing framework
+// with deterministic replay and greedy shrinking.
+//
+// Shape (rapidcheck-under-gtest inspired, see docs/ARCHITECTURE.md
+// "Property testing & replay"): a property is a predicate over values
+// drawn from a seeded `Gen<T>`.  Generation pulls 64-bit words from a
+// `Source`, which RECORDS every word it hands out (the "choice tape").
+// A failing case is therefore fully described by its tape, and the
+// shrinker works on the tape alone: it deletes chunks and bisects
+// individual words toward zero, re-running the property on each
+// candidate, until no strictly-smaller failing tape remains.  Because
+// generators map smaller words to smaller values (`below` is a
+// modulus, ranges are offsets), a minimal tape is a minimal case.
+//
+// Determinism contract:
+//   * A case is a pure function of its 64-bit case seed.
+//   * Shrinking is a pure function of the failing tape, so the whole
+//     failure report — minimal case included — is a pure function of
+//     the case seed.  Re-running with `TG_PROP_SEED=<case_seed>`
+//     reproduces the report byte-for-byte on any machine.
+//
+// Environment overrides (read per check() call, never cached):
+//   TG_PROP_SEED  = <u64, decimal or 0x-hex>: run exactly ONE case
+//                   with this seed (the replay path; the printed repro
+//                   line uses it).
+//   TG_PROP_ITERS = <double>: multiply every property's base iteration
+//                   count (nightly CI sets 50, PR smoke pins 1).
+//   TG_PROP_ARTIFACT_DIR = <dir>: where failing-seed files are
+//                   written (created if absent; default: cwd).
+//
+// This header is gtest-free so the library can host it; the gtest
+// glue (`expect_property`) lives in tests/proptest_gtest.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::proptest {
+
+/// The choice stream generators draw from.  Record mode (seeded) draws
+/// fresh words from an Rng; replay mode serves a fixed tape, handing
+/// out zeros once the tape is exhausted (so shrunk/truncated tapes
+/// always regenerate SOME value).  Either way every word handed out is
+/// appended to `consumed()`, which is the canonical tape of the case.
+class Source {
+ public:
+  explicit Source(std::uint64_t seed) : rng_(seed) {}
+  explicit Source(std::span<const std::uint64_t> tape)
+      : replaying_(true), replay_(tape.begin(), tape.end()) {}
+
+  std::uint64_t draw() {
+    std::uint64_t v;
+    if (replaying_) {
+      v = next_ < replay_.size() ? replay_[next_] : 0;
+      ++next_;
+    } else {
+      v = rng_.u64();
+    }
+    consumed_.push_back(v);
+    return v;
+  }
+
+  /// Uniform in [0, bound); 0 when bound == 0.  A modulus, not a
+  /// debiased draw: shrinking a tape word toward zero must shrink the
+  /// generated value toward zero (the bias is irrelevant for testing).
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : draw() % bound;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& consumed() const noexcept {
+    return consumed_;
+  }
+
+ private:
+  Rng rng_{0};
+  bool replaying_ = false;
+  std::vector<std::uint64_t> replay_;
+  std::size_t next_ = 0;
+  std::vector<std::uint64_t> consumed_;
+};
+
+/// A generator: a reusable recipe turning a Source into a T.
+template <typename T>
+struct Gen {
+  std::function<T(Source&)> run;
+
+  template <typename F>
+  [[nodiscard]] auto map(F f) const -> Gen<std::invoke_result_t<F, T>> {
+    return {[g = run, f = std::move(f)](Source& src) { return f(g(src)); }};
+  }
+};
+
+// ---- Primitive generators -------------------------------------------------
+
+[[nodiscard]] inline Gen<std::uint64_t> u64() {
+  return {[](Source& src) { return src.draw(); }};
+}
+
+/// Uniform in [0, bound).  Shrinks toward 0.
+[[nodiscard]] inline Gen<std::uint64_t> below(std::uint64_t bound) {
+  return {[bound](Source& src) { return src.below(bound); }};
+}
+
+/// Uniform in [lo, hi] inclusive.  Shrinks toward lo.
+[[nodiscard]] inline Gen<std::uint64_t> in_range(std::uint64_t lo,
+                                                 std::uint64_t hi) {
+  return {[lo, hi](Source& src) { return lo + src.below(hi - lo + 1); }};
+}
+
+/// Shrinks toward false.
+[[nodiscard]] inline Gen<bool> boolean() {
+  return {[](Source& src) { return src.below(2) != 0; }};
+}
+
+/// Uniform in [0, 1).  Shrinks toward 0.
+[[nodiscard]] inline Gen<double> unit_real() {
+  return {[](Source& src) {
+    return static_cast<double>(src.draw() >> 11) * 0x1.0p-53;
+  }};
+}
+
+template <typename T>
+[[nodiscard]] Gen<T> constant(T value) {
+  return {[value = std::move(value)](Source&) { return value; }};
+}
+
+/// Picks from a fixed pool; shrinks toward the FIRST element, so list
+/// the most default-ish / smallest option first.
+template <typename T>
+[[nodiscard]] Gen<T> element_of(std::vector<T> pool) {
+  return {[pool = std::move(pool)](Source& src) {
+    return pool[static_cast<std::size_t>(src.below(pool.size()))];
+  }};
+}
+
+/// Length in [min_len, max_len], encoded as a continue-flag word
+/// before each optional element (~75% continue, so lengths are
+/// geometric-ish).  This encoding is what makes vectors shrink well:
+/// deleting a (flag, element) word pair from the tape removes exactly
+/// one element, and zeroing a flag truncates the tail — both plain
+/// tape transforms.  Shrinks toward min_len and element-wise toward
+/// each item's minimum.
+template <typename T>
+[[nodiscard]] Gen<std::vector<T>> vector_of(Gen<T> item, std::size_t min_len,
+                                            std::size_t max_len) {
+  return {[item = std::move(item), min_len, max_len](Source& src) {
+    std::vector<T> out;
+    out.reserve(min_len);
+    for (std::size_t i = 0; i < min_len; ++i) out.push_back(item.run(src));
+    while (out.size() < max_len && src.below(4) != 0) {
+      out.push_back(item.run(src));
+    }
+    return out;
+  }};
+}
+
+/// Component generators run left to right (Ts must be default-
+/// constructible).
+template <typename... Ts>
+[[nodiscard]] Gen<std::tuple<Ts...>> tuple_of(Gen<Ts>... gens) {
+  return {[gs = std::make_tuple(std::move(gens)...)](Source& src) {
+    std::tuple<Ts...> out;
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((std::get<I>(out) = std::get<I>(gs).run(src)), ...);
+    }(std::index_sequence_for<Ts...>{});
+    return out;
+  }};
+}
+
+template <typename A, typename B>
+[[nodiscard]] Gen<std::pair<A, B>> pair_of(Gen<A> a, Gen<B> b) {
+  return {[a = std::move(a), b = std::move(b)](Source& src) {
+    std::pair<A, B> out;
+    out.first = a.run(src);
+    out.second = b.run(src);
+    return out;
+  }};
+}
+
+// ---- Checking -------------------------------------------------------------
+
+struct Options {
+  /// Base iteration count; scaled by the TG_PROP_ITERS multiplier.
+  /// Size it to the property's cost: hundreds for arithmetic-cheap
+  /// properties, single digits for whole-world builds.
+  std::size_t iters = 100;
+  /// 0 = derive the run seed from the property name (stable across
+  /// runs and machines, distinct across properties).
+  std::uint64_t seed = 0;
+  /// Budget of property re-evaluations the shrinker may spend.
+  std::size_t max_shrink_evals = 4096;
+  /// Write a failing-seed artifact file on failure (see
+  /// TG_PROP_ARTIFACT_DIR); tests of the harness itself turn this off.
+  bool write_seed_file = true;
+};
+
+struct Failure {
+  std::string property;
+  std::uint64_t run_seed = 0;
+  std::uint64_t case_seed = 0;     ///< seed reproducing this failure
+  std::size_t iteration = 0;       ///< which case of the sweep failed
+  std::size_t shrink_steps = 0;    ///< accepted shrink transformations
+  std::size_t shrink_evals = 0;    ///< property re-evaluations spent
+  std::vector<std::uint64_t> minimal_tape;
+  std::string minimal_show;        ///< printer output for minimal case
+  std::string repro;               ///< one-line reproduction command
+  std::string report;              ///< deterministic multi-line report
+  std::string seed_file;           ///< artifact path ("" if not written)
+};
+
+namespace detail {
+
+/// FNV-1a of the property name mixed through SplitMix64 — the default
+/// run seed, stable across processes.
+[[nodiscard]] std::uint64_t default_seed(std::string_view name) noexcept;
+
+/// TG_PROP_SEED, if set and parseable (decimal or 0x-hex).
+[[nodiscard]] std::optional<std::uint64_t> env_seed();
+
+/// Base count scaled by TG_PROP_ITERS (floor 1 case).
+[[nodiscard]] std::size_t scaled_iters(std::size_t base);
+
+/// Greedy tape shrinker.  `failing_consumed` re-runs the property on a
+/// candidate tape and returns the candidate's CONSUMED tape when the
+/// property still fails (nullopt when it passes).  Deterministic:
+/// pure function of (initial, property).
+[[nodiscard]] std::vector<std::uint64_t> shrink_tape(
+    std::vector<std::uint64_t> initial,
+    const std::function<std::optional<std::vector<std::uint64_t>>(
+        std::span<const std::uint64_t>)>& failing_consumed,
+    std::size_t max_evals, std::size_t* steps_out, std::size_t* evals_out);
+
+[[nodiscard]] std::string format_tape(std::span<const std::uint64_t> tape);
+[[nodiscard]] std::string repro_command(std::uint64_t case_seed);
+/// Assembles Failure::report from the deterministic fields (everything
+/// except run_seed / iteration, which differ under TG_PROP_SEED
+/// replay and would break byte-identical reproduction).
+[[nodiscard]] std::string build_report(const Failure& failure);
+/// Writes the failing-seed artifact; returns its path ("" on error).
+[[nodiscard]] std::string write_seed_file(const Failure& failure);
+
+}  // namespace detail
+
+/// Runs `prop` over `iters` cases drawn from `gen`; returns the first
+/// failure, shrunk to a minimal tape, or nullopt when every case
+/// passes.  A property that throws counts as failing.  `show` renders
+/// the minimal case for the report (optional but recommended).
+template <typename T>
+[[nodiscard]] std::optional<Failure> check(
+    std::string_view name, const Gen<T>& gen,
+    const std::function<bool(const T&)>& prop, Options opt = {},
+    const std::function<std::string(const T&)>& show = {}) {
+  const std::uint64_t run_seed =
+      opt.seed != 0 ? opt.seed : detail::default_seed(name);
+  const auto safe_prop = [&prop](const T& value) -> bool {
+    try {
+      return prop(value);
+    } catch (...) {
+      return false;
+    }
+  };
+
+  const auto run_case = [&](std::uint64_t case_seed,
+                            std::size_t iteration) -> std::optional<Failure> {
+    Source src(case_seed);
+    const T value = gen.run(src);
+    if (safe_prop(value)) return std::nullopt;
+
+    const auto eval = [&](std::span<const std::uint64_t> tape)
+        -> std::optional<std::vector<std::uint64_t>> {
+      Source replay(tape);
+      const T candidate = gen.run(replay);
+      if (safe_prop(candidate)) return std::nullopt;
+      return replay.consumed();
+    };
+
+    Failure f;
+    f.property = std::string(name);
+    f.run_seed = run_seed;
+    f.case_seed = case_seed;
+    f.iteration = iteration;
+    f.minimal_tape = detail::shrink_tape(src.consumed(), eval,
+                                         opt.max_shrink_evals,
+                                         &f.shrink_steps, &f.shrink_evals);
+    {
+      Source replay(std::span<const std::uint64_t>(f.minimal_tape));
+      const T minimal = gen.run(replay);
+      f.minimal_show =
+          show ? show(minimal) : std::string("(no show fn; see tape)");
+    }
+    f.repro = detail::repro_command(f.case_seed);
+    f.report = detail::build_report(f);
+    if (opt.write_seed_file) f.seed_file = detail::write_seed_file(f);
+    return f;
+  };
+
+  if (const auto forced = detail::env_seed()) return run_case(*forced, 0);
+
+  std::uint64_t state = run_seed;
+  const std::size_t iters = detail::scaled_iters(opt.iters);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t case_seed = splitmix64(state);
+    if (auto failure = run_case(case_seed, i)) return failure;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tg::proptest

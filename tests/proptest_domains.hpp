@@ -1,0 +1,189 @@
+// Domain generators for the tinygroups property harness: the
+// dispatch-seam cross-product (layout x pooling x recycling x
+// hash-kernel x thread-count), churn sequences, adversary schedules,
+// and workload/payload shapes.  Every generator shrinks toward the
+// system's DEFAULT configuration (zero tape = soa + pooled + recycled
+// + every kernel tier enabled + 1 thread), so a minimal failing case
+// names the smallest deviation from the default that still fails.
+//
+// Test-side on purpose: the generators reach into scenario/workload
+// specs and the dispatch seams (dispatch_seams.hpp), which the
+// library-side framework header must not depend on.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/group_table.hpp"
+#include "dispatch_seams.hpp"
+#include "net/network.hpp"
+#include "scenario/scenario.hpp"
+#include "util/proptest.hpp"
+
+namespace tg::proptest_domains {
+
+using proptest::Gen;
+using proptest::Source;
+
+// ---- Dispatch-seam cross-product -----------------------------------------
+
+/// One point of the toggle cross-product the determinism contracts
+/// must be invisible across.
+struct SeamConfig {
+  core::GroupLayout layout = core::GroupLayout::soa;
+  bool recycle_buffers = true;
+  bool pool_payloads = true;
+  int kernel_combo = 15;   ///< dispatch_seams bit combo (15 = all tiers)
+  std::size_t threads = 1;
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream out;
+    out << "layout=" << core::group_layout_name(layout)
+        << " storage=" << net::storage_toggles_name(recycle_buffers,
+                                                    pool_payloads)
+        << " kernels=" << kernel_combo << " threads=" << threads;
+    return out.str();
+  }
+};
+
+[[nodiscard]] inline Gen<SeamConfig> seam_config(std::size_t max_threads = 8) {
+  return {[max_threads](Source& src) {
+    SeamConfig c;
+    c.layout = src.below(2) == 0 ? core::GroupLayout::soa
+                                 : core::GroupLayout::legacy_aos;
+    c.recycle_buffers = src.below(2) == 0;
+    c.pool_payloads = src.below(2) == 0;
+    c.kernel_combo = 15 - static_cast<int>(src.below(16));
+    c.threads = 1 + src.below(max_threads);
+    return c;
+  }};
+}
+
+/// Applies a SeamConfig's process-wide toggles (layout default and
+/// forced hash-kernel dispatch) for the current scope and restores the
+/// previous state on exit.  Per-run toggles (pooling, recycling,
+/// threads) are carried in the config for callers to apply to their
+/// workload/network specs.
+struct SeamScope {
+  core::GroupLayout saved_layout = core::default_group_layout();
+  crypto::seams::DispatchGuard dispatch;  // restores kernel seams
+
+  explicit SeamScope(const SeamConfig& c) {
+    core::set_default_group_layout(c.layout);
+    crypto::detail::set_shani_enabled((c.kernel_combo & 1) != 0);
+    crypto::detail::set_sse2_enabled((c.kernel_combo & 2) != 0);
+    crypto::detail::set_avx2_enabled((c.kernel_combo & 4) != 0);
+    crypto::detail::set_avx512_enabled((c.kernel_combo & 8) != 0);
+  }
+  ~SeamScope() { core::set_default_group_layout(saved_layout); }
+
+  SeamScope(const SeamScope&) = delete;
+  SeamScope& operator=(const SeamScope&) = delete;
+};
+
+// ---- Churn sequences ------------------------------------------------------
+
+/// One churn event: a good-ID departure wave plus the salt seeding its
+/// departure stream.  Fractions are quantized to 5% notches so the
+/// shrinker walks discrete, meaningful steps.
+struct ChurnStep {
+  double departure_fraction = 0.0;
+  std::uint64_t salt = 0;
+};
+
+[[nodiscard]] inline Gen<std::vector<ChurnStep>> churn_sequence(
+    std::size_t max_steps) {
+  Gen<ChurnStep> step{[](Source& src) {
+    ChurnStep s;
+    s.departure_fraction = 0.05 * static_cast<double>(src.below(11));
+    s.salt = src.draw();
+    return s;
+  }};
+  return proptest::vector_of(std::move(step), 0, max_steps);
+}
+
+[[nodiscard]] inline std::string show_churn(
+    const std::vector<ChurnStep>& seq) {
+  std::ostringstream out;
+  out << "churn[" << seq.size() << "]{";
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << seq[i].departure_fraction << "@0x" << std::hex << seq[i].salt
+        << std::dec;
+  }
+  out << '}';
+  return out.str();
+}
+
+// ---- Adversary / topology schedules --------------------------------------
+
+/// Shrinks toward the first entry (omit_ids — the cheapest cell).
+[[nodiscard]] inline Gen<scenario::AdversaryKind> adversary_kind() {
+  return proptest::element_of(std::vector<scenario::AdversaryKind>{
+      scenario::AdversaryKind::omit_ids, scenario::AdversaryKind::flood,
+      scenario::AdversaryKind::eclipse, scenario::AdversaryKind::target_group,
+      scenario::AdversaryKind::precompute,
+      scenario::AdversaryKind::late_release});
+}
+
+[[nodiscard]] inline Gen<scenario::Topology> topology_kind() {
+  return proptest::element_of(std::vector<scenario::Topology>{
+      scenario::Topology::tinygroups, scenario::Topology::logn_groups,
+      scenario::Topology::cuckoo, scenario::Topology::commensal_cuckoo});
+}
+
+// ---- Workload / payload shapes -------------------------------------------
+
+/// A small-but-varied traffic cell spec: service x loop x rate x
+/// client population x window, over the traffic-capable adversaries.
+/// Sizes are bounded so one case stays test-cheap; nightly depth comes
+/// from iteration count, not case size.
+[[nodiscard]] inline Gen<scenario::ScenarioSpec> traffic_spec() {
+  return {[](Source& src) {
+    scenario::ScenarioSpec spec;
+    spec.topology = scenario::Topology::tinygroups;
+    const scenario::AdversaryKind kinds[] = {scenario::AdversaryKind::omit_ids,
+                                             scenario::AdversaryKind::flood,
+                                             scenario::AdversaryKind::eclipse};
+    spec.adversary = kinds[src.below(3)];
+    spec.n = 96 + 32 * src.below(4);
+    spec.beta = 0.02 * static_cast<double>(src.below(5));
+    spec.trials = 1 + src.below(2);
+    spec.seed = src.draw() | 1;
+    spec.churn = {1, 32};
+    spec.workload.service = src.below(2) == 0
+                                ? scenario::WorkloadAxis::Service::kv
+                                : scenario::WorkloadAxis::Service::lookup;
+    spec.workload.loop = src.below(2) == 0 ? scenario::WorkloadAxis::Loop::open
+                                           : scenario::WorkloadAxis::Loop::closed;
+    spec.workload.rate = 1.0 + static_cast<double>(src.below(3));
+    spec.workload.clients = 2 + src.below(3);
+    spec.workload.rounds = 32 + 16 * src.below(3);
+    spec.workload.timeout_rounds = 16;
+    return spec;
+  }};
+}
+
+[[nodiscard]] inline std::string show_spec(const scenario::ScenarioSpec& s) {
+  std::ostringstream out;
+  out << "spec{" << scenario::to_string(s.adversary) << '/'
+      << scenario::to_string(s.topology) << " n=" << s.n << " beta=" << s.beta
+      << " trials=" << s.trials << " seed=0x" << std::hex << s.seed << std::dec
+      << ' ' << scenario::to_string(s.workload.service) << '/'
+      << scenario::to_string(s.workload.loop) << " rate=" << s.workload.rate
+      << " clients=" << s.workload.clients << " rounds=" << s.workload.rounds
+      << '}';
+  return out.str();
+}
+
+/// Payload word vectors sized to straddle the Words SBO boundary
+/// (6 inline words), so both the inline and the spilled representation
+/// appear in every sweep.
+[[nodiscard]] inline Gen<std::vector<std::uint64_t>> payload_words(
+    std::size_t max_len = 12) {
+  return proptest::vector_of(proptest::u64(), 0, max_len);
+}
+
+}  // namespace tg::proptest_domains

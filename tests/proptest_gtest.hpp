@@ -1,0 +1,31 @@
+// gtest glue for tg::proptest: run a property inside a TEST body and
+// turn a shrunk failure (report + one-line repro command) into the
+// gtest failure message.  Kept test-side so src/util stays gtest-free.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "util/proptest.hpp"
+
+namespace tg::proptest {
+
+/// EXPECTs that `prop` holds for every generated case.  On failure the
+/// deterministic report — minimal tape, minimal case, and the
+/// `TG_PROP_SEED=... ctest -R ...` repro line — becomes the failure
+/// message, and a .propseed artifact is written (TG_PROP_ARTIFACT_DIR).
+template <typename T, typename Prop>
+void expect_property(std::string_view name, const Gen<T>& gen, Prop&& prop,
+                     Options opt = {},
+                     const std::function<std::string(const T&)>& show = {}) {
+  const auto failure = check<T>(
+      name, gen, std::function<bool(const T&)>(std::forward<Prop>(prop)), opt,
+      show);
+  if (failure.has_value()) {
+    ADD_FAILURE() << failure->report
+                  << (failure->seed_file.empty()
+                          ? std::string{}
+                          : "  seed file    : " + failure->seed_file + "\n");
+  }
+}
+
+}  // namespace tg::proptest

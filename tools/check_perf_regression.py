@@ -49,13 +49,30 @@ import sys
 
 
 def load_doc(path):
+    """Parse one BENCH_*.json; exit with a clear message (never a bare
+    traceback) on an unreadable, truncated, or wrong-shape file — a
+    half-written artifact from a killed bench run must read as "bad
+    input", not as a script bug."""
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         sys.exit(f"cannot read bench file {path}: {error}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench file {path} is unreadable or truncated: expected "
+                 f"a JSON object at the top level, got "
+                 f"{type(doc).__name__}")
+    metrics = doc.get("metrics", [])
+    if not isinstance(metrics, list):
+        sys.exit(f"bench file {path} is unreadable or truncated: "
+                 f"\"metrics\" must be a list, got "
+                 f"{type(metrics).__name__}")
     rows = {}
-    for row in doc.get("metrics", []):
+    for i, row in enumerate(metrics):
+        if not isinstance(row, dict):
+            sys.exit(f"bench file {path} is unreadable or truncated: "
+                     f"metrics[{i}] must be an object, got "
+                     f"{type(row).__name__}")
         name = row.get("name")
         if isinstance(name, str):
             rows[name] = row
