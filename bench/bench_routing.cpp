@@ -1,0 +1,271 @@
+// bench_routing — the routing engine's perf trajectory
+// (BENCH_routing.json).
+//
+// Measures every overlay's single-route and batched route evaluation
+// along the routing engine's dispatch seam:
+//
+//   route_<overlay>_n<N>                indexed path (epoch-resident
+//                                       RoutingIndex; the default)
+//   route_<overlay>_n<N>_seed_baseline  legacy path (per-hop binary
+//                                       searches; kept selectable via
+//                                       set_routing_index_enabled)
+//   route_many_<overlay>_n<N>           batch evaluation (route_many:
+//                                       seam + index resolved once)
+//   speedup_route_<overlay>             indexed-vs-legacy ratio at the
+//                                       largest measured n — the rows
+//                                       CI's regression guard watches
+//
+// Before ANY number is reported for an overlay, the two paths are
+// asserted hop-identical over a probe sweep — the index is an
+// acceleration structure, not a new algorithm, and a divergence aborts
+// the bench.  Steady-state indexed routing into warm caller-owned
+// scratch is additionally asserted to perform ZERO heap allocations,
+// via this binary's global operator new/delete counters (the same
+// steady-state discipline bench_net_roundloop pins on the payload
+// arena).
+//
+//   bench_routing [--fast] [--out DIR]
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tinygroups/tinygroups.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counters.  Every operator new variant funnels into
+// one relaxed atomic; the steady-state assertion snapshots it around a
+// measured routing pass.  malloc/free keep the actual storage so the
+// overrides stay trivially correct.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace tg;
+
+constexpr std::size_t kProbeRoutes = 200;   // equivalence sweep per overlay
+constexpr std::size_t kQueryPool = 256;     // cycled by the timed loops
+
+/// Hop-for-hop equivalence sweep; throws on the first divergence.
+void assert_paths_identical(const overlay::InputGraph& graph,
+                            std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < kProbeRoutes; ++i) {
+    const std::size_t start = rng.below(n);
+    const ids::RingPoint key{rng.u64()};
+    overlay::set_routing_index_enabled(false);
+    const overlay::Route legacy = graph.route(start, key);
+    overlay::set_routing_index_enabled(true);
+    const overlay::Route indexed = graph.route(start, key);
+    if (legacy.ok != indexed.ok || !(legacy.path == indexed.path)) {
+      throw std::logic_error(
+          std::string("indexed route diverged from legacy: ") +
+          std::string(graph.name()) + " n=" + std::to_string(n) +
+          " probe " + std::to_string(i));
+    }
+  }
+}
+
+std::vector<overlay::RouteQuery> make_queries(std::size_t n,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<overlay::RouteQuery> queries(kQueryPool);
+  for (auto& q : queries) {
+    q.start = rng.below(n);
+    q.key = ids::RingPoint{rng.u64()};
+  }
+  return queries;
+}
+
+/// ns per route over the query pool under the CURRENT dispatch seam,
+/// routing into one warm caller-owned scratch Route.
+double measure_route_ns(const overlay::InputGraph& graph,
+                        const std::vector<overlay::RouteQuery>& queries,
+                        double min_seconds) {
+  overlay::Route scratch;
+  return bench::measure_ns_per_op(
+      [&](std::size_t iters) {
+        for (std::size_t i = 0; i < iters; ++i) {
+          const auto& q = queries[i % queries.size()];
+          graph.route_into(scratch, q.start, q.key);
+          bench::do_not_optimize(scratch.path.empty() ? 0 : scratch.path.back());
+        }
+      },
+      min_seconds);
+}
+
+/// ns per route through route_many (seam + index resolved once per
+/// batch), reusing one warm output vector.
+double measure_batch_ns(const overlay::InputGraph& graph,
+                        const std::vector<overlay::RouteQuery>& queries,
+                        double min_seconds) {
+  std::vector<overlay::Route> out;
+  graph.route_many(queries, out);  // warm the scratch routes
+  return bench::measure_ns_per_op(
+      [&](std::size_t iters) {
+        // iters counts ROUTES; run whole batches to cover them.
+        const std::size_t batches =
+            (iters + queries.size() - 1) / queries.size();
+        for (std::size_t b = 0; b < batches; ++b) {
+          graph.route_many(queries, out);
+          bench::do_not_optimize(out.back().path.empty()
+                                     ? 0
+                                     : out.back().path.back());
+        }
+      },
+      min_seconds);
+}
+
+/// Steady-state allocation audit: after one warm pass over the pool,
+/// a second identical pass must not touch the heap at all.
+std::uint64_t steady_state_allocations(
+    const overlay::InputGraph& graph,
+    const std::vector<overlay::RouteQuery>& queries) {
+  overlay::Route scratch;
+  for (const auto& q : queries) graph.route_into(scratch, q.start, q.key);
+  const std::uint64_t before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  for (const auto& q : queries) graph.route_into(scratch, q.start, q.key);
+  bench::do_not_optimize(scratch.path.empty() ? 0 : scratch.path.back());
+  return g_heap_allocations.load(std::memory_order_relaxed) - before;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  log::set_level(log::Level::warn);
+  bool fast = false;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--fast] [--out DIR]\n";
+      return 2;
+    }
+  }
+
+  bench::banner(
+      "routing engine: epoch-resident index vs legacy per-hop searches",
+      "materialized finger rows + successor grid accelerate every overlay "
+      "with hop-identical routes and allocation-free steady state");
+
+  const std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{1'000, 10'000}
+           : std::vector<std::size_t>{1'000, 100'000};
+  const double min_seconds = fast ? 0.02 : 0.05;
+
+  bench::JsonReporter reporter("routing");
+  reporter.set_meta("hash_kernel", crypto::Sha256::kernel_name());
+  Table t({"overlay", "n", "legacy ns/route", "indexed ns/route", "speedup",
+           "batch ns/route", "steady allocs"});
+  t.set_title("route evaluation, indexed vs legacy");
+
+  const bool saved_seam = overlay::routing_index_enabled();
+  // Per-overlay speedup at the LARGEST measured n (the guard rows).
+  std::vector<double> final_speedup(overlay::all_kinds().size(), 0.0);
+
+  for (const std::size_t n : sizes) {
+    Rng rng(0xB07E5 + n);
+    const auto table = ids::RingTable::uniform(n, rng);
+    std::size_t kind_index = 0;
+    for (const overlay::Kind kind : overlay::all_kinds()) {
+      const auto graph = overlay::make_overlay(kind, table);
+      const std::string slug(overlay::kind_slug(kind));
+
+      assert_paths_identical(*graph, n, /*seed=*/0x51DE + n);
+
+      const auto queries = make_queries(n, /*seed=*/0xC0FFEE + n);
+      overlay::set_routing_index_enabled(false);
+      const double legacy_ns = measure_route_ns(*graph, queries, min_seconds);
+      overlay::set_routing_index_enabled(true);
+      (void)graph->index();  // build outside the timed window
+      const double indexed_ns = measure_route_ns(*graph, queries, min_seconds);
+      const double batch_ns = measure_batch_ns(*graph, queries, min_seconds);
+
+      const std::uint64_t steady = steady_state_allocations(*graph, queries);
+      if (steady != 0) {
+        throw std::logic_error(
+            "steady-state indexed routing touched the heap: " + slug +
+            " n=" + std::to_string(n) + " performed " +
+            std::to_string(steady) + " allocations");
+      }
+
+      const double speedup = legacy_ns / indexed_ns;
+      const bench::JsonReporter::Fields shape{
+          {"n", static_cast<double>(n)}};
+      const std::string row = "route_" + slug + "_n" + std::to_string(n);
+      reporter.add_ns_per_op(row, indexed_ns, shape);
+      reporter.add_ns_per_op(row + "_seed_baseline", legacy_ns, shape);
+      reporter.add_ns_per_op("route_many_" + slug + "_n" + std::to_string(n),
+                             batch_ns, shape);
+      if (n == sizes.back()) final_speedup[kind_index] = speedup;
+
+      t.add_row({slug, n, legacy_ns, indexed_ns, speedup, batch_ns, steady});
+      ++kind_index;
+    }
+  }
+
+  std::size_t kind_index = 0;
+  for (const overlay::Kind kind : overlay::all_kinds()) {
+    reporter.add("speedup_route_" + std::string(overlay::kind_slug(kind)),
+                 {{"speedup", final_speedup[kind_index]},
+                  {"identical_route", 1.0},
+                  {"n", static_cast<double>(sizes.back())}});
+    ++kind_index;
+  }
+
+  overlay::set_routing_index_enabled(saved_seam);
+  t.print(std::cout);
+  std::cout << "(hop-identical routes asserted over " << kProbeRoutes
+            << " probes per overlay x size before measurement; steady-state\n"
+               " indexed routing performed zero heap allocations.)\n";
+  return reporter.write(out_dir) ? 0 : 1;
+}

@@ -32,7 +32,7 @@ namespace {
 using namespace tg;
 
 struct BenchConfig {
-  std::size_t n = 1024;
+  std::size_t n = 4096;
   std::size_t trials = 6;
   std::size_t rounds = 192;
   std::size_t perf_rounds = 256;
@@ -110,8 +110,12 @@ void append_service_rows(bench::JsonReporter& out, const BenchConfig& config) {
 }
 
 /// One engine run for the perf pair: benign kv open-loop traffic at a
-/// spill-sized payload, with the storage toggles under test.
-workload::RunResult perf_run(const BenchConfig& config, bool pooled) {
+/// spill-sized payload, with the storage toggles AND the routing
+/// dispatch seam under test — the optimized side routes requests
+/// through the epoch-resident index, the seed side through the legacy
+/// per-hop binary searches (hop-identical, so traffic stays
+/// byte-identical either way).
+workload::RunResult perf_run(const BenchConfig& config, bool optimized) {
   scenario::ScenarioSpec spec = cell_spec(
       config, scenario::WorkloadAxis::Service::kv,
       scenario::WorkloadAxis::Loop::open, /*with_adversary=*/false);
@@ -124,9 +128,14 @@ workload::RunResult perf_run(const BenchConfig& config, bool pooled) {
                               rng());
   workload::Spec engine = workload::engine_spec(spec, false);
   engine.padding_words = 8;  // every request/reply spills
-  engine.recycle_buffers = pooled;
-  engine.pool_payloads = pooled;
-  return workload::run(service, engine, rng(), /*threads=*/1);
+  engine.recycle_buffers = optimized;
+  engine.pool_payloads = optimized;
+  const bool saved_routing = overlay::routing_index_enabled();
+  overlay::set_routing_index_enabled(optimized);
+  workload::RunResult result = workload::run(service, engine, rng(),
+                                             /*threads=*/1);
+  overlay::set_routing_index_enabled(saved_routing);
+  return result;
 }
 
 void append_perf_pair(bench::JsonReporter& out, const BenchConfig& config) {

@@ -163,6 +163,13 @@ void GroupGraph::assign_members(std::size_t i, const std::uint32_t* data,
   }
 }
 
+std::size_t GroupGraph::compact_storage() {
+  if (layout_ != GroupLayout::soa) return 0;
+  const std::size_t live = table_.member_count();
+  if (table_.slab_size() <= live + live / 4) return 0;
+  return table_.compact();
+}
+
 void GroupGraph::set_bad_members(std::size_t i, std::size_t n) {
   check_index(i);
   if (layout_ == GroupLayout::soa) {

@@ -117,6 +117,11 @@ class GroupGraph {
   void truncate_members(std::size_t i, std::size_t new_size);
   void assign_members(std::size_t i, const std::uint32_t* data,
                       std::size_t count);
+  /// Reclaim slab gaps left by assign_members relocations when the
+  /// dead fraction exceeds ~1/4 of the live membership (no-op below
+  /// the threshold, and under the legacy layout, which has no slab).
+  /// Invalidates outstanding member spans.  Returns bytes reclaimed.
+  std::size_t compact_storage();
   void set_bad_members(std::size_t i, std::size_t n);
   void set_corrupted_slots(std::size_t i, std::size_t n);
   void set_rejected_slots(std::size_t i, std::size_t n);

@@ -132,6 +132,34 @@ void GroupTable::assign_members(GroupId g, const std::uint32_t* data,
   length_[i] = static_cast<std::uint32_t>(count);
 }
 
+std::size_t GroupTable::compact() {
+  const std::size_t before = slab_.size();
+  // Visit spans in slab order so every move slides left onto ground
+  // already read (write cursor never passes an unvisited offset);
+  // a single forward pass then suffices, no scratch slab.
+  std::vector<std::uint32_t> order(size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return offset_[a] < offset_[b];
+            });
+  std::size_t write = 0;
+  for (const std::uint32_t g : order) {
+    const std::size_t len = length_[g];
+    const auto src = static_cast<std::ptrdiff_t>(offset_[g]);
+    if (static_cast<std::size_t>(src) != write) {
+      std::copy(slab_.begin() + src, slab_.begin() + src + len,
+                slab_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    offset_[g] = write;
+    capacity_[g] = static_cast<std::uint32_t>(len);
+    write += len;
+  }
+  slab_.resize(write);
+  slab_.shrink_to_fit();
+  return (before - write) * sizeof(std::uint32_t);
+}
+
 void GroupTable::classify_red(const Params& p,
                               std::vector<std::uint8_t>& out) const {
   out.assign(size(), 0);

@@ -171,9 +171,17 @@ class GroupTable {
   void truncate_members(GroupId g, std::size_t new_size) noexcept;
   /// Replace a group's membership.  Reuses the span in place when the
   /// new set fits its capacity; otherwise the span relocates to the
-  /// slab tail (the old range becomes a dead gap — self-heal rebuilds
-  /// are rare enough that compaction is not worth the shuffle).
+  /// slab tail (the old range becomes a dead gap, reclaimable by
+  /// compact()).
   void assign_members(GroupId g, const std::uint32_t* data, std::size_t count);
+
+  /// Slide every live span left over the dead gaps assign_members and
+  /// finish_group's dedup leave behind, restoring slab_size() ==
+  /// member_count().  Span CONTENTS are untouched (views read
+  /// byte-identically before and after); span ADDRESSES move, so any
+  /// outstanding MemberSpan / mutable span is invalidated.  Returns
+  /// the number of slab bytes reclaimed.
+  std::size_t compact();
 
   // ---- Cache-linear column scans ----------------------------------------
 

@@ -92,6 +92,11 @@ HealReport self_heal_round(GroupGraph& graph, const GroupGraph& partner,
     }
   }
 
+  // Rebuilds relocate grown groups to the slab tail; once the dead
+  // gaps outweigh the threshold, slide the live spans back together so
+  // repeated churn/heal cycles cannot grow the epoch unboundedly.
+  if (report.rebuilds > 0) (void)graph.compact_storage();
+
   report.red_after = graph.red_fraction();
   return report;
 }

@@ -92,11 +92,15 @@ void RingTable::insert(RingPoint x) {
   const auto it = std::lower_bound(points_.begin(), points_.end(), x);
   if (it != points_.end() && *it == x) return;
   points_.insert(it, x);
+  ++version_;
 }
 
 void RingTable::erase(RingPoint x) {
   const auto it = std::lower_bound(points_.begin(), points_.end(), x);
-  if (it != points_.end() && *it == x) points_.erase(it);
+  if (it != points_.end() && *it == x) {
+    points_.erase(it);
+    ++version_;
+  }
 }
 
 double RingTable::estimate_ln_n(std::size_t i) const {

@@ -60,6 +60,11 @@ class RingTable {
   void insert(RingPoint x);
   void erase(RingPoint x);
 
+  /// Mutation counter: bumped by every successful insert/erase.  Epoch
+  /// caches keyed on the table (overlay::RoutingIndex) compare this to
+  /// detect staleness instead of re-deriving the whole point set.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
   /// The paper's decentralized size estimator (Section III-A "How is
   /// ln ln n estimated?"): from the distance between an ID and its
   /// successor, ln(1/d) = Theta(ln n) w.h.p.  Returns the estimate of
@@ -68,6 +73,7 @@ class RingTable {
 
  private:
   std::vector<RingPoint> points_;  // sorted ascending by raw value
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace tg::ids

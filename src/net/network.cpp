@@ -145,9 +145,9 @@ std::size_t Network::run_round() {
   const std::function<void(std::size_t)> process = [&](std::size_t i) {
     Context ctx(static_cast<NodeId>(i), round_, std::move(outboxes[i]),
                 arena);
-    for (const Message& m : deliveries[i]) {
-      nodes_[i]->on_message(m, ctx);
-    }
+    nodes_[i]->on_messages(
+        std::span<const Message>(deliveries[i].data(), deliveries[i].size()),
+        ctx);
     nodes_[i]->on_round_end(ctx);
     outboxes[i] = std::move(ctx.outbox());
   };

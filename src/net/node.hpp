@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "net/message.hpp"
@@ -76,6 +77,16 @@ class Node {
 
   /// Called for each delivered message.
   virtual void on_message(const Message& m, Context& ctx) = 0;
+
+  /// Called once per round with the node's whole delivery batch, in
+  /// arrival order.  The default forwards to on_message one by one;
+  /// nodes that can amortize work across the batch (e.g. evaluating
+  /// all fresh route requests against the epoch index in one pass)
+  /// override this and MUST preserve per-message semantics and send
+  /// order, so traces stay byte-identical.
+  virtual void on_messages(std::span<const Message> batch, Context& ctx) {
+    for (const Message& m : batch) on_message(m, ctx);
+  }
 
   /// Called at the end of every round (timers, retransmits).
   virtual void on_round_end(Context& ctx) { (void)ctx; }

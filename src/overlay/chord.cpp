@@ -1,5 +1,7 @@
 #include "overlay/chord.hpp"
 
+#include "overlay/routing_index.hpp"
+
 namespace tg::overlay {
 
 ChordOverlay::ChordOverlay(const RingTable& table)
@@ -21,14 +23,25 @@ std::vector<RingPoint> ChordOverlay::link_targets(RingPoint x) const {
   return targets;
 }
 
-Route ChordOverlay::route(std::size_t start, RingPoint key) const {
-  Route r;
+void ChordOverlay::fill_index_row(const RoutingIndex& ix, std::size_t i,
+                                  std::uint32_t* row) const {
+  const RingPoint x = ix.point(i);
+  for (int f = 1; f <= finger_bits_; ++f) {
+    row[f - 1] = static_cast<std::uint32_t>(
+        ix.successor_index(x.advanced(1ULL << (64 - f))));
+  }
+  row[finger_bits_] =
+      static_cast<std::uint32_t>(ix.successor_index(x.advanced(1)));
+}
+
+void ChordOverlay::route_legacy(Route& r, std::size_t start,
+                                RingPoint key) const {
   const std::size_t target = table_->successor_index(key);
   std::size_t cur = start;
   r.path.push_back(cur);
   const std::size_t cap = hop_cap();
   while (cur != target) {
-    if (r.path.size() > cap) return r;  // ok stays false
+    if (r.path.size() > cap) return;  // ok stays false
     const RingPoint cur_pt = table_->at(cur);
     const std::uint64_t dist_to_key = cur_pt.cw_distance_to(key);
     // Closest preceding finger: neighbor with the largest clockwise
@@ -50,7 +63,36 @@ Route ChordOverlay::route(std::size_t start, RingPoint key) const {
     r.path.push_back(cur);
   }
   r.ok = true;
-  return r;
+}
+
+void ChordOverlay::route_indexed(const RoutingIndex& ix, Route& r,
+                                 std::size_t start, RingPoint key) const {
+  const std::size_t target = ix.successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+  const std::size_t cap = hop_cap();
+  while (cur != target) {
+    if (r.path.size() > cap) return;
+    const RingPoint cur_pt = ix.point(cur);
+    const std::uint64_t dist_to_key = cur_pt.cw_distance_to(key);
+    // The same greedy scan, but every candidate is a row load: the row
+    // holds the pre-resolved results of the legacy path's binary
+    // searches, so `best` comes out identical hop for hop.
+    const std::uint32_t* row = ix.row(cur);
+    std::size_t best = row[finger_bits_];
+    std::uint64_t best_advance = 0;
+    for (int i = 0; i < finger_bits_; ++i) {
+      const std::size_t nb = row[i];
+      const std::uint64_t advance = cur_pt.cw_distance_to(ix.point(nb));
+      if (advance > best_advance && advance <= dist_to_key) {
+        best_advance = advance;
+        best = nb;
+      }
+    }
+    cur = best;
+    r.path.push_back(cur);
+  }
+  r.ok = true;
 }
 
 }  // namespace tg::overlay

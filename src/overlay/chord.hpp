@@ -21,8 +21,20 @@ class ChordOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
+ protected:
   /// Greedy closest-preceding-finger routing; O(log N) hops w.h.p.
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  /// Same greedy loop over the node's pre-resolved finger row.
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
+
+  /// Row layout: [finger 1 .. finger finger_bits_, immediate successor].
+  [[nodiscard]] std::size_t index_row_width() const noexcept override {
+    return static_cast<std::size_t>(finger_bits_) + 1;
+  }
+  void fill_index_row(const RoutingIndex& ix, std::size_t i,
+                      std::uint32_t* row) const override;
 
  private:
   int finger_bits_;

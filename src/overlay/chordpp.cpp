@@ -1,5 +1,6 @@
 #include "overlay/chordpp.hpp"
 
+#include "overlay/routing_index.hpp"
 #include "util/rng.hpp"
 
 namespace tg::overlay {
@@ -27,14 +28,25 @@ std::vector<RingPoint> ChordPPOverlay::link_targets(RingPoint x) const {
   return targets;
 }
 
-Route ChordPPOverlay::route(std::size_t start, RingPoint key) const {
-  Route r;
+void ChordPPOverlay::fill_index_row(const RoutingIndex& ix, std::size_t i,
+                                    std::uint32_t* row) const {
+  const RingPoint x = ix.point(i);
+  for (int f = 1; f <= finger_bits_; ++f) {
+    row[f - 1] = static_cast<std::uint32_t>(
+        ix.successor_index(x.advanced(finger_offset(x, f))));
+  }
+  row[finger_bits_] =
+      static_cast<std::uint32_t>(ix.successor_index(x.advanced(1)));
+}
+
+void ChordPPOverlay::route_legacy(Route& r, std::size_t start,
+                                  RingPoint key) const {
   const std::size_t target = table_->successor_index(key);
   std::size_t cur = start;
   r.path.push_back(cur);
   const std::size_t cap = hop_cap();
   while (cur != target) {
-    if (r.path.size() > cap) return r;
+    if (r.path.size() > cap) return;
     const RingPoint cur_pt = table_->at(cur);
     const std::uint64_t dist_to_key = cur_pt.cw_distance_to(key);
     // Greedy closest-preceding finger, exactly as Chord, but over the
@@ -54,7 +66,35 @@ Route ChordPPOverlay::route(std::size_t start, RingPoint key) const {
     r.path.push_back(cur);
   }
   r.ok = true;
-  return r;
+}
+
+void ChordPPOverlay::route_indexed(const RoutingIndex& ix, Route& r,
+                                   std::size_t start, RingPoint key) const {
+  const std::size_t target = ix.successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+  const std::size_t cap = hop_cap();
+  while (cur != target) {
+    if (r.path.size() > cap) return;
+    const RingPoint cur_pt = ix.point(cur);
+    const std::uint64_t dist_to_key = cur_pt.cw_distance_to(key);
+    // Row scan replaces both the mix64 offset derivation and the
+    // binary search per finger; values match the legacy lookups.
+    const std::uint32_t* row = ix.row(cur);
+    std::size_t best = row[finger_bits_];
+    std::uint64_t best_advance = 0;
+    for (int i = 0; i < finger_bits_; ++i) {
+      const std::size_t nb = row[i];
+      const std::uint64_t advance = cur_pt.cw_distance_to(ix.point(nb));
+      if (advance > best_advance && advance <= dist_to_key) {
+        best_advance = advance;
+        best = nb;
+      }
+    }
+    cur = best;
+    r.path.push_back(cur);
+  }
+  r.ok = true;
 }
 
 }  // namespace tg::overlay

@@ -28,11 +28,23 @@ class ChordPPOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
-
   /// The perturbed finger offset for (x, level i): uniform in
   /// [2^-i, 2^-i+1) as a 64-bit ring distance.
   [[nodiscard]] std::uint64_t finger_offset(RingPoint x, int i) const noexcept;
+
+ protected:
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
+
+  /// Row layout: [perturbed finger 1 .. finger_bits_, successor] —
+  /// same shape as Chord, different targets.
+  [[nodiscard]] std::size_t index_row_width() const noexcept override {
+    return static_cast<std::size_t>(finger_bits_) + 1;
+  }
+  void fill_index_row(const RoutingIndex& ix, std::size_t i,
+                      std::uint32_t* row) const override;
 
  private:
   int finger_bits_;

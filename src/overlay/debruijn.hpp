@@ -26,7 +26,15 @@ class DeBruijnOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
+ protected:
+  // Both paths run the same imaginary-point loop, parameterized only
+  // by the successor resolver (table binary search vs index grid), so
+  // hop identity holds by construction.  Hop targets depend on route
+  // state — no per-node row to pre-resolve (width 0).
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
 
  private:
   int route_bits_;  ///< ceil(log2 m) + slack bits injected per route

@@ -32,7 +32,13 @@ class DistanceHalvingOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
+ protected:
+  // Walker-halving hop targets depend on route state — both paths run
+  // one shared loop over a successor resolver (width-0 index).
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
 
  private:
   [[nodiscard]] Arc segment_of(RingPoint x) const;

@@ -2,18 +2,132 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+
+#include "overlay/routing_index.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tg::overlay {
+
+void RoutePath::grow() {
+  const std::size_t new_capacity = capacity_ * 2;
+  auto* fresh = new value_type[new_capacity];
+  std::memcpy(fresh, data_, size_ * sizeof(value_type));
+  if (data_ != inline_) delete[] data_;
+  data_ = fresh;
+  capacity_ = new_capacity;
+}
+
+void RoutePath::append(const value_type* src, std::size_t count) {
+  while (capacity_ < size_ + count) grow();
+  std::memcpy(data_ + size_, src, count * sizeof(value_type));
+  size_ += count;
+}
+
+InputGraph::InputGraph(const RingTable& table) : table_(&table) {}
+
+InputGraph::~InputGraph() = default;
+
+Route InputGraph::route(std::size_t start, RingPoint key) const {
+  Route r;
+  route_into(r, start, key);
+  return r;
+}
+
+void InputGraph::route_into(Route& out, std::size_t start,
+                            RingPoint key) const {
+  out.reset();
+  if (routing_index_enabled()) {
+    route_indexed(index(), out, start, key);
+  } else {
+    route_legacy(out, start, key);
+  }
+}
+
+void InputGraph::route_many(const RouteQuery* queries, std::size_t count,
+                            Route* out) const {
+  if (count == 0) return;
+  if (routing_index_enabled()) {
+    const RoutingIndex& ix = index();  // resolved once for the batch
+    for (std::size_t q = 0; q < count; ++q) {
+      out[q].reset();
+      route_indexed(ix, out[q], queries[q].start, queries[q].key);
+    }
+  } else {
+    for (std::size_t q = 0; q < count; ++q) {
+      out[q].reset();
+      route_legacy(out[q], queries[q].start, queries[q].key);
+    }
+  }
+}
+
+void InputGraph::route_many(const std::vector<RouteQuery>& queries,
+                            std::vector<Route>& out) const {
+  if (out.size() < queries.size()) out.resize(queries.size());
+  route_many(queries.data(), queries.size(), out.data());
+}
+
+const RoutingIndex& InputGraph::index() const {
+  const RoutingIndex* cached = index_ptr_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->table_version() == table_->version()) {
+    return *cached;
+  }
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_ == nullptr || index_->table_version() != table_->version()) {
+    auto fresh = std::make_unique<RoutingIndex>(*table_, index_row_width());
+    if (fresh->row_width() > 0) {
+      // Row fill dominates build time (one lookup cascade per node);
+      // fan it out across the global pool.  Reentrant calls from pool
+      // workers degrade to an inline sequential fill, which is still
+      // correct — warm the index from the main thread to avoid it.
+      RoutingIndex& ix = *fresh;
+      tg::ThreadPool::global().parallel_for(
+          ix.size(), [this, &ix](std::size_t i) {
+            fill_index_row(ix, i, ix.mutable_row(i));
+          });
+    }
+    index_ = std::move(fresh);
+    index_ptr_.store(index_.get(), std::memory_order_release);
+  }
+  return *index_;
+}
+
+void InputGraph::fill_index_row(const RoutingIndex&, std::size_t,
+                                std::uint32_t*) const {}
+
+void InputGraph::ring_walk(Route& out, std::size_t cur,
+                           std::size_t target) const {
+  const std::size_t m = table_->size();
+  const std::size_t cap = hop_cap();
+  while (cur != target) {
+    if (out.path.size() > cap) return;  // ok stays false
+    const std::uint64_t cw =
+        table_->at(cur).cw_distance_to(table_->at(target));
+    if (cw <= ids::kHalfRing) {
+      cur = (cur + 1) % m;
+    } else {
+      cur = (cur + m - 1) % m;
+    }
+    out.path.push_back(cur);
+  }
+  out.ok = true;
+}
 
 std::vector<std::size_t> InputGraph::neighbors(std::size_t i) const {
   std::vector<std::size_t> out;
   const RingPoint x = table_->at(i);
   for (const RingPoint target : link_targets(x)) {
-    const std::size_t idx = table_->successor_index(target);
-    if (idx != i) out.push_back(idx);
+    out.push_back(table_->successor_index(target));
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Drop i itself, but never down to an empty set: on a single-node
+  // table every link resolves back to i and the node is its own
+  // neighbor by convention.
+  if (out.size() > 1) {
+    const auto self = std::lower_bound(out.begin(), out.end(), i);
+    if (self != out.end() && *self == i) out.erase(self);
+  }
   return out;
 }
 

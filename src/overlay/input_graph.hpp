@@ -10,11 +10,25 @@
 // The paper stresses H provides NO security by itself — it is a
 // topology template that the group-graph construction hardens.  All
 // implementations here are bound to a RingTable of IDs owned by the
-// caller; they are stateless routing/linking oracles over that table.
+// caller; they are stateless routing/linking oracles over that table
+// (the lazily built RoutingIndex cache is a pure function of the
+// table, so the oracles stay logically stateless).
+//
+// Routing runs through one of two dispatch paths, selected by the
+// process-wide set_routing_index_enabled seam and asserted
+// hop-identical by tests:
+//   * INDEXED (default) — against the epoch-resident RoutingIndex
+//     (successor grid + pre-resolved finger rows; routing_index.hpp),
+//   * LEGACY — the seed implementation, re-deriving every hop with
+//     binary searches over the table.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -26,21 +40,133 @@ using ids::Arc;
 using ids::RingPoint;
 using ids::RingTable;
 
+class RoutingIndex;
+
+/// The traversed node indices of one route, small-buffer optimized:
+/// routes are O(log N) hops, so the inline capacity absorbs virtually
+/// every real path and steady-state routing into a reused Route
+/// performs zero heap allocations (clear() keeps the spill block,
+/// mirroring net::Words).  Node indices are uint32 — the table index
+/// space is bounded well below 2^32 (10^6-node epochs are the roadmap
+/// ceiling).
+class RoutePath {
+ public:
+  using value_type = std::uint32_t;
+  /// Inline hop capacity: covers the O(log N) routes of every overlay
+  /// at every simulated scale (a 1e6-node Chord route is ~20 hops).
+  static constexpr std::size_t kInlineHops = 28;
+
+  RoutePath() noexcept = default;
+  ~RoutePath() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  RoutePath(const RoutePath& other) { append(other.data_, other.size_); }
+  RoutePath& operator=(const RoutePath& other) {
+    if (this != &other) {
+      size_ = 0;  // keep capacity; assignment into scratch stays warm
+      append(other.data_, other.size_);
+    }
+    return *this;
+  }
+  RoutePath(RoutePath&& other) noexcept { steal(other); }
+  RoutePath& operator=(RoutePath&& other) noexcept {
+    if (this != &other) {
+      if (data_ != inline_) delete[] data_;
+      data_ = inline_;
+      capacity_ = kInlineHops;
+      steal(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] value_type operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] value_type& operator[](std::size_t i) noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] value_type front() const noexcept { return data_[0]; }
+  [[nodiscard]] value_type back() const noexcept { return data_[size_ - 1]; }
+
+  [[nodiscard]] const value_type* begin() const noexcept { return data_; }
+  [[nodiscard]] const value_type* end() const noexcept {
+    return data_ + size_;
+  }
+  [[nodiscard]] value_type* begin() noexcept { return data_; }
+  [[nodiscard]] value_type* end() noexcept { return data_ + size_; }
+
+  void push_back(value_type v) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = v;
+  }
+
+  /// Drop the contents, KEEP the storage (inline or spilled): the
+  /// scratch-reuse contract that makes steady-state routing
+  /// allocation-free.
+  void clear() noexcept { size_ = 0; }
+
+  friend bool operator==(const RoutePath& a, const RoutePath& b) noexcept {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data_, b.data_, a.size_ * sizeof(value_type)) == 0);
+  }
+
+ private:
+  void grow();
+  void append(const value_type* src, std::size_t count);
+  void steal(RoutePath& other) noexcept {
+    if (other.data_ == other.inline_) {
+      std::memcpy(inline_, other.inline_,
+                  other.size_ * sizeof(value_type));
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = kInlineHops;
+    }
+    other.size_ = 0;
+  }
+
+  value_type inline_[kInlineHops];
+  value_type* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = kInlineHops;
+};
+
 /// Outcome of routing toward a key: the sequence of traversed node
 /// indices (start first, responsible node last).
 struct Route {
-  std::vector<std::size_t> path;
+  RoutePath path;
   bool ok = false;
 
   [[nodiscard]] std::size_t hops() const noexcept {
     return path.empty() ? 0 : path.size() - 1;
   }
+
+  /// Ready the route for reuse as routing scratch (keeps capacity).
+  void reset() noexcept {
+    path.clear();
+    ok = false;
+  }
+};
+
+/// One (start, key) pair of a route_many batch.
+struct RouteQuery {
+  std::size_t start = 0;
+  RingPoint key;
 };
 
 class InputGraph {
  public:
-  explicit InputGraph(const RingTable& table) : table_(&table) {}
-  virtual ~InputGraph() = default;
+  explicit InputGraph(const RingTable& table);
+  virtual ~InputGraph();
 
   InputGraph(const InputGraph&) = delete;
   InputGraph& operator=(const InputGraph&) = delete;
@@ -54,12 +180,31 @@ class InputGraph {
 
   /// P1 search: route from the node at index `start` to the node
   /// responsible for `key` (its successor).  Deterministic given the
-  /// table; adversarial behaviour is layered on top by the group
-  /// graph, which truncates routes at the first red group.
-  [[nodiscard]] virtual Route route(std::size_t start, RingPoint key) const = 0;
+  /// table — and identical under both dispatch paths; adversarial
+  /// behaviour is layered on top by the group graph, which truncates
+  /// routes at the first red group.
+  [[nodiscard]] Route route(std::size_t start, RingPoint key) const;
+
+  /// route() into caller-owned scratch: the allocation-free form.  A
+  /// warm `out` (capacity from earlier routes) is reused verbatim.
+  void route_into(Route& out, std::size_t start, RingPoint key) const;
+
+  /// Batch evaluation: route every query, resolving the dispatch seam
+  /// and the index ONCE for the whole batch.  `out` entries are
+  /// reused as scratch (the vector is resized, never shrunk).
+  void route_many(const RouteQuery* queries, std::size_t count,
+                  Route* out) const;
+  void route_many(const std::vector<RouteQuery>& queries,
+                  std::vector<Route>& out) const;
+
+  /// The epoch-resident index for the table's CURRENT version, built
+  /// on first use (rows filled in parallel on ThreadPool::global())
+  /// and rebuilt lazily if the table mutates.  Thread-safe; callers
+  /// may warm it eagerly before a routing-heavy phase.
+  [[nodiscard]] const RoutingIndex& index() const;
 
   /// Neighbor indices of node i (deduplicated, excludes i itself
-  /// unless the table is tiny).
+  /// unless it is the only resolved neighbor — tiny tables).
   [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i) const;
 
   /// P3 verification: would u appear in S_w under the linking rule?
@@ -71,6 +216,32 @@ class InputGraph {
   [[nodiscard]] std::size_t size() const noexcept { return table_->size(); }
 
  protected:
+  /// The seed routing path: re-derives every hop with binary searches
+  /// over the table.  Kept verbatim per overlay so the bench's
+  /// "before" side stays measurable forever.
+  virtual void route_legacy(Route& out, std::size_t start,
+                            RingPoint key) const = 0;
+
+  /// The index-backed path.  MUST be hop-identical to route_legacy
+  /// for every input — the grid reproduces successor_index exactly
+  /// and the rows hold pre-resolved copies of the same lookups, so
+  /// implementations mirror the legacy hop loop step for step.
+  virtual void route_indexed(const RoutingIndex& ix, Route& out,
+                             std::size_t start, RingPoint key) const = 0;
+
+  /// Entries per pre-resolved finger row (0 = successor grid only).
+  [[nodiscard]] virtual std::size_t index_row_width() const noexcept {
+    return 0;
+  }
+  /// Fill node i's row (index_row_width() entries) through the grid.
+  virtual void fill_index_row(const RoutingIndex& ix, std::size_t i,
+                              std::uint32_t* row) const;
+
+  /// Shared correction tail: walk ring edges toward `target` along
+  /// the shorter arc (the constant-degree overlays all finish with
+  /// this).  Sets out.ok on arrival; leaves it false past the cap.
+  void ring_walk(Route& out, std::size_t cur, std::size_t target) const;
+
   /// Shared hop cap: any correct route is far shorter; exceeding it
   /// marks the route failed instead of looping.
   [[nodiscard]] std::size_t hop_cap() const noexcept {
@@ -78,6 +249,16 @@ class InputGraph {
   }
 
   const RingTable* table_;
+
+ private:
+  // Lazy per-table-version index cache.  The atomic pointer makes the
+  // warm path lock-free; the mutex serializes (re)builds.  Rebuild
+  // while other threads route concurrently is excluded by the same
+  // contract that protects the table itself: epochs do not mutate
+  // their RingTable while routing is in flight.
+  mutable std::mutex index_mutex_;
+  mutable std::unique_ptr<RoutingIndex> index_;
+  mutable std::atomic<const RoutingIndex*> index_ptr_{nullptr};
 };
 
 /// Number of bits needed so that 2^bits >= m (routing precision).

@@ -1,6 +1,9 @@
 #include "overlay/kautz.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "overlay/routing_index.hpp"
 
 namespace tg::overlay {
 namespace {
@@ -23,6 +26,36 @@ int third_symbol(int a, int b) noexcept {
     if (s != a && s != b) return s;
   }
   return 0;  // unreachable for a != b
+}
+
+/// digits_ = bits_for_size(m) + 2 <= 66, so fixed stack buffers cover
+/// every table size; the indexed route uses them to stay heap-free.
+constexpr int kMaxKautzDigits = 66;
+
+/// encode() into a caller-owned buffer — same math, no vector.
+void encode_into(RingPoint x, int digits, std::int8_t* out) noexcept {
+  const auto acc = static_cast<unsigned __int128>(x.raw()) * 3u;
+  out[0] = static_cast<std::int8_t>(acc >> 64);
+  std::uint64_t r = static_cast<std::uint64_t>(acc);
+  for (int i = 1; i < digits; ++i) {
+    const int bit = static_cast<int>(r >> 63);
+    r <<= 1;
+    out[i] = static_cast<std::int8_t>(
+        kAllowed[static_cast<std::size_t>(out[i - 1])]
+                [static_cast<std::size_t>(bit)]);
+  }
+}
+
+/// decode() from a caller-owned buffer — same math, no vector.
+RingPoint decode_span(const std::int8_t* s, int digits) noexcept {
+  std::uint64_t r = 0;
+  for (int i = digits - 1; i >= 1; --i) {
+    const auto bit = static_cast<std::uint64_t>(rank_after(s[i - 1], s[i]));
+    r = (r >> 1) | (bit << 63);
+  }
+  const auto acc =
+      (static_cast<unsigned __int128>(static_cast<unsigned>(s[0])) << 64) | r;
+  return RingPoint{static_cast<std::uint64_t>((acc + 2u) / 3u)};
 }
 
 }  // namespace
@@ -93,8 +126,8 @@ std::vector<RingPoint> KautzOverlay::link_targets(RingPoint x) const {
   return targets;
 }
 
-Route KautzOverlay::route(std::size_t start, RingPoint key) const {
-  Route r;
+void KautzOverlay::route_legacy(Route& r, std::size_t start,
+                                RingPoint key) const {
   const std::size_t target = table_->successor_index(key);
   std::size_t cur = start;
   r.path.push_back(cur);
@@ -128,7 +161,7 @@ Route KautzOverlay::route(std::size_t start, RingPoint key) const {
   const std::size_t cap = hop_cap();
   const std::size_t m = table_->size();
   while (cur != target) {
-    if (r.path.size() > cap) return r;
+    if (r.path.size() > cap) return;
     const RingPoint cur_pt = table_->at(cur);
     const RingPoint tgt_pt = table_->at(target);
     if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
@@ -139,7 +172,58 @@ Route KautzOverlay::route(std::size_t start, RingPoint key) const {
     r.path.push_back(cur);
   }
   r.ok = true;
-  return r;
+}
+
+void KautzOverlay::route_indexed(const RoutingIndex& ix, Route& r,
+                                 std::size_t start, RingPoint key) const {
+  const std::size_t target = ix.successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+
+  // The legacy walk verbatim — same symbols, same shifts, same decode
+  // — but over stack buffers, so no KautzString heap churn per hop.
+  std::int8_t virt[kMaxKautzDigits];
+  std::int8_t tgt[kMaxKautzDigits];
+  encode_into(ix.point(cur), digits_, virt);
+  encode_into(key, digits_, tgt);
+
+  std::int8_t inject[kMaxKautzDigits + 1];
+  int inject_len = 0;
+  if (tgt[0] == virt[digits_ - 1]) {
+    inject[inject_len++] =
+        static_cast<std::int8_t>(third_symbol(virt[digits_ - 1], tgt[0]));
+  }
+  std::memcpy(inject + inject_len, tgt,
+              static_cast<std::size_t>(digits_) * sizeof(std::int8_t));
+  inject_len += digits_;
+
+  for (int k = 0; k < inject_len; ++k) {
+    if (cur == target) break;
+    // kautz_shift in place: drop the first symbol, append inject[k].
+    std::memmove(virt, virt + 1,
+                 static_cast<std::size_t>(digits_ - 1) * sizeof(std::int8_t));
+    virt[digits_ - 1] = inject[k];
+    const std::size_t next = ix.successor_index(decode_span(virt, digits_));
+    if (next != cur) {
+      cur = next;
+      r.path.push_back(cur);
+    }
+  }
+
+  const std::size_t cap = hop_cap();
+  const std::size_t m = ix.size();
+  while (cur != target) {
+    if (r.path.size() > cap) return;
+    const RingPoint cur_pt = ix.point(cur);
+    const RingPoint tgt_pt = ix.point(target);
+    if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
+      cur = (cur + 1) % m;
+    } else {
+      cur = (cur + m - 1) % m;
+    }
+    r.path.push_back(cur);
+  }
+  r.ok = true;
 }
 
 }  // namespace tg::overlay

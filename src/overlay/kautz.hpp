@@ -34,8 +34,6 @@ class KautzOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
-
   /// Digitize a ring point to its Kautz cell (length `digits()`).
   [[nodiscard]] KautzString encode(RingPoint x) const;
   /// Left corner of the cell owned by a Kautz string; inverse of
@@ -43,6 +41,16 @@ class KautzOverlay final : public InputGraph {
   [[nodiscard]] RingPoint decode(const KautzString& s) const;
 
   [[nodiscard]] int digits() const noexcept { return digits_; }
+
+ protected:
+  /// The seed digit-injection walk over heap-allocated KautzStrings —
+  /// kept verbatim as the measurable "before" side of the bench.
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  /// Same walk, same symbols, over fixed stack buffers (digits_ is
+  /// bounded by 66) and the grid: zero heap allocations per route.
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
 
  private:
   int digits_;  ///< k: string length; grid pitch 1/(3*2^(k-1)) < 1/(4m)

@@ -43,4 +43,17 @@ std::string_view kind_name(Kind kind) noexcept {
   return "?";
 }
 
+std::string_view kind_slug(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::chord: return "chord";
+    case Kind::debruijn: return "debruijn";
+    case Kind::distance_halving: return "distance_halving";
+    case Kind::viceroy: return "viceroy";
+    case Kind::kautz: return "kautz";
+    case Kind::tapestry: return "tapestry";
+    case Kind::chordpp: return "chordpp";
+  }
+  return "unknown";
+}
+
 }  // namespace tg::overlay

@@ -23,6 +23,10 @@ enum class Kind {
 [[nodiscard]] std::unique_ptr<InputGraph> make_overlay(Kind kind,
                                                        const RingTable& table);
 [[nodiscard]] std::string_view kind_name(Kind kind) noexcept;
+/// Identifier-safe variant of kind_name ("chord++" -> "chordpp",
+/// "distance-halving" -> "distance_halving") for bench row names and
+/// file slugs.
+[[nodiscard]] std::string_view kind_slug(Kind kind) noexcept;
 [[nodiscard]] constexpr std::array<Kind, 7> all_kinds() noexcept {
   return {Kind::chord, Kind::debruijn, Kind::distance_halving, Kind::viceroy,
           Kind::kautz, Kind::tapestry, Kind::chordpp};

@@ -31,14 +31,20 @@ class TapestryOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
-
   /// Number of maintained prefix levels (~ log_16 N + 1).
   [[nodiscard]] int levels() const noexcept { return levels_; }
 
   /// Hex digits shared by the two points, reading from the top; at
   /// most 16 (64 bits / 4 bits per digit).
   [[nodiscard]] static int shared_digits(RingPoint a, RingPoint b) noexcept;
+
+ protected:
+  // Hop targets are prefix corners of the KEY, not per-node constants
+  // — grid-only acceleration (width 0), shared resolver loop.
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
 
  private:
   int levels_;

@@ -1,5 +1,6 @@
 #include "overlay/viceroy.hpp"
 
+#include "overlay/routing_index.hpp"
 #include "util/rng.hpp"
 
 namespace tg::overlay {
@@ -37,8 +38,19 @@ std::vector<RingPoint> ViceroyOverlay::link_targets(RingPoint x) const {
   return targets;
 }
 
-Route ViceroyOverlay::route(std::size_t start, RingPoint key) const {
-  Route r;
+void ViceroyOverlay::fill_index_row(const RoutingIndex& ix, std::size_t i,
+                                    std::uint32_t* row) const {
+  const RingPoint x = ix.point(i);
+  row[0] = static_cast<std::uint32_t>(
+      ix.successor_index(x.advanced(ids::kHalfRing)));
+  for (int level = 1; level <= levels_; ++level) {
+    row[level] = static_cast<std::uint32_t>(
+        ix.successor_index(x.advanced(1ULL << (64 - level))));
+  }
+}
+
+void ViceroyOverlay::route_legacy(Route& r, std::size_t start,
+                                  RingPoint key) const {
   const std::size_t target = table_->successor_index(key);
   std::size_t cur = start;
   r.path.push_back(cur);
@@ -51,7 +63,7 @@ Route ViceroyOverlay::route(std::size_t start, RingPoint key) const {
   // butterfly's greedy descent on the ring embedding.
   int level = 1;
   while (cur != target && level <= levels_) {
-    if (r.path.size() > cap) return r;
+    if (r.path.size() > cap) return;
     const RingPoint cur_pt = table_->at(cur);
     const std::uint64_t dist = cur_pt.cw_distance_to(key);
     // Down-left covers 2^-level of the ring; down-right covers 1/2.
@@ -75,7 +87,7 @@ Route ViceroyOverlay::route(std::size_t start, RingPoint key) const {
   // Final ring walk (shorter arc direction), as in the other O(1)
   // degree overlays.
   while (cur != target) {
-    if (r.path.size() > cap) return r;
+    if (r.path.size() > cap) return;
     const RingPoint cur_pt = table_->at(cur);
     const RingPoint tgt_pt = table_->at(target);
     if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
@@ -86,7 +98,52 @@ Route ViceroyOverlay::route(std::size_t start, RingPoint key) const {
     r.path.push_back(cur);
   }
   r.ok = true;
-  return r;
+}
+
+void ViceroyOverlay::route_indexed(const RoutingIndex& ix, Route& r,
+                                   std::size_t start, RingPoint key) const {
+  const std::size_t target = ix.successor_index(key);
+  std::size_t cur = start;
+  r.path.push_back(cur);
+  const std::size_t cap = hop_cap();
+  const std::size_t m = ix.size();
+
+  // Same descent; the down-right/down-left successor lookups come from
+  // the node's pre-resolved row instead of binary searches.
+  int level = 1;
+  while (cur != target && level <= levels_) {
+    if (r.path.size() > cap) return;
+    const RingPoint cur_pt = ix.point(cur);
+    const std::uint64_t dist = cur_pt.cw_distance_to(key);
+    const std::uint64_t down_left = 1ULL << (64 - level);
+    std::size_t next = cur;
+    if (dist >= ids::kHalfRing) {
+      next = ix.row(cur)[0];
+    } else if (dist >= down_left) {
+      next = ix.row(cur)[level];
+    } else {
+      ++level;
+      continue;
+    }
+    if (next != cur) {
+      cur = next;
+      r.path.push_back(cur);
+    } else {
+      ++level;
+    }
+  }
+  while (cur != target) {
+    if (r.path.size() > cap) return;
+    const RingPoint cur_pt = ix.point(cur);
+    const RingPoint tgt_pt = ix.point(target);
+    if (cur_pt.cw_distance_to(tgt_pt) <= tgt_pt.cw_distance_to(cur_pt)) {
+      cur = (cur + 1) % m;
+    } else {
+      cur = (cur + m - 1) % m;
+    }
+    r.path.push_back(cur);
+  }
+  r.ok = true;
 }
 
 }  // namespace tg::overlay

@@ -29,11 +29,23 @@ class ViceroyOverlay final : public InputGraph {
   [[nodiscard]] std::vector<RingPoint> link_targets(
       RingPoint x) const override;
 
-  [[nodiscard]] Route route(std::size_t start, RingPoint key) const override;
-
   /// The butterfly level of a node (1..levels()); deterministic hash.
   [[nodiscard]] int level_of(RingPoint x) const noexcept;
   [[nodiscard]] int levels() const noexcept { return levels_; }
+
+ protected:
+  void route_legacy(Route& out, std::size_t start,
+                    RingPoint key) const override;
+  void route_indexed(const RoutingIndex& ix, Route& out, std::size_t start,
+                     RingPoint key) const override;
+
+  /// Row layout: [down-right (half-ring), down-left per level 1..levels_]
+  /// — the butterfly descent candidates, pre-resolved per node.
+  [[nodiscard]] std::size_t index_row_width() const noexcept override {
+    return static_cast<std::size_t>(levels_) + 1;
+  }
+  void fill_index_row(const RoutingIndex& ix, std::size_t i,
+                      std::uint32_t* row) const override;
 
  private:
   int levels_;  ///< ~ log2 m butterfly levels

@@ -207,8 +207,12 @@ TransportOutcome transmit(const core::GroupGraph& graph,
 TransportOutcome transmit_to_key(const core::GroupGraph& graph,
                                  std::size_t start_leader, ids::RingPoint key,
                                  const TransportParams& params, Rng& rng) {
-  const overlay::Route route = graph.topology().route(start_leader, key);
-  return transmit(graph, route, params, rng);
+  // Thread-local scratch: transmit only reads the route, so reusing
+  // one warm Route per thread keeps the convenience wrapper off the
+  // heap in steady state.
+  thread_local overlay::Route scratch;
+  graph.topology().route_into(scratch, start_leader, key);
+  return transmit(graph, scratch, params, rng);
 }
 
 std::uint64_t certified_setup_messages(const core::GroupGraph& graph) {
@@ -230,14 +234,36 @@ ModeStats run_mode_experiment(const core::GroupGraph& graph,
   ModeStats stats;
   std::size_t delivered = 0, corrupted = 0;
   std::uint64_t messages = 0, hops = 0;
-  for (std::size_t i = 0; i < searches; ++i) {
-    const std::size_t start = rng.below(graph.size());
-    const ids::RingPoint key{rng.u64()};
-    const auto out = transmit_to_key(graph, start, key, params, rng);
+  const auto account = [&](const TransportOutcome& out) {
     delivered += out.delivered ? 1 : 0;
     corrupted += out.corrupted ? 1 : 0;
     messages += out.messages;
     hops += out.hops_completed;
+  };
+  if (params.mode == Mode::sampled) {
+    // Sampled transmission draws from the SAME rng as the (start, key)
+    // sampling, so the interleaving is part of the experiment's
+    // deterministic identity — keep the sequential loop.
+    for (std::size_t i = 0; i < searches; ++i) {
+      const std::size_t start = rng.below(graph.size());
+      const ids::RingPoint key{rng.u64()};
+      account(transmit_to_key(graph, start, key, params, rng));
+    }
+  } else {
+    // all_to_all/certified never touch the rng inside transmit, so
+    // pre-drawing every pair consumes the stream identically — which
+    // frees the route evaluation to run as one batch over the epoch
+    // index.
+    std::vector<overlay::RouteQuery> queries(searches);
+    for (auto& q : queries) {
+      q.start = rng.below(graph.size());
+      q.key = ids::RingPoint{rng.u64()};
+    }
+    std::vector<overlay::Route> routes;
+    graph.topology().route_many(queries, routes);
+    for (std::size_t i = 0; i < searches; ++i) {
+      account(transmit(graph, routes[i], params, rng));
+    }
   }
   const auto denom = static_cast<double>(searches);
   stats.success_rate = static_cast<double>(delivered) / denom;

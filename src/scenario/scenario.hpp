@@ -124,7 +124,7 @@ struct ScenarioSpec {
   Topology topology = Topology::tinygroups;
   ChurnSchedule churn;
   WorkloadAxis workload;
-  std::size_t n = 1024;
+  std::size_t n = 4096;
   double beta = 0.05;
   std::size_t trials = 8;
   std::uint64_t seed = 1;

@@ -34,6 +34,7 @@
 #include "overlay/kautz.hpp"
 #include "overlay/properties.hpp"
 #include "overlay/registry.hpp"
+#include "overlay/routing_index.hpp"
 #include "overlay/tapestry.hpp"
 #include "overlay/viceroy.hpp"
 

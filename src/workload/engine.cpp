@@ -69,6 +69,49 @@ class GroupNode final : public net::Node {
       : index_(index), service_(&service), padding_words_(padding_words) {}
 
   void on_message(const net::Message& m, net::Context& ctx) override {
+    handle(m, ctx, nullptr);
+  }
+
+  /// Batch hook: route every fresh request in the round's delivery
+  /// batch in ONE route_many pass over the epoch index, then replay
+  /// the messages in arrival order with their pre-computed routes.
+  /// Candidate detection is side-effect-free (red/responsible checks
+  /// only read immutable world state), so semantics, send order and
+  /// traces are byte-identical to the per-message path.
+  void on_messages(std::span<const net::Message> batch,
+                   net::Context& ctx) override {
+    const World& world = service_->world();
+    queries_.clear();
+    query_msg_.clear();
+    if (!world.is_red(index_)) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const net::Message& m = batch[i];
+        if (m.tag != kTagRequest || m.payload.size() < kReqHops) continue;
+        if (m.payload[kReqHopCount] != kFreshRequest) continue;
+        const ids::RingPoint key{m.payload[kReqKey]};
+        if (world.responsible(key) == index_) continue;
+        queries_.push_back(overlay::RouteQuery{index_, key});
+        query_msg_.push_back(i);
+      }
+    }
+    if (!queries_.empty()) {
+      if (routes_.size() < queries_.size()) routes_.resize(queries_.size());
+      world.route_many(queries_.data(), queries_.size(), routes_.data());
+    }
+    std::size_t next_q = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const overlay::Route* prerouted = nullptr;
+      if (next_q < query_msg_.size() && query_msg_[next_q] == i) {
+        prerouted = &routes_[next_q];
+        ++next_q;
+      }
+      handle(batch[i], ctx, prerouted);
+    }
+  }
+
+ private:
+  void handle(const net::Message& m, net::Context& ctx,
+              const overlay::Route* prerouted) {
     if (m.tag != kTagRequest || m.payload.size() < kReqHops) return;
     const World& world = service_->world();
     Operation op;
@@ -108,12 +151,16 @@ class GroupNode final : public net::Node {
     }
     std::size_t next;
     if (m.payload[kReqHopCount] == kFreshRequest) {
-      const overlay::Route route = world.route(index_, op.key);
-      if (!route.ok || route.path.size() < 2) return;  // routing dead end
-      next = route.path[1];
-      payload.push_back(route.path.size() - 2);
-      for (std::size_t i = 2; i < route.path.size(); ++i) {
-        payload.push_back(route.path[i]);
+      const overlay::Route* route = prerouted;
+      if (route == nullptr) {
+        world.route_into(route_scratch_, index_, op.key);
+        route = &route_scratch_;
+      }
+      if (!route->ok || route->path.size() < 2) return;  // routing dead end
+      next = route->path[1];
+      payload.push_back(route->path.size() - 2);
+      for (std::size_t i = 2; i < route->path.size(); ++i) {
+        payload.push_back(route->path[i]);
       }
     } else {
       const std::uint64_t remaining = m.payload[kReqHopCount];
@@ -131,6 +178,7 @@ class GroupNode final : public net::Node {
     ctx.send(static_cast<net::NodeId>(next), kTagRequest, std::move(payload));
   }
 
+ public:
   [[nodiscard]] std::uint64_t analytic_messages() const noexcept {
     return analytic_messages_;
   }
@@ -151,6 +199,12 @@ class GroupNode final : public net::Node {
   Service* service_;
   std::size_t padding_words_;
   std::uint64_t analytic_messages_ = 0;
+  // Routing scratch, reused round over round (handlers of one node
+  // never run concurrently): allocation-free steady-state forwarding.
+  overlay::Route route_scratch_;
+  std::vector<overlay::RouteQuery> queries_;
+  std::vector<std::size_t> query_msg_;
+  std::vector<overlay::Route> routes_;
 };
 
 /// Shared issuing machinery: op numbering, start-group selection
@@ -325,6 +379,10 @@ std::string_view to_string(Mode mode) noexcept {
 RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
               std::size_t threads) {
   const World& world = service.world();
+  // Warm the epoch routing index from the main thread (its row build
+  // parallelizes on the global pool) before handlers start routing —
+  // a pool worker hitting a cold index would build it inline.
+  world.prepare_routing();
   net::DeliveryPolicy policy;
   policy.drop_prob = spec.drop_prob;
   policy.max_delay_rounds = spec.max_delay_rounds;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "overlay/registry.hpp"
+#include "overlay/routing_index.hpp"
 
 namespace tg::workload {
 
@@ -68,8 +69,25 @@ std::size_t World::responsible(ids::RingPoint key) const {
 }
 
 overlay::Route World::route(std::size_t start, ids::RingPoint key) const {
-  return graph_ ? graph_->topology().route(start, key)
-                : topology_->route(start, key);
+  return topology().route(start, key);
+}
+
+void World::route_into(overlay::Route& out, std::size_t start,
+                       ids::RingPoint key) const {
+  topology().route_into(out, start, key);
+}
+
+void World::route_many(const overlay::RouteQuery* queries, std::size_t count,
+                       overlay::Route* out) const {
+  topology().route_many(queries, count, out);
+}
+
+const overlay::InputGraph& World::topology() const noexcept {
+  return graph_ ? graph_->topology() : *topology_;
+}
+
+void World::prepare_routing() const {
+  if (overlay::routing_index_enabled()) (void)topology().index();
 }
 
 std::uint64_t World::pair_messages(std::size_t a, std::size_t b) const noexcept {

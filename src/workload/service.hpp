@@ -54,6 +54,18 @@ class World {
   /// H route from `start` toward key's responsible group.
   [[nodiscard]] overlay::Route route(std::size_t start,
                                      ids::RingPoint key) const;
+  /// route() into caller-owned scratch (allocation-free steady state).
+  void route_into(overlay::Route& out, std::size_t start,
+                  ids::RingPoint key) const;
+  /// Batch evaluation over the overlay: the routing seam and the
+  /// epoch index resolve once for the whole batch.
+  void route_many(const overlay::RouteQuery* queries, std::size_t count,
+                  overlay::Route* out) const;
+  /// The overlay requests route over (graph or region topology).
+  [[nodiscard]] const overlay::InputGraph& topology() const noexcept;
+  /// Warm the overlay's RoutingIndex from the calling thread, so the
+  /// parallel row build is not forced inline on a pool worker later.
+  void prepare_routing() const;
   /// All-to-all exchange cost of one group-to-group hop.
   [[nodiscard]] std::uint64_t pair_messages(std::size_t a,
                                             std::size_t b) const noexcept;

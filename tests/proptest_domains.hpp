@@ -19,6 +19,7 @@
 #include "core/group_table.hpp"
 #include "dispatch_seams.hpp"
 #include "net/network.hpp"
+#include "overlay/routing_index.hpp"
 #include "scenario/scenario.hpp"
 #include "util/proptest.hpp"
 
@@ -35,6 +36,7 @@ struct SeamConfig {
   core::GroupLayout layout = core::GroupLayout::soa;
   bool recycle_buffers = true;
   bool pool_payloads = true;
+  bool routing_index = true;  ///< indexed vs legacy overlay routing
   int kernel_combo = 15;   ///< dispatch_seams bit combo (15 = all tiers)
   std::size_t threads = 1;
 
@@ -43,6 +45,7 @@ struct SeamConfig {
     out << "layout=" << core::group_layout_name(layout)
         << " storage=" << net::storage_toggles_name(recycle_buffers,
                                                     pool_payloads)
+        << " routing=" << overlay::routing_path_name(routing_index)
         << " kernels=" << kernel_combo << " threads=" << threads;
     return out.str();
   }
@@ -55,6 +58,7 @@ struct SeamConfig {
                                  : core::GroupLayout::legacy_aos;
     c.recycle_buffers = src.below(2) == 0;
     c.pool_payloads = src.below(2) == 0;
+    c.routing_index = src.below(2) == 0;  // zero tape = indexed default
     c.kernel_combo = 15 - static_cast<int>(src.below(16));
     c.threads = 1 + src.below(max_threads);
     return c;
@@ -68,16 +72,21 @@ struct SeamConfig {
 /// workload/network specs.
 struct SeamScope {
   core::GroupLayout saved_layout = core::default_group_layout();
+  bool saved_routing = overlay::routing_index_enabled();
   crypto::seams::DispatchGuard dispatch;  // restores kernel seams
 
   explicit SeamScope(const SeamConfig& c) {
     core::set_default_group_layout(c.layout);
+    overlay::set_routing_index_enabled(c.routing_index);
     crypto::detail::set_shani_enabled((c.kernel_combo & 1) != 0);
     crypto::detail::set_sse2_enabled((c.kernel_combo & 2) != 0);
     crypto::detail::set_avx2_enabled((c.kernel_combo & 4) != 0);
     crypto::detail::set_avx512_enabled((c.kernel_combo & 8) != 0);
   }
-  ~SeamScope() { core::set_default_group_layout(saved_layout); }
+  ~SeamScope() {
+    core::set_default_group_layout(saved_layout);
+    overlay::set_routing_index_enabled(saved_routing);
+  }
 
   SeamScope(const SeamScope&) = delete;
   SeamScope& operator=(const SeamScope&) = delete;

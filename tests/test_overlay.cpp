@@ -3,6 +3,7 @@
 // overlay families (TEST_P sweeps).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "adversary/omit_ids.hpp"
@@ -10,6 +11,7 @@
 #include "overlay/kautz.hpp"
 #include "overlay/properties.hpp"
 #include "overlay/registry.hpp"
+#include "overlay/routing_index.hpp"
 #include "overlay/tapestry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -159,6 +161,223 @@ TEST(BitsForSize, PowersAndBetween) {
   EXPECT_EQ(bits_for_size(3), 2);
   EXPECT_EQ(bits_for_size(1024), 10);
   EXPECT_EQ(bits_for_size(1025), 11);
+}
+
+// ---------- RoutePath small-buffer semantics ----------
+
+TEST(RoutePath_, SpillsPastInlineCapacityAndReadsBack) {
+  RoutePath p;
+  EXPECT_EQ(p.capacity(), RoutePath::kInlineHops);
+  const std::size_t count = RoutePath::kInlineHops * 3 + 5;
+  for (std::size_t i = 0; i < count; ++i) {
+    p.push_back(static_cast<std::uint32_t>(i * 7));
+  }
+  ASSERT_EQ(p.size(), count);
+  EXPECT_GE(p.capacity(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(p[i], static_cast<std::uint32_t>(i * 7));
+  }
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), static_cast<std::uint32_t>((count - 1) * 7));
+}
+
+TEST(RoutePath_, ClearKeepsSpilledCapacity) {
+  RoutePath p;
+  for (std::size_t i = 0; i < RoutePath::kInlineHops + 10; ++i) {
+    p.push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::size_t warm = p.capacity();
+  ASSERT_GT(warm, RoutePath::kInlineHops);
+  p.clear();
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.capacity(), warm);  // the scratch-reuse contract
+}
+
+TEST(RoutePath_, CopyAndMoveAcrossTheInlineBoundary) {
+  RoutePath small;
+  small.push_back(3);
+  small.push_back(9);
+  RoutePath big;
+  for (std::size_t i = 0; i < RoutePath::kInlineHops + 4; ++i) {
+    big.push_back(static_cast<std::uint32_t>(100 + i));
+  }
+
+  RoutePath copy_small(small);
+  RoutePath copy_big(big);
+  EXPECT_TRUE(copy_small == small);
+  EXPECT_TRUE(copy_big == big);
+
+  // Copy-assign a spilled path into a warm spilled scratch: contents
+  // replaced, no aliasing with the source.
+  copy_big = small;
+  EXPECT_TRUE(copy_big == small);
+  copy_big[0] = 77;
+  EXPECT_EQ(small[0], 3u);
+
+  // Move steals the heap block (or memcpys the inline buffer) and
+  // leaves the source empty but reusable.
+  RoutePath moved(std::move(copy_small));
+  EXPECT_TRUE(moved == small);
+  RoutePath moved_big(std::move(big));
+  ASSERT_EQ(moved_big.size(), RoutePath::kInlineHops + 4);
+  EXPECT_EQ(moved_big[0], 100u);
+  EXPECT_EQ(big.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  big.push_back(1);
+  EXPECT_EQ(big.size(), 1u);
+}
+
+TEST(RoutePath_, EqualityComparesContentsNotStorage) {
+  RoutePath a, b;
+  EXPECT_TRUE(a == b);
+  a.push_back(5);
+  EXPECT_FALSE(a == b);
+  b.push_back(5);
+  EXPECT_TRUE(a == b);
+  b.push_back(6);
+  EXPECT_TRUE(a != b);
+}
+
+// ---------- neighbor dedup on tiny tables ----------
+
+TEST(OverlayNeighbors, SingleNodeTableKeepsItsOnlyLink) {
+  // n = 1: every link target resolves to the node itself.  The dedup
+  // must not erase the self entry when it is the ONLY one, or the
+  // neighbor list would come back empty.
+  Rng rng(80);
+  const auto table = ids::RingTable::uniform(1, rng);
+  for (const Kind kind : all_kinds()) {
+    const auto graph = make_overlay(kind, table);
+    const auto nbs = graph->neighbors(0);
+    ASSERT_EQ(nbs.size(), 1u) << graph->name();
+    EXPECT_EQ(nbs.front(), 0u) << graph->name();
+  }
+}
+
+TEST(OverlayNeighbors, DuplicateTargetsCollapseAndSelfIsExcluded) {
+  // Tiny tables funnel many link targets onto the same successor; the
+  // list must come back sorted, duplicate-free, and self-free as soon
+  // as any other node is linked.
+  Rng rng(81);
+  for (const std::size_t n :
+       {std::size_t{2}, std::size_t{3}, std::size_t{5}, std::size_t{17}}) {
+    const auto table = ids::RingTable::uniform(n, rng);
+    for (const Kind kind : all_kinds()) {
+      const auto graph = make_overlay(kind, table);
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto nbs = graph->neighbors(v);
+        ASSERT_FALSE(nbs.empty())
+            << graph->name() << " n=" << n << " v=" << v;
+        EXPECT_TRUE(std::is_sorted(nbs.begin(), nbs.end()));
+        EXPECT_EQ(std::adjacent_find(nbs.begin(), nbs.end()), nbs.end())
+            << graph->name() << " returned duplicates";
+        for (const auto nb : nbs) {
+          EXPECT_LT(nb, n);
+          EXPECT_NE(nb, v) << graph->name() << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+// ---------- indexed-vs-legacy dispatch seam ----------
+
+TEST(RoutingIndexSeam, ToggleAndPathNamesRoundTrip) {
+  const bool saved = routing_index_enabled();
+  set_routing_index_enabled(true);
+  EXPECT_TRUE(routing_index_enabled());
+  EXPECT_STREQ(routing_path_name(routing_index_enabled()), "indexed");
+  set_routing_index_enabled(false);
+  EXPECT_FALSE(routing_index_enabled());
+  EXPECT_STREQ(routing_path_name(routing_index_enabled()), "legacy");
+  set_routing_index_enabled(saved);
+}
+
+TEST(RoutingIndexSeam, IndexedMatchesLegacyOnEveryOverlayAndScale) {
+  const bool saved = routing_index_enabled();
+  Rng rng(82);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}, std::size_t{64},
+        std::size_t{777}}) {
+    const auto table = ids::RingTable::uniform(n, rng);
+    for (const Kind kind : all_kinds()) {
+      const auto graph = make_overlay(kind, table);
+      for (int i = 0; i < 50; ++i) {
+        const std::size_t start = rng.below(n);
+        const ids::RingPoint key{rng.u64()};
+        set_routing_index_enabled(false);
+        const Route legacy = graph->route(start, key);
+        set_routing_index_enabled(true);
+        const Route indexed = graph->route(start, key);
+        ASSERT_EQ(legacy.ok, indexed.ok)
+            << graph->name() << " n=" << n << " trial " << i;
+        ASSERT_TRUE(legacy.path == indexed.path)
+            << graph->name() << " n=" << n << " diverged at trial " << i;
+      }
+    }
+  }
+  set_routing_index_enabled(saved);
+}
+
+TEST(RoutingIndexSeam, RouteManyMatchesRouteOneByOne) {
+  const bool saved = routing_index_enabled();
+  set_routing_index_enabled(true);
+  Rng rng(83);
+  const auto table = ids::RingTable::uniform(512, rng);
+  for (const Kind kind : all_kinds()) {
+    const auto graph = make_overlay(kind, table);
+    std::vector<RouteQuery> queries(64);
+    for (auto& q : queries) {
+      q.start = rng.below(table.size());
+      q.key = ids::RingPoint{rng.u64()};
+    }
+    std::vector<Route> batch;
+    graph->route_many(queries, batch);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const Route one = graph->route(queries[i].start, queries[i].key);
+      EXPECT_EQ(batch[i].ok, one.ok) << graph->name() << " query " << i;
+      EXPECT_TRUE(batch[i].path == one.path) << graph->name() << " query "
+                                             << i;
+    }
+  }
+  set_routing_index_enabled(saved);
+}
+
+TEST(RoutingIndexSeam, IndexRebuildsAfterTableMutation) {
+  Rng rng(84);
+  auto table = ids::RingTable::uniform(128, rng);
+  const auto graph = make_overlay(Kind::chord, table);
+  const RoutingIndex* first = &graph->index();
+  EXPECT_EQ(first, &graph->index());  // cached while the table is stable
+  const std::uint64_t v0 = table.version();
+  table.insert(ids::RingPoint{0x123456789abcdefULL});
+  EXPECT_GT(table.version(), v0);
+  const RoutingIndex& rebuilt = graph->index();
+  EXPECT_EQ(rebuilt.size(), table.size());
+  // Indexed routing stays hop-identical against the mutated table.
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t start = rng.below(table.size());
+    const ids::RingPoint key{rng.u64()};
+    const bool saved = routing_index_enabled();
+    set_routing_index_enabled(false);
+    const Route legacy = graph->route(start, key);
+    set_routing_index_enabled(true);
+    const Route indexed = graph->route(start, key);
+    set_routing_index_enabled(saved);
+    ASSERT_EQ(legacy.ok, indexed.ok);
+    ASSERT_TRUE(legacy.path == indexed.path);
+  }
+}
+
+TEST(OverlayRegistry, KindSlugsAreFilenameSafe) {
+  for (const Kind kind : all_kinds()) {
+    const std::string slug(kind_slug(kind));
+    EXPECT_FALSE(slug.empty());
+    for (const char c : slug) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_') << slug;
+    }
+  }
 }
 
 // ---------- Kautz (FISSIONE) internals ----------

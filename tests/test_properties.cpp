@@ -266,6 +266,59 @@ TEST(OverlayProperties, EveryNodeIsReachableFromEverySampledStart) {
       });
 }
 
+TEST(OverlayProperties, IndexedRouteEqualsLegacyHopForHop) {
+  // THE hop-identity contract of the routing engine: the epoch-resident
+  // index is an acceleration structure, not a new algorithm.  For every
+  // overlay kind and table size (down to single-node tables) the
+  // indexed path must reproduce the legacy path hop for hop, and the
+  // batch evaluator must agree with one-at-a-time routing.
+  using Case = std::tuple<overlay::Kind, std::uint64_t, std::uint64_t>;
+  expect_property<Case>(
+      "overlay.indexed-route-equals-legacy",
+      proptest::tuple_of(overlay_kind(), proptest::in_range(1, 300),
+                         proptest::u64()),
+      [](const Case& c) {
+        const auto [kind, n, seed] = c;
+        Rng rng(seed);
+        const auto table = ids::RingTable::uniform(n, rng);
+        const auto graph = overlay::make_overlay(kind, table);
+        const bool saved = overlay::routing_index_enabled();
+        bool pass = true;
+        std::vector<overlay::RouteQuery> queries;
+        std::vector<overlay::Route> legacy_routes;
+        for (int i = 0; i < 25 && pass; ++i) {
+          const std::size_t start = rng.below(n);
+          const ids::RingPoint key{rng.u64()};
+          overlay::set_routing_index_enabled(false);
+          const auto legacy = graph->route(start, key);
+          overlay::set_routing_index_enabled(true);
+          const auto indexed = graph->route(start, key);
+          pass = legacy.ok == indexed.ok && legacy.path == indexed.path;
+          queries.push_back({start, key});
+          legacy_routes.push_back(legacy);
+        }
+        if (pass) {
+          // Batch evaluation resolves the index once and must agree
+          // with the per-call path for the identical query list.
+          overlay::set_routing_index_enabled(true);
+          std::vector<overlay::Route> batch;
+          graph->route_many(queries, batch);
+          for (std::size_t i = 0; i < batch.size() && pass; ++i) {
+            pass = batch[i].ok == legacy_routes[i].ok &&
+                   batch[i].path == legacy_routes[i].path;
+          }
+        }
+        overlay::set_routing_index_enabled(saved);
+        return pass;
+      },
+      iters(14),
+      [](const Case& c) {
+        return std::string(overlay::kind_name(std::get<0>(c))) + " n=" +
+               std::to_string(std::get<1>(c)) + " seed " +
+               show_u64s({std::get<2>(c)});
+      });
+}
+
 // ---------- Group-graph construction, across beta x layout ----------
 
 Gen<double> beta_notch() {

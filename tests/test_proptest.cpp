@@ -128,10 +128,12 @@ TEST(PropDomains, ZeroTapeSeamConfigIsTheDefaultConfiguration) {
   EXPECT_EQ(c.layout, core::GroupLayout::soa);
   EXPECT_TRUE(c.recycle_buffers);
   EXPECT_TRUE(c.pool_payloads);
+  EXPECT_TRUE(c.routing_index);
   EXPECT_EQ(c.kernel_combo, 15);
   EXPECT_EQ(c.threads, 1u);
   EXPECT_EQ(c.describe(),
-            "layout=soa storage=recycle+pool kernels=15 threads=1");
+            "layout=soa storage=recycle+pool routing=indexed kernels=15 "
+            "threads=1");
 }
 
 // ---------- check(): iteration & env contract ----------

@@ -235,6 +235,68 @@ TEST(LayoutEquivalence, AssignMembersRelocatesWithoutCorruptingNeighbors) {
   EXPECT_EQ(table.view(GroupId{std::uint32_t{1}}).members, MemberSpan(prefix));
 }
 
+// ---------- slab compaction ----------
+
+TEST(GroupTableCompaction, CompactReclaimsChurnGapsWithByteIdenticalViews) {
+  // Repeated grow-relocations (the self-heal rebuild pattern) leave a
+  // dead gap behind every moved span; compact() must slide the live
+  // spans back together without disturbing one observable byte.
+  std::vector<Group> groups(64);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    groups[i].leader = i;
+    groups[i].members = {static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(i + 1000)};
+    groups[i].bad_members = i % 3;
+    groups[i].confused = (i % 7) == 0;
+  }
+  GroupTable table = GroupTable::from_groups(groups);
+
+  Rng rng(77);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      auto& m = groups[i].members;
+      m.push_back(static_cast<std::uint32_t>(rng.below(100000)));
+      m.push_back(static_cast<std::uint32_t>(rng.below(100000)));
+      table.assign_members(GroupId{i}, m.data(), m.size());
+    }
+  }
+  ASSERT_GT(table.slab_size(), table.member_count());
+
+  const std::size_t dead = table.slab_size() - table.member_count();
+  const std::size_t reclaimed = table.compact();
+  EXPECT_EQ(reclaimed, dead * sizeof(std::uint32_t));
+  EXPECT_EQ(table.slab_size(), table.member_count());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const GroupView v = table.view(GroupId{i});
+    EXPECT_EQ(v.members, MemberSpan(groups[i].members)) << "group " << i;
+    EXPECT_EQ(v.leader, groups[i].leader) << "group " << i;
+    EXPECT_EQ(v.bad_members, groups[i].bad_members) << "group " << i;
+    EXPECT_EQ(v.confused, groups[i].confused) << "group " << i;
+  }
+  // Already dense: a second pass moves nothing and reclaims nothing.
+  EXPECT_EQ(table.compact(), 0u);
+}
+
+TEST(GroupTableCompaction, GraphCompactStorageIsThresholdGatedAndSafe) {
+  LayoutGuard guard;
+  set_default_group_layout(GroupLayout::soa);
+  GroupGraph graph = build_pristine(1024, 31);
+  // Freshly built: no dead slab words, so the gate keeps it a no-op.
+  EXPECT_EQ(graph.compact_storage(), 0u);
+
+  // Deep departures strand >25% of the slab as span slack; the gate
+  // opens, and compaction must be invisible to every observable.
+  Rng churn_rng(5);
+  (void)apply_good_departures(graph, 0.30, churn_rng);
+  const std::uint64_t print = fingerprint(graph);
+  const std::size_t bytes_before = graph.memory_bytes();
+  const std::size_t reclaimed = graph.compact_storage();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_LT(graph.memory_bytes(), bytes_before);
+  EXPECT_EQ(fingerprint(graph), print);
+  EXPECT_EQ(graph.compact_storage(), 0u);
+}
+
 }  // namespace
 }  // namespace tg::core
 
