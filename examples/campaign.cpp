@@ -10,7 +10,8 @@
 //            [--seed S] [--n N] [--threads T] [--out DIR|FILE.json]
 //            [--no-roundloop] [--churn NAME]
 //            [--workload kv|lookup] [--loop open|closed] [--rate R]
-//            [--clients N]
+//            [--clients N] [--faults PRESET] [--adversary NAME]
+//            [--retries]
 //
 // With --workload, every matched cell runs UNDER CLIENT TRAFFIC: the
 // workload engine (src/workload/) drives the service's ops over the
@@ -63,7 +64,18 @@ void usage(const char* argv0) {
       << "  --loop MODE      workload generation mode: open (scheduled\n"
       << "                   arrivals, default) or closed (waiting clients)\n"
       << "  --rate R         open-loop arrivals per round (default 4)\n"
-      << "  --clients N      closed-loop client count (default 8)\n";
+      << "  --clients N      closed-loop client count (default 8)\n"
+      << "  --faults PRESET  layer a fault-plan preset onto matched cells'\n"
+      << "                   traffic runs: ";
+  for (const auto& name : tg::fault::fault_preset_names()) {
+    std::cerr << name << ' ';
+  }
+  std::cerr
+      << "\n"
+      << "  --adversary NAME replace every matched cell's adversary (e.g.\n"
+      << "                   adaptive, which switches strategy per epoch)\n"
+      << "  --retries        run matched cells' clients with the\n"
+      << "                   self-healing retry/hedge lifecycle\n";
 }
 
 bool ends_with_json(std::string_view path) {
@@ -160,6 +172,27 @@ int main(int argc, char** argv) {
       options.workload.rate = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--clients") {
       options.workload.clients = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--faults") {
+      const std::string name = next();
+      bool known = false;
+      for (const auto& preset : fault::fault_preset_names()) {
+        known = known || name == preset;
+      }
+      if (!known) {
+        std::cerr << "unknown fault preset '" << name << "' (see --help)\n";
+        return 2;
+      }
+      options.faults_preset = name;
+    } else if (arg == "--adversary") {
+      const std::string name = next();
+      const auto kind = scenario::adversary_kind_by_name(name);
+      if (!kind) {
+        std::cerr << "unknown adversary '" << name << "' (see --help)\n";
+        return 2;
+      }
+      options.adversary_override = *kind;
+    } else if (arg == "--retries") {
+      options.retries_override = true;
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--no-roundloop") {
@@ -229,6 +262,15 @@ int main(int argc, char** argv) {
                       ? " rate=" + std::to_string(options.workload.rate)
                       : " clients=" +
                             std::to_string(options.workload.clients));
+  }
+  if (options.adversary_override) {
+    std::cout << ", adversary=" << to_string(*options.adversary_override);
+  }
+  if (!options.faults_preset.empty()) {
+    std::cout << ", faults=" << options.faults_preset;
+  }
+  if (options.retries_override && *options.retries_override) {
+    std::cout << ", retries=on";
   }
   std::cout << '\n';
 

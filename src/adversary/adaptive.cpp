@@ -1,0 +1,119 @@
+#include "adversary/adaptive.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tg::adversary {
+
+std::string_view to_string(AdaptiveStrategy s) noexcept {
+  switch (s) {
+    case AdaptiveStrategy::probe:
+      return "probe";
+    case AdaptiveStrategy::eclipse:
+      return "eclipse";
+    case AdaptiveStrategy::flood:
+      return "flood";
+    case AdaptiveStrategy::partition:
+      return "partition";
+    case AdaptiveStrategy::crash_burst:
+      return "crash_burst";
+  }
+  return "?";
+}
+
+AdaptivePlan plan_adaptive_campaign(const AdaptiveObservation& obs,
+                                    std::size_t epochs,
+                                    std::size_t rounds_per_epoch,
+                                    std::uint64_t seed) {
+  AdaptivePlan plan;
+  plan.seed = seed;
+  const auto groups = static_cast<std::uint32_t>(std::max<std::size_t>(
+      1, obs.groups));
+  const std::uint32_t half = std::max<std::uint32_t>(1, groups / 2);
+  const std::uint32_t burst = std::max<std::uint32_t>(1, groups / 6);
+  const auto hot = static_cast<std::uint32_t>(
+      std::min<std::size_t>(obs.hot_group, groups - 1));
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const std::uint64_t draw =
+        mix64(seed ^ mix64((e + 1) * 0x9e3779b97f4a7c15ULL));
+    EpochAction action;
+    action.begin_round = e * rounds_per_epoch;
+    action.end_round = (e + 1) * rounds_per_epoch;
+
+    if (e == 0) {
+      // Always open by mapping the system on the cheap.
+      action.strategy = AdaptiveStrategy::probe;
+      action.drop_prob = 0.02;
+    } else if (obs.max_bad_fraction >= 0.30 && draw % 3 != 0) {
+      // Placement gave the adversary a heavy group: exploit it.
+      action.strategy = AdaptiveStrategy::eclipse;
+      action.eclipsed_fraction = 0.35;
+      action.drop_prob = 0.05;
+    } else {
+      switch (draw % 3) {
+        case 0:
+          action.strategy = AdaptiveStrategy::partition;
+          // Cut off whichever half of the group space holds the hot
+          // keys; keep links lossy so healing has real work.
+          action.target_lo = hot < half ? 0 : half;
+          action.target_hi = action.target_lo + half;
+          action.drop_prob = 0.15;
+          break;
+        case 1: {
+          action.strategy = AdaptiveStrategy::crash_burst;
+          const std::uint32_t lo =
+              hot >= burst / 2 ? hot - burst / 2 : 0;
+          action.target_lo = std::min(lo, groups - 1);
+          action.target_hi = std::min(groups, action.target_lo + burst);
+          action.drop_prob = 0.10;
+          break;
+        }
+        default:
+          action.strategy = AdaptiveStrategy::flood;
+          action.background_rate = 4.0 + static_cast<double>(draw % 5);
+          action.drop_prob = 0.05;
+          break;
+      }
+    }
+    plan.actions.push_back(action);
+  }
+  return plan;
+}
+
+fault::FaultPlan compile_faults(const AdaptivePlan& plan) {
+  fault::FaultPlan faults;
+  faults.seed = mix64(plan.seed ^ 0x6164617074ULL);  // "adapt"
+  for (const EpochAction& action : plan.actions) {
+    if (action.drop_prob > 0.0) {
+      fault::HazardRule rule;
+      rule.begin_round = action.begin_round;
+      rule.end_round = action.end_round;
+      rule.drop_prob = action.drop_prob;
+      faults.rules.push_back(rule);
+    }
+    if (action.strategy == AdaptiveStrategy::partition) {
+      fault::PartitionWindow window;
+      window.begin_round = action.begin_round;
+      // Heal before the epoch ends: the recovery tail is observable
+      // within the same posture.
+      const std::uint64_t span = action.end_round - action.begin_round;
+      window.end_round = action.begin_round + (span * 2) / 3;
+      window.side_lo = action.target_lo;
+      window.side_hi = action.target_hi;
+      faults.partitions.push_back(window);
+    } else if (action.strategy == AdaptiveStrategy::crash_burst) {
+      fault::CrashWindow window;
+      window.begin_round = action.begin_round;
+      const std::uint64_t span = action.end_round - action.begin_round;
+      window.end_round = action.begin_round + (span * 2) / 3;
+      window.node_lo = action.target_lo;
+      window.node_hi = action.target_hi;
+      faults.crashes.push_back(window);
+    }
+  }
+  return faults;
+}
+
+}  // namespace tg::adversary

@@ -1,0 +1,87 @@
+// The adaptive adversary: observe public campaign state, switch
+// strategy at epoch boundaries (the model PAPERS.md's retrieved
+// related work argues for — Dufoulon–Pandurangan's adaptive-adversary
+// agreement bounds and the Bayesian-game framing of Byzantine-robust
+// MARL — versus this repo's six commit-at-start adversaries).
+//
+// The adversary sees only what a real one could: group count, the red
+// fraction and the bad-heaviest group (placement outcomes are public
+// in the paper's model), the hot region of the keyspace (traffic is
+// observable), and the churn cadence.  From that observation and a
+// seed it compiles a deterministic per-epoch campaign: probe first,
+// then eclipse when placement gave it a foothold, else rotate through
+// partition / crash-burst / flood postures aimed at the hot region.
+//
+// The output is data, not behavior: an `AdaptivePlan` lowers into a
+// `fault::FaultPlan` (partitions, crash windows, probe-loss) plus
+// `workload::AttackPhase`-shaped knobs (eclipse steering, flood
+// rates) applied by the traffic bridge — so the whole campaign stays
+// a pure function of (observation, epochs, seed) and every faulted
+// run is replayable from the scenario seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace tg::adversary {
+
+/// Public campaign state the adversary conditions on.
+struct AdaptiveObservation {
+  std::size_t groups = 1;
+  double red_fraction = 0.0;
+  /// Bad fraction of the bad-heaviest group, and which group it is.
+  double max_bad_fraction = 0.0;
+  std::size_t most_bad_group = 0;
+  /// Keyspace hot spot: the group owning the most workload keys and
+  /// its share of them.
+  std::size_t hot_group = 0;
+  double hot_share = 0.0;
+  std::size_t churn_epochs = 1;
+};
+
+enum class AdaptiveStrategy : std::uint8_t {
+  probe,        ///< light uniform loss: map the system, stay cheap
+  eclipse,      ///< steer entries into the bad-heaviest group
+  flood,        ///< bogus background load on service capacity
+  partition,    ///< split off the half holding the hot group
+  crash_burst,  ///< crash-and-rejoin the groups around the hot spot
+};
+
+[[nodiscard]] std::string_view to_string(AdaptiveStrategy s) noexcept;
+
+/// One epoch of the campaign: a strategy plus its lowered knobs over
+/// a half-open round window.
+struct EpochAction {
+  AdaptiveStrategy strategy = AdaptiveStrategy::probe;
+  std::uint64_t begin_round = 0;
+  std::uint64_t end_round = 0;
+  double eclipsed_fraction = 0.0;
+  double background_rate = 0.0;
+  double drop_prob = 0.0;
+  /// Node range the action targets (partition side / crash set).
+  std::uint32_t target_lo = 0;
+  std::uint32_t target_hi = 0;
+};
+
+struct AdaptivePlan {
+  std::uint64_t seed = 0;
+  std::vector<EpochAction> actions;
+};
+
+/// Deterministic strategy schedule: `epochs` actions spanning
+/// `rounds_per_epoch` rounds each.  Pure in (obs, epochs,
+/// rounds_per_epoch, seed).
+[[nodiscard]] AdaptivePlan plan_adaptive_campaign(
+    const AdaptiveObservation& obs, std::size_t epochs,
+    std::size_t rounds_per_epoch, std::uint64_t seed);
+
+/// Lower the plan's message-level actions (probe loss, partitions,
+/// crash bursts) into a FaultPlan for the network seam.  Eclipse and
+/// flood postures are traffic-level and lower into AttackPhases
+/// instead (see workload::traffic).
+[[nodiscard]] fault::FaultPlan compile_faults(const AdaptivePlan& plan);
+
+}  // namespace tg::adversary

@@ -1,0 +1,176 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tg::fault {
+namespace {
+
+// Distinct remix constants per fault type so the four draws of one
+// (message, rule) pair are independent.
+constexpr std::uint64_t kDropSalt = 0x64726f70ULL;        // "drop"
+constexpr std::uint64_t kDupSalt = 0x647570ULL;           // "dup"
+constexpr std::uint64_t kReorderSalt = 0x72656f72ULL;     // "reor"
+constexpr std::uint64_t kDelaySalt = 0x64656c6179ULL;     // "delay"
+constexpr std::uint64_t kDelayMagSalt = 0x6d61676eULL;    // "magn"
+
+[[nodiscard]] double unit_draw(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+[[nodiscard]] bool in_window(std::uint64_t round, std::uint64_t begin,
+                             std::uint64_t end) noexcept {
+  return round >= begin && round < end;
+}
+
+[[nodiscard]] bool in_range(net::NodeId id, std::uint32_t lo,
+                            std::uint32_t hi) noexcept {
+  return id >= lo && id < hi;
+}
+
+}  // namespace
+
+PlanInjector::PlanInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+net::FaultDecision PlanInjector::decide(std::uint64_t round, net::NodeId src,
+                                        net::NodeId dst,
+                                        std::uint64_t msg_seq) const {
+  net::FaultDecision fate;
+
+  // Crashed nodes neither send nor receive.
+  for (const CrashWindow& c : plan_.crashes) {
+    if (!in_window(round, c.begin_round, c.end_round)) continue;
+    if (in_range(src, c.node_lo, c.node_hi) ||
+        in_range(dst, c.node_lo, c.node_hi)) {
+      fate.drop = true;
+      return fate;
+    }
+  }
+
+  // Partitions drop exactly the boundary-crossing messages.
+  for (const PartitionWindow& p : plan_.partitions) {
+    if (!in_window(round, p.begin_round, p.end_round)) continue;
+    if (in_range(src, p.side_lo, p.side_hi) !=
+        in_range(dst, p.side_lo, p.side_hi)) {
+      fate.drop = true;
+      return fate;
+    }
+  }
+
+  // The (round, message id) key all probabilistic draws derive from.
+  const std::uint64_t key =
+      mix64(plan_.seed ^ mix64(round * 0x9e3779b97f4a7c15ULL + msg_seq));
+
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const HazardRule& r = plan_.rules[i];
+    if (!in_window(round, r.begin_round, r.end_round)) continue;
+    if (!in_range(src, r.node_lo, r.node_hi) &&
+        !in_range(dst, r.node_lo, r.node_hi)) {
+      continue;
+    }
+    const std::uint64_t rule_key =
+        mix64(key ^ (0xa24baed4963ee407ULL * (i + 1)));
+    if (r.drop_prob > 0.0 &&
+        unit_draw(mix64(rule_key ^ kDropSalt)) < r.drop_prob) {
+      fate.drop = true;
+      return fate;
+    }
+    if (r.duplicate_prob > 0.0 &&
+        unit_draw(mix64(rule_key ^ kDupSalt)) < r.duplicate_prob) {
+      ++fate.duplicates;
+    }
+    if (r.delay_prob > 0.0 && r.max_delay_rounds > 0 &&
+        unit_draw(mix64(rule_key ^ kDelaySalt)) < r.delay_prob) {
+      fate.delay_rounds += 1 + static_cast<std::uint32_t>(
+                                   mix64(rule_key ^ kDelayMagSalt) %
+                                   r.max_delay_rounds);
+    }
+    if (r.reorder_prob > 0.0 &&
+        unit_draw(mix64(rule_key ^ kReorderSalt)) < r.reorder_prob) {
+      fate.reorder = true;
+    }
+  }
+  return fate;
+}
+
+std::optional<FaultPlan> fault_preset(std::string_view name,
+                                      std::size_t groups, std::size_t rounds,
+                                      std::uint64_t seed) {
+  const auto g = static_cast<std::uint32_t>(groups);
+  const auto r64 = static_cast<std::uint64_t>(rounds);
+  FaultPlan plan;
+  plan.seed = mix64(seed ^ 0x6661756c74ULL);  // "fault"
+
+  const auto lossy = [](double p) {
+    HazardRule rule;
+    rule.drop_prob = p;
+    return rule;
+  };
+
+  if (name == "drops") {
+    plan.rules.push_back(lossy(0.05));
+    return plan;
+  }
+  if (name == "partition") {
+    // Split off the lower half of the group space for the middle
+    // ~3/8 of the run; links stay lossy throughout so the retry
+    // lifecycle has work to do even off-window.
+    PartitionWindow window;
+    window.begin_round = r64 / 4;
+    window.end_round = (r64 * 5) / 8;
+    window.side_lo = 0;
+    window.side_hi = g / 2;
+    plan.partitions.push_back(window);
+    plan.rules.push_back(lossy(0.15));
+    return plan;
+  }
+  if (name == "crash") {
+    const std::uint32_t burst = std::max<std::uint32_t>(1, g / 6);
+    CrashWindow first;
+    first.begin_round = r64 / 3;
+    first.end_round = r64 / 2;
+    first.node_lo = 0;
+    first.node_hi = burst;
+    CrashWindow second;
+    second.begin_round = (r64 * 2) / 3;
+    second.end_round = (r64 * 3) / 4;
+    second.node_lo = g / 2;
+    second.node_hi = g / 2 + burst;
+    plan.crashes.push_back(first);
+    plan.crashes.push_back(second);
+    plan.rules.push_back(lossy(0.10));
+    return plan;
+  }
+  if (name == "chaos") {
+    HazardRule havoc;
+    havoc.drop_prob = 0.05;
+    havoc.duplicate_prob = 0.05;
+    havoc.reorder_prob = 0.10;
+    havoc.delay_prob = 0.30;
+    havoc.max_delay_rounds = 2;
+    plan.rules.push_back(havoc);
+    PartitionWindow window;
+    window.begin_round = r64 / 3;
+    window.end_round = r64 / 3 + std::max<std::uint64_t>(4, r64 / 8);
+    window.side_lo = 0;
+    window.side_hi = g / 2;
+    plan.partitions.push_back(window);
+    CrashWindow burst;
+    burst.begin_round = (r64 * 2) / 3;
+    burst.end_round = (r64 * 2) / 3 + std::max<std::uint64_t>(4, r64 / 10);
+    burst.node_lo = 0;
+    burst.node_hi = std::max<std::uint32_t>(1, g / 8);
+    plan.crashes.push_back(burst);
+    return plan;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& fault_preset_names() {
+  static const std::vector<std::string> names{"drops", "partition", "crash",
+                                              "chaos"};
+  return names;
+}
+
+}  // namespace tg::fault

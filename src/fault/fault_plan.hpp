@@ -1,0 +1,135 @@
+// The deterministic fault plane: a seeded, declarative description of
+// message-level hazards (drop / delay / duplicate / reorder), group
+// partitions, and crash-and-rejoin bursts, compiled into per-message
+// delivery decisions behind `net::FaultInjector`.
+//
+// Determinism contract: every probabilistic verdict is a pure hash of
+// (plan seed, round, message sequence number, rule index) — NOT of an
+// RNG stream advanced in iteration order — so a faulted run is
+// bit-identical at any thread count and replayable from the plan seed
+// alone.  The same keying makes the off path free: with no injector
+// attached the network's routing code is byte-identical to a build
+// that never heard of faults.
+//
+// Windows and predicates are half-open ranges: a rule applies to
+// round r iff begin_round <= r < end_round, and to a message iff its
+// source OR destination node id lies in [node_lo, node_hi).  Group
+// nodes occupy ids [0, groups) in the workload engine, so group
+// predicates are node-id ranges there; client/issuer ids sit above
+// every group and naturally land outside partition sides.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace tg::fault {
+
+constexpr std::uint64_t kAlwaysRound = ~std::uint64_t{0};
+constexpr std::uint32_t kAllNodes = ~std::uint32_t{0};
+
+/// A probabilistic per-message hazard over a round window and a node
+/// range.  Each probability is drawn independently per message from
+/// the keyed hash, so hazards compose (a message can be duplicated
+/// AND delayed by one rule).
+struct HazardRule {
+  std::uint64_t begin_round = 0;
+  std::uint64_t end_round = kAlwaysRound;  ///< half-open
+  std::uint32_t node_lo = 0;
+  std::uint32_t node_hi = kAllNodes;  ///< half-open; src OR dst match
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double reorder_prob = 0.0;
+  /// A delay of uniform 1..max_delay_rounds is applied with
+  /// probability delay_prob (delay_prob = 0 disables).
+  double delay_prob = 0.0;
+  std::uint32_t max_delay_rounds = 0;
+
+  friend bool operator==(const HazardRule&, const HazardRule&) = default;
+};
+
+/// A clean network split for a round window: messages CROSSING the
+/// boundary between [side_lo, side_hi) and everything else are
+/// dropped; traffic within either side flows normally.  The window's
+/// end is the heal instant recovery time is measured from.
+struct PartitionWindow {
+  std::uint64_t begin_round = 0;
+  std::uint64_t end_round = 0;
+  std::uint32_t side_lo = 0;
+  std::uint32_t side_hi = 0;
+
+  friend bool operator==(const PartitionWindow&,
+                         const PartitionWindow&) = default;
+};
+
+/// A crash-and-rejoin burst: for the window, nodes in [node_lo,
+/// node_hi) neither send nor receive (all their messages vanish);
+/// at end_round they rejoin with whatever state they kept.
+struct CrashWindow {
+  std::uint64_t begin_round = 0;
+  std::uint64_t end_round = 0;
+  std::uint32_t node_lo = 0;
+  std::uint32_t node_hi = 0;
+
+  friend bool operator==(const CrashWindow&, const CrashWindow&) = default;
+};
+
+/// The full seeded fault schedule.  An empty plan (no rules, no
+/// windows) is the explicit "no faults" value; attaching an injector
+/// compiled from it delivers byte-identical traffic to no injector.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<HazardRule> rules;
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashWindow> crashes;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return rules.empty() && partitions.empty() && crashes.empty();
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Compiles a FaultPlan into the network seam.  Stateless per message
+/// (the purity the seam contract demands): `decide` hashes the plan
+/// seed with (round, msg_seq) and evaluates windows first (crash,
+/// then partition — both are certain drops), then every matching
+/// hazard rule with per-rule, per-fault-type remixed draws.
+class PlanInjector final : public net::FaultInjector {
+ public:
+  explicit PlanInjector(FaultPlan plan);
+
+  [[nodiscard]] net::FaultDecision decide(std::uint64_t round, net::NodeId src,
+                                          net::NodeId dst,
+                                          std::uint64_t msg_seq) const override;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Named fault presets scaled to a run's shape.  `groups` is the
+/// number of group nodes (node ids [0, groups)); `rounds` is the
+/// driven round count windows are placed within.
+///   drops     — uniform 5% message loss, whole run
+///   partition — the lower half of the group space is split off for
+///               the middle ~3/8 of the run, over lossy links (15%)
+///   crash     — two staggered crash bursts (1/6 of the groups each)
+///               over lossy links (10%)
+///   chaos     — loss + duplication + reordering + short delays, plus
+///               a brief partition and a crash burst
+/// Returns std::nullopt for unknown names.
+[[nodiscard]] std::optional<FaultPlan> fault_preset(std::string_view name,
+                                                    std::size_t groups,
+                                                    std::size_t rounds,
+                                                    std::uint64_t seed);
+
+/// The preset names `fault_preset` accepts, for CLI validation.
+[[nodiscard]] const std::vector<std::string>& fault_preset_names();
+
+}  // namespace tg::fault

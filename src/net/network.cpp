@@ -71,6 +71,28 @@ void Network::route_outbox(std::vector<Message>& outbox) {
     if (policy_.max_delay_rounds > 0) {
       delay = policy_rng_.below(policy_.max_delay_rounds + 1);
     }
+    if (fault_ != nullptr) {
+      const FaultDecision fate =
+          fault_->decide(round_, m.src, m.dst, fault_seq_++);
+      if (fate.drop) {
+        ++stats_.fault_dropped;
+        continue;
+      }
+      // Duplicates are immediate extra copies; the original still
+      // follows its (possibly delayed/reordered) fate below.
+      for (std::uint32_t k = 0; k < fate.duplicates; ++k) {
+        ++stats_.fault_duplicated;
+        mailboxes_[m.dst]->push(Message(m));
+      }
+      if (fate.delay_rounds > 0) {
+        ++stats_.fault_delayed;
+        delay += fate.delay_rounds;
+      } else if (fate.reorder && delay == 0) {
+        ++stats_.fault_reordered;
+        reordered_.push_back(std::move(m));
+        continue;
+      }
+    }
     if (delay == 0) {
       mailboxes_[m.dst]->push(std::move(m));
     } else {
@@ -83,6 +105,13 @@ void Network::route_outbox(std::vector<Message>& outbox) {
   outbox.clear();  // consumed; capacity survives for the next round
 }
 
+void Network::flush_reordered() {
+  for (auto it = reordered_.rbegin(); it != reordered_.rend(); ++it) {
+    mailboxes_[it->dst]->push(std::move(*it));
+  }
+  reordered_.clear();
+}
+
 void Network::start() {
   started_ = true;
   for (NodeId i = 0; i < nodes_.size(); ++i) {
@@ -90,6 +119,7 @@ void Network::start() {
     nodes_[i]->on_start(ctx);
     route_outbox(ctx.outbox());
   }
+  flush_reordered();
 }
 
 std::size_t Network::run_round() {
@@ -161,6 +191,7 @@ std::size_t Network::run_round() {
   for (NodeId i = 0; i < n; ++i) {
     route_outbox(outboxes[i]);
   }
+  flush_reordered();
   return delivered;
 }
 

@@ -50,6 +50,37 @@ struct DeliveryPolicy {
   std::function<void(Message&)> corrupt;
 };
 
+/// What the fault plane does to one routed message.  The default
+/// (all-zero) decision is exactly "deliver normally": an injector that
+/// always returns `{}` is indistinguishable from no injector at all.
+struct FaultDecision {
+  bool drop = false;
+  /// Extra delivery delay in rounds (additive with any policy delay).
+  std::uint32_t delay_rounds = 0;
+  /// Extra copies delivered alongside the original.
+  std::uint32_t duplicates = 0;
+  /// Hold the message and re-deliver it after all in-order traffic of
+  /// this routing pass, in reverse hold order (a deterministic
+  /// within-round reordering).  Ignored when the message is delayed.
+  bool reorder = false;
+};
+
+/// The runtime seam the fault plane plugs into (see src/fault/).
+///
+/// Contract: `decide` must be a PURE function of its arguments — the
+/// network calls it from the sequential routing pass with `msg_seq`, a
+/// per-network counter of routed messages, so decisions are keyed by
+/// (round, message id) and never by thread schedule.  Determinism at
+/// any executor width follows from purity; implementations must not
+/// keep mutable state across calls.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  [[nodiscard]] virtual FaultDecision decide(std::uint64_t round, NodeId src,
+                                             NodeId dst,
+                                             std::uint64_t msg_seq) const = 0;
+};
+
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
@@ -57,6 +88,11 @@ struct NetworkStats {
   std::uint64_t delayed = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t rounds = 0;
+  /// Fault-plane verdicts (zero unless an injector is attached).
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_delayed = 0;
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_reordered = 0;
 };
 
 class Network {
@@ -135,10 +171,27 @@ class Network {
   /// storage_toggles_name below).
   [[nodiscard]] const char* toggles_name() const noexcept;
 
+  /// Attach (or detach, with nullptr) the fault plane.  The injector
+  /// is not owned and must outlive the network.  With no injector the
+  /// routing path is byte-identical to a build without the seam; the
+  /// injector is consulted once per routed message, after Byzantine
+  /// corruption and the delivery policy's own drop/delay draws.
+  /// `inject()` bypasses the fault plane (harness traffic is exempt).
+  void set_fault_injector(const FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return fault_;
+  }
+
  private:
   /// Route every message out of `outbox` (delivery policy, mailbox
   /// push or delay scheduling), then clear it with capacity kept.
   void route_outbox(std::vector<Message>& outbox);
+  /// Release reorder-held messages (reverse hold order) into their
+  /// mailboxes.  Called after every full routing pass so held traffic
+  /// still lands in the same round's mailboxes, merely out of order.
+  void flush_reordered();
   void absorb_trace(const Message& m) noexcept;
 
   DeliveryPolicy policy_;
@@ -160,6 +213,12 @@ class Network {
   std::vector<std::vector<Message>> outboxes_;
   /// Messages scheduled for future rounds: slot = round index.
   std::vector<std::vector<Message>> delayed_;
+  /// Reorder-held messages of the current routing pass.
+  std::vector<Message> reordered_;
+  /// Unowned fault plane; nullptr = pristine delivery path.
+  const FaultInjector* fault_ = nullptr;
+  /// Routed-message counter: the (round, msg_seq) key of fault draws.
+  std::uint64_t fault_seq_ = 0;
   NetworkStats stats_;
   std::uint64_t round_ = 0;
   std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV offset

@@ -27,7 +27,20 @@ std::vector<ScenarioResult> CampaignRunner::run() const {
     if (options_.n_override) spec.n = *options_.n_override;
     if (options_.beta_override) spec.beta = *options_.beta_override;
     if (options_.churn_override) spec.churn = *options_.churn_override;
-    spec.workload = options_.workload;
+    // Cells registered with their own workload axis (the adaptive
+    // "faults" family) keep it unless the CLI enabled one explicitly.
+    if (options_.workload.enabled() || !spec.workload.enabled()) {
+      spec.workload = options_.workload;
+    }
+    if (options_.adversary_override) {
+      spec.adversary = *options_.adversary_override;
+    }
+    if (!options_.faults_preset.empty()) {
+      spec.workload.faults_preset = options_.faults_preset;
+    }
+    if (options_.retries_override) {
+      spec.workload.retries = *options_.retries_override;
+    }
     results.push_back(run_cell(*cell, spec, options_.threads));
   }
   return results;

@@ -39,8 +39,18 @@ struct CampaignOptions {
   /// CLIENT TRAFFIC — the workload engine drives its service over the
   /// cell's adversary x topology world and the cell reports service
   /// metrics (latency percentiles, throughput, loss) instead of its
-  /// analytic trial's.
+  /// analytic trial's.  When NOT enabled, cells registered with their
+  /// own workload axis (the adaptive "faults" family) keep it.
   WorkloadAxis workload;
+  /// Adversary axis: replace every matched cell's adversary (the
+  /// CLI's `--adversary`, pairing e.g. adaptive with any topology).
+  std::optional<AdversaryKind> adversary_override;
+  /// Fault axis: layer a named fault::fault_preset onto every matched
+  /// cell's traffic run (the CLI's `--faults`).
+  std::string faults_preset;
+  /// Lifecycle axis: force the self-healing retry lifecycle on (true)
+  /// or off (false) for every matched cell (the CLI's `--retries`).
+  std::optional<bool> retries_override;
   /// Fan-out width passed to sim::run_trials_multi.  0 keeps the
   /// default shard count — REQUIRED for cross-machine determinism
   /// (the shard count is part of the merge order).

@@ -36,6 +36,7 @@
 #include "pow/gossip.hpp"
 #include "pow/puzzle.hpp"
 #include "scenario/scenario.hpp"
+#include "workload/traffic.hpp"
 
 namespace tg::scenario {
 namespace {
@@ -319,6 +320,22 @@ void run_late_release(const ScenarioSpec& spec, Rng& rng,
   out[1] = o.mean_solution_set;
 }
 
+/// adaptive — the strategy-switching adversary only exists at the
+/// traffic level (it compiles into a fault plan + attack phases), so
+/// its cells register with a pre-enabled workload axis and run_cell
+/// routes them through workload::run_traffic_trial.  This fallback
+/// covers a caller that strips the axis from the spec: force it back
+/// on so the cell still measures service behavior under attack.
+void run_adaptive_cell(const ScenarioSpec& spec, Rng& rng,
+                       std::vector<double>& out) {
+  ScenarioSpec forced = spec;
+  if (!forced.workload.enabled()) {
+    forced.workload.service = WorkloadAxis::Service::kv;
+    forced.workload.retries = true;
+  }
+  workload::run_traffic_trial(forced, rng, out);
+}
+
 struct CellFamily {
   AdversaryKind adversary;
   std::string campaign;
@@ -374,6 +391,36 @@ void register_builtin_grid(Registry& registry) {
       cell.trial = family.trial;
       registry.add(std::move(cell));
     }
+  }
+
+  // The adaptive family (PR 9): strategy-switching adversary measured
+  // under client traffic with the self-healing lifecycle on.  These
+  // cells carry their own workload axis — run_cell sees it enabled and
+  // reports workload::traffic_metric_names() instead of cell.metrics.
+  for (const Topology topology : topologies) {
+    Scenario cell;
+    cell.spec.name =
+        std::string("adaptive/") + std::string(to_string(topology));
+    cell.spec.campaign = "faults";
+    cell.spec.adversary = AdversaryKind::adaptive;
+    cell.spec.topology = topology;
+    cell.spec.n = 1024;
+    cell.spec.trials = 4;
+    cell.spec.workload.service = WorkloadAxis::Service::kv;
+    cell.spec.workload.loop = WorkloadAxis::Loop::open;
+    cell.spec.workload.rate = 2.0;
+    cell.spec.workload.rounds = 96;
+    cell.spec.workload.timeout_rounds = 16;
+    cell.spec.workload.retries = true;
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : cell.spec.name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    cell.spec.seed = mix64(h);
+    cell.metrics = workload::traffic_metric_names();
+    cell.trial = run_adaptive_cell;
+    registry.add(std::move(cell));
   }
 }
 

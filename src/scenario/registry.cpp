@@ -12,8 +12,20 @@ std::string_view to_string(AdversaryKind kind) noexcept {
     case AdversaryKind::omit_ids: return "omit_ids";
     case AdversaryKind::precompute: return "precompute";
     case AdversaryKind::late_release: return "late_release";
+    case AdversaryKind::adaptive: return "adaptive";
   }
   return "unknown";
+}
+
+std::optional<AdversaryKind> adversary_kind_by_name(std::string_view name) {
+  for (const auto kind :
+       {AdversaryKind::target_group, AdversaryKind::eclipse,
+        AdversaryKind::flood, AdversaryKind::omit_ids,
+        AdversaryKind::precompute, AdversaryKind::late_release,
+        AdversaryKind::adaptive}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 std::string_view to_string(Topology topology) noexcept {

@@ -44,7 +44,14 @@ enum class AdversaryKind {
   omit_ids,      ///< subset-omission placement skew
   precompute,    ///< stockpiled puzzle solutions (Sybil burst)
   late_release,  ///< withheld lottery strings
+  adaptive,      ///< observes campaign state, switches strategy at
+                 ///< epoch boundaries (src/adversary/adaptive.hpp)
 };
+
+/// Kind lookup by to_string name; nullopt for unknown names (the
+/// campaign CLI's `--adversary` axis).
+[[nodiscard]] std::optional<AdversaryKind> adversary_kind_by_name(
+    std::string_view name);
 
 /// The group structure under attack: the paper's tiny groups, the
 /// prior-work Theta(log n) groups, and the two cuckoo-rule baselines
@@ -100,6 +107,12 @@ struct WorkloadAxis {
   std::size_t clients = 8;         ///< closed-loop population
   std::size_t rounds = 192;        ///< traffic-generation window
   std::size_t timeout_rounds = 48; ///< client patience
+  /// Self-healing lifecycle (workload::RetryPolicy defaults) instead
+  /// of the legacy fire-once clients.
+  bool retries = false;
+  /// Named fault::fault_preset layered onto the cell's run ("" = no
+  /// extra faults; the CLI's `--faults` axis).
+  std::string faults_preset;
 
   [[nodiscard]] bool enabled() const noexcept {
     return service != Service::none;

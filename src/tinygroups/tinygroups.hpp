@@ -48,6 +48,9 @@
 #include "scenario/campaign.hpp"
 #include "scenario/scenario.hpp"
 
+// Fault plane (deterministic message-level fault injection)
+#include "fault/fault_plan.hpp"
+
 // Workload engine (deterministic client traffic over the overlay)
 #include "workload/engine.hpp"
 #include "workload/histogram.hpp"
@@ -104,6 +107,7 @@
 #include "pow/verification.hpp"
 
 // Adversary strategies
+#include "adversary/adaptive.hpp"
 #include "adversary/adversary.hpp"
 #include "adversary/eclipse.hpp"
 #include "adversary/flood.hpp"

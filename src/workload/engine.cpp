@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/timer.hpp"
@@ -208,7 +210,9 @@ class GroupNode final : public net::Node {
 };
 
 /// Shared issuing machinery: op numbering, start-group selection
-/// (uniform, or steered by the eclipse knob), reply matching.
+/// (uniform, or steered by the eclipse knob), reply matching — plus
+/// the self-healing op ledger (deadline, backoff retries, hedging,
+/// failover routing) used by both loop modes when RetryPolicy is on.
 class IssuerBase : public net::Node {
  public:
   IssuerBase(const Spec& spec, Service& service, std::uint64_t seed)
@@ -216,24 +220,68 @@ class IssuerBase : public net::Node {
 
   [[nodiscard]] const Recorder& recorder() const noexcept { return recorder_; }
   [[nodiscard]] virtual std::size_t inflight() const noexcept = 0;
+  [[nodiscard]] const std::vector<std::uint64_t>& completed_by_round()
+      const noexcept {
+    return completed_by_round_;
+  }
 
  protected:
-  [[nodiscard]] net::NodeId pick_start() {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  /// Per-op ledger entry.  The op id is STABLE across attempts and
+  /// hedges: the first reply settles the op, later replies are stale.
+  struct OpState {
+    Operation op;
+    std::uint64_t first_issue = 0;
+    std::uint64_t last_issue = 0;
+    std::uint64_t retry_at = kNever;
+    std::uint64_t hedge_at = kNever;
+    std::uint64_t cleanup_at = kNever;
+    std::uint32_t attempts = 0;
+    bool hedged = false;
+    bool settled = false;
+    net::NodeId last_start = 0;
+    /// Hop groups implicated by this op's earlier timeouts; failover
+    /// re-attempts route around them.
+    std::vector<std::uint32_t> implicated;
+  };
+
+  [[nodiscard]] bool retry_on() const noexcept {
+    return spec_->retry.enabled;
+  }
+
+  /// The phase governing `round`, or nullptr before the first phase.
+  [[nodiscard]] const AttackPhase* phase_at(
+      std::uint64_t round) const noexcept {
+    const AttackPhase* current = nullptr;
+    for (const AttackPhase& phase : spec_->phases) {
+      if (phase.start_round > round) break;  // sorted by run()
+      current = &phase;
+    }
+    return current;
+  }
+
+  [[nodiscard]] net::NodeId pick_start(std::uint64_t round) {
     const World& world = service_->world();
-    if (spec_->eclipsed_fraction > 0.0 &&
-        rng_.bernoulli(spec_->eclipsed_fraction)) {
+    double eclipsed = spec_->eclipsed_fraction;
+    if (!spec_->phases.empty()) {
+      const AttackPhase* phase = phase_at(round);
+      eclipsed = phase != nullptr ? phase->eclipsed_fraction : 0.0;
+    }
+    if (eclipsed > 0.0 && rng_.bernoulli(eclipsed)) {
       return static_cast<net::NodeId>(world.most_bad_group());
     }
     return static_cast<net::NodeId>(rng_.below(world.groups()));
   }
 
-  /// Issue the next op from this node; returns its id.
+  /// Issue the next op from this node; returns its id.  (The legacy
+  /// fire-once path; the lifecycle path opens ops via open_op.)
   std::uint64_t issue(net::Context& ctx) {
     const Operation op = service_->next_operation(rng_);
     // Node id in the high bits keeps op ids globally unique.
     const std::uint64_t op_id =
         (static_cast<std::uint64_t>(ctx.self()) << 40) | next_serial_++;
-    send_request(ctx, pick_start(), op, op_id, ctx.self(),
+    send_request(ctx, pick_start(ctx.round()), op, op_id, ctx.self(),
                  spec_->padding_words);
     ++recorder_.issued;
     return op_id;
@@ -247,6 +295,7 @@ class IssuerBase : public net::Node {
         std::max<std::uint64_t>(1, delivery_round - issue_round));
     if (m.payload.size() >= 2 && m.payload[1] == kStatusOk) {
       ++recorder_.completed;
+      note_goodput(delivery_round);
     } else {
       ++recorder_.failed;
     }
@@ -257,11 +306,261 @@ class IssuerBase : public net::Node {
     ++recorder_.timed_out;
   }
 
+  // ----- self-healing lifecycle (retry_on() paths only) -----
+
+  [[nodiscard]] std::uint64_t deadline_rounds() const noexcept {
+    return spec_->retry.deadline_rounds != 0 ? spec_->retry.deadline_rounds
+                                             : 4 * spec_->timeout_rounds;
+  }
+
+  /// How long a settled entry lingers so late/duplicate replies are
+  /// classified stale by the ledger rather than by its absence.
+  [[nodiscard]] std::uint64_t stale_grace() const noexcept {
+    return spec_->timeout_rounds;
+  }
+
+  /// Hedge trigger: explicit knob, or this issuer's own p99 once it
+  /// has data (bootstrap: half the timeout), clamped under the
+  /// attempt timeout so hedging can ever help.
+  [[nodiscard]] std::uint64_t hedge_delay() const noexcept {
+    if (spec_->retry.hedge_delay_rounds != 0) {
+      return spec_->retry.hedge_delay_rounds;
+    }
+    std::uint64_t delay = spec_->timeout_rounds / 2;
+    if (recorder_.latency.count() >= 8) delay = recorder_.latency.p99();
+    const std::uint64_t cap =
+        std::max<std::uint64_t>(2, spec_->timeout_rounds - 1);
+    return std::clamp<std::uint64_t>(delay, 2, cap);
+  }
+
+  void schedule_wake(std::uint64_t when, std::uint64_t op_id) {
+    if (wake_.size() <= when) wake_.resize(when + 1);
+    wake_[when].push_back(op_id);
+  }
+
+  /// Open a new op under the lifecycle: ledger entry + first attempt.
+  void open_op(net::Context& ctx) {
+    const std::uint64_t round = ctx.round();
+    OpState st;
+    st.op = service_->next_operation(rng_);
+    const std::uint64_t op_id =
+        (static_cast<std::uint64_t>(ctx.self()) << 40) | next_serial_++;
+    st.first_issue = st.last_issue = round;
+    st.attempts = 1;
+    st.last_start = pick_start(round);
+    send_request(ctx, st.last_start, st.op, op_id, ctx.self(),
+                 spec_->padding_words);
+    ++recorder_.issued;
+    ++open_ops_;
+    schedule_wake(round + spec_->timeout_rounds, op_id);
+    if (spec_->retry.hedge) {
+      const std::uint64_t at = round + hedge_delay();
+      if (at < round + spec_->timeout_rounds) {
+        st.hedge_at = at;
+        schedule_wake(at, op_id);
+      }
+    }
+    ledger_.emplace(op_id, std::move(st));
+  }
+
+  /// Drive every op whose wake round arrived.  Wakes are scheduled in
+  /// deterministic handler order and the ledger is consulted by id,
+  /// never iterated, so the lifecycle inherits the runtime's
+  /// any-thread-count determinism.
+  void process_wakes(net::Context& ctx) {
+    const std::uint64_t round = ctx.round();
+    if (round >= wake_.size()) return;
+    const std::vector<std::uint64_t> due =
+        std::exchange(wake_[round], std::vector<std::uint64_t>{});
+    for (const std::uint64_t op_id : due) {
+      const auto it = ledger_.find(op_id);
+      if (it == ledger_.end()) continue;
+      OpState& st = it->second;
+      if (st.settled) {
+        if (round >= st.cleanup_at) ledger_.erase(it);
+        continue;
+      }
+      const std::uint64_t limit = st.first_issue + deadline_rounds();
+      if (round >= limit) {
+        settle_timeout(op_id, st, round);
+        continue;
+      }
+      if (st.retry_at == round) {
+        st.retry_at = kNever;
+        send_attempt(ctx, op_id, st, /*hedge=*/false);
+        continue;
+      }
+      if (st.hedge_at == round) {
+        st.hedge_at = kNever;
+        if (!st.hedged) send_attempt(ctx, op_id, st, /*hedge=*/true);
+        continue;
+      }
+      if (round >= st.last_issue + spec_->timeout_rounds) {
+        // The newest attempt timed out: remember its route, then back
+        // off and fail over — or give up within the deadline.
+        implicate(st);
+        if (st.attempts >=
+            std::max<std::size_t>(1, spec_->retry.max_attempts)) {
+          settle_timeout(op_id, st, round);
+          continue;
+        }
+        const std::uint64_t backoff = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(spec_->retry.backoff_base_rounds)
+                   << (st.attempts - 1));
+        const std::uint64_t when = round + backoff;
+        if (when + 1 >= limit) {
+          settle_timeout(op_id, st, round);
+          continue;
+        }
+        st.retry_at = when;
+        schedule_wake(when, op_id);
+      }
+      // A wake that matches none of the above is a superseded
+      // attempt-timeout check (a newer attempt reset the clock and
+      // scheduled its own wake): nothing to do.
+    }
+  }
+
+  /// Reply handling under the lifecycle.  Returns true if the reply
+  /// settled its op; stale (late/duplicate/hedge-echo) replies only
+  /// bump the stale counter — the ledger is idempotent by design.
+  bool handle_retry_reply(const net::Message& m, net::Context& ctx) {
+    const auto it = ledger_.find(m.payload[0]);
+    if (it == ledger_.end() || it->second.settled) {
+      ++recorder_.stale_replies;
+      return false;
+    }
+    OpState& st = it->second;
+    record_reply(m, ctx.round(), st.first_issue);
+    st.settled = true;
+    --open_ops_;
+    st.cleanup_at = ctx.round() + stale_grace();
+    schedule_wake(st.cleanup_at, m.payload[0]);
+    on_settled();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t open_ops() const noexcept { return open_ops_; }
+
+  /// Loop-mode hook: fired exactly once per op when it settles.
+  virtual void on_settled() {}
+
+ private:
+  void settle_timeout(std::uint64_t op_id, OpState& st, std::uint64_t round) {
+    // Latency is the client-observed wait since the FIRST attempt.
+    recorder_.latency.record(
+        std::max<std::uint64_t>(1, round - st.first_issue));
+    ++recorder_.timed_out;
+    st.settled = true;
+    --open_ops_;
+    st.cleanup_at = round + stale_grace();
+    schedule_wake(st.cleanup_at, op_id);
+    on_settled();
+  }
+
+  void send_attempt(net::Context& ctx, std::uint64_t op_id, OpState& st,
+                    bool hedge) {
+    const std::uint64_t round = ctx.round();
+    net::NodeId start;
+    if (spec_->retry.avoid_implicated && !st.implicated.empty()) {
+      start = pick_failover_start(st);
+    } else {
+      start = pick_start(round);
+    }
+    st.last_start = start;
+    st.last_issue = round;
+    if (hedge) {
+      st.hedged = true;
+      ++recorder_.hedges;
+    } else {
+      ++st.attempts;
+      ++recorder_.retries;
+    }
+    send_request(ctx, start, st.op, op_id, ctx.self(), spec_->padding_words);
+    schedule_wake(round + spec_->timeout_rounds, op_id);
+  }
+
+  /// A timed-out attempt implicates its en-route hop groups (a red
+  /// OWNER answers — corrupted — rather than timing out), capped to
+  /// keep per-op state tiny.
+  void implicate(OpState& st) {
+    if (!spec_->retry.avoid_implicated) return;
+    const World& world = service_->world();
+    world.route_into(route_scratch_, st.last_start, st.op.key);
+    if (!route_scratch_.ok) return;
+    const std::size_t hops = route_scratch_.path.size();
+    for (std::size_t i = 0; i + 1 < hops && st.implicated.size() < 16; ++i) {
+      const auto group = static_cast<std::uint32_t>(route_scratch_.path[i]);
+      if (std::find(st.implicated.begin(), st.implicated.end(), group) ==
+          st.implicated.end()) {
+        st.implicated.push_back(group);
+      }
+    }
+  }
+
+  /// Failover entry selection: draw K candidate entry groups, route
+  /// them all in ONE route_many batch, take the route overlapping the
+  /// implicated set least (ties: first drawn; same-entry re-use is
+  /// penalized one point).
+  [[nodiscard]] net::NodeId pick_failover_start(const OpState& st) {
+    const World& world = service_->world();
+    const std::size_t k =
+        std::max<std::size_t>(2, spec_->retry.failover_candidates);
+    cand_queries_.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      cand_queries_.push_back(
+          overlay::RouteQuery{rng_.below(world.groups()), st.op.key});
+    }
+    if (cand_routes_.size() < k) cand_routes_.resize(k);
+    world.route_many(cand_queries_.data(), k, cand_routes_.data());
+    std::size_t best = 0;
+    std::size_t best_score = ~std::size_t{0};
+    for (std::size_t i = 0; i < k; ++i) {
+      const overlay::Route& route = cand_routes_[i];
+      if (!route.ok) continue;
+      std::size_t score = 0;
+      for (std::size_t h = 0; h + 1 < route.path.size(); ++h) {
+        if (std::find(st.implicated.begin(), st.implicated.end(),
+                      static_cast<std::uint32_t>(route.path[h])) !=
+            st.implicated.end()) {
+          ++score;
+        }
+      }
+      if (cand_queries_[i].start == st.last_start) ++score;
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return static_cast<net::NodeId>(cand_queries_[best].start);
+  }
+
+  void note_goodput(std::uint64_t round) {
+    if (!spec_->track_round_goodput) return;
+    if (completed_by_round_.size() <= round) {
+      completed_by_round_.resize(round + 1, 0);
+    }
+    ++completed_by_round_[round];
+  }
+
+ protected:
   const Spec* spec_;
   Service* service_;
   Rng rng_;
   Recorder recorder_;
   std::uint64_t next_serial_ = 0;
+
+ private:
+  // Lifecycle state (only touched when retry_on()).
+  std::unordered_map<std::uint64_t, OpState> ledger_;
+  /// Wake slots by absolute round — the ONLY iteration over pending
+  /// ops, appended in deterministic handler order (never a map walk).
+  std::vector<std::vector<std::uint64_t>> wake_;
+  std::size_t open_ops_ = 0;
+  std::vector<std::uint64_t> completed_by_round_;
+  overlay::Route route_scratch_;
+  std::vector<overlay::RouteQuery> cand_queries_;
+  std::vector<overlay::Route> cand_routes_;
 };
 
 /// Open-loop generator: a deterministic arrival schedule, issued
@@ -276,23 +575,42 @@ class GeneratorNode final : public IssuerBase {
 
   void on_message(const net::Message& m, net::Context& ctx) override {
     if (bogus_ || m.tag != kTagReply || m.payload.empty()) return;
+    if (retry_on()) {
+      handle_retry_reply(m, ctx);
+      return;
+    }
     const auto it = inflight_.find(m.payload[0]);
-    if (it == inflight_.end()) return;  // already timed out
+    if (it == inflight_.end()) {
+      // Already timed out (or a duplicate delivery): the legacy
+      // ledger is idempotent too — counted, never recorded twice.
+      ++recorder_.stale_replies;
+      return;
+    }
     record_reply(m, ctx.round(), it->second);
     inflight_.erase(it);
   }
 
   void on_round_end(net::Context& ctx) override {
     const std::uint64_t round = ctx.round();
-    // Expire overdue ops (issue order == FIFO order).
-    while (!expiry_.empty() &&
-           round - expiry_.front().second >= spec_->timeout_rounds) {
-      const auto op_id = expiry_.front().first;
-      expiry_.pop_front();
-      if (inflight_.erase(op_id) != 0) record_timeout();
+    if (retry_on() && !bogus_) {
+      process_wakes(ctx);
+    } else {
+      // Expire overdue ops (issue order == FIFO order).
+      while (!expiry_.empty() &&
+             round - expiry_.front().second >= spec_->timeout_rounds) {
+        const auto op_id = expiry_.front().first;
+        expiry_.pop_front();
+        if (inflight_.erase(op_id) != 0) record_timeout();
+      }
     }
     if (round > spec_->rounds) return;  // generation window over: drain
     double rate = rate_;
+    if (bogus_ && !spec_->phases.empty()) {
+      // Scripted flood posture: the background source follows the
+      // adaptive adversary's current phase.
+      const AttackPhase* phase = phase_at(round);
+      rate = phase != nullptr ? phase->background_rate : 0.0;
+    }
     if (spec_->burst_every != 0 &&
         round % spec_->burst_every < spec_->burst_rounds) {
       rate *= spec_->burst_multiplier;
@@ -300,6 +618,10 @@ class GeneratorNode final : public IssuerBase {
     accumulator_ += rate;
     while (accumulator_ >= 1.0) {
       accumulator_ -= 1.0;
+      if (retry_on() && !bogus_) {
+        open_op(ctx);
+        continue;
+      }
       const std::uint64_t op_id = issue(ctx);
       if (bogus_) {
         recorder_.issued = 0;  // bogus load keeps no ledger
@@ -311,7 +633,7 @@ class GeneratorNode final : public IssuerBase {
   }
 
   [[nodiscard]] std::size_t inflight() const noexcept override {
-    return inflight_.size();
+    return retry_on() ? open_ops() : inflight_.size();
   }
 
  private:
@@ -329,13 +651,24 @@ class ClientNode final : public IssuerBase {
       : IssuerBase(spec, service, seed) {}
 
   void on_start(net::Context& ctx) override {
+    if (retry_on()) {
+      open_op(ctx);
+      return;
+    }
     inflight_id_ = issue(ctx);
     issue_round_ = ctx.round();
   }
 
   void on_message(const net::Message& m, net::Context& ctx) override {
-    if (m.tag != kTagReply || m.payload.empty() ||
-        m.payload[0] != inflight_id_ || inflight_id_ == 0) {
+    if (m.tag != kTagReply || m.payload.empty()) return;
+    if (retry_on()) {
+      handle_retry_reply(m, ctx);
+      return;
+    }
+    if (m.payload[0] != inflight_id_ || inflight_id_ == 0) {
+      // A reply for an op this client already gave up on (or a
+      // duplicate of one it already took): stale by definition.
+      ++recorder_.stale_replies;
       return;
     }
     record_reply(m, ctx.round(), issue_round_);
@@ -345,6 +678,16 @@ class ClientNode final : public IssuerBase {
 
   void on_round_end(net::Context& ctx) override {
     const std::uint64_t round = ctx.round();
+    if (retry_on()) {
+      process_wakes(ctx);
+      if (open_ops() != 0 || round > spec_->rounds) return;
+      if (think_left_ > 0) {
+        --think_left_;
+        return;
+      }
+      open_op(ctx);
+      return;
+    }
     if (inflight_id_ != 0 &&
         round - issue_round_ >= spec_->timeout_rounds) {
       record_timeout();
@@ -361,10 +704,12 @@ class ClientNode final : public IssuerBase {
   }
 
   [[nodiscard]] std::size_t inflight() const noexcept override {
-    return inflight_id_ != 0 ? 1 : 0;
+    return retry_on() ? open_ops() : (inflight_id_ != 0 ? 1 : 0);
   }
 
  private:
+  void on_settled() override { think_left_ = spec_->think_rounds; }
+
   std::uint64_t inflight_id_ = 0;
   std::uint64_t issue_round_ = 0;
   std::size_t think_left_ = 0;
@@ -376,18 +721,51 @@ std::string_view to_string(Mode mode) noexcept {
   return mode == Mode::open_loop ? "open" : "closed";
 }
 
-RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
+RunResult run(Service& service, const Spec& spec_in, std::uint64_t seed,
               std::size_t threads) {
   const World& world = service.world();
   // Warm the epoch routing index from the main thread (its row build
   // parallelizes on the global pool) before handlers start routing —
   // a pool worker hitting a cold index would build it inline.
   world.prepare_routing();
+
+  // Normalize the spec the nodes will observe: phases sorted, and the
+  // deprecated drop/delay aliases compiled into the fault plane (the
+  // single source of truth for message hazards).
+  Spec spec = spec_in;
+  std::stable_sort(spec.phases.begin(), spec.phases.end(),
+                   [](const AttackPhase& a, const AttackPhase& b) {
+                     return a.start_round < b.start_round;
+                   });
+  if (spec.drop_prob > 0.0 || spec.max_delay_rounds > 0) {
+    fault::HazardRule rule;
+    rule.drop_prob = spec.drop_prob;
+    if (spec.max_delay_rounds > 0) {
+      // Legacy semantics: uniform delay in [0, M] == delay with
+      // probability M/(M+1), magnitude uniform in 1..M.
+      rule.delay_prob = static_cast<double>(spec.max_delay_rounds) /
+                        (static_cast<double>(spec.max_delay_rounds) + 1.0);
+      rule.max_delay_rounds =
+          static_cast<std::uint32_t>(spec.max_delay_rounds);
+    }
+    spec.faults.rules.push_back(rule);
+    spec.drop_prob = 0.0;
+    spec.max_delay_rounds = 0;
+  }
+  if (!spec.faults.empty() && spec.faults.seed == 0) {
+    spec.faults.seed = mix64(seed ^ 0x6661756c74ULL);  // "fault"
+  }
+
+  // With an empty plan the injector seam is never attached: the
+  // delivery path is byte-identical to a fault-free build.
+  std::optional<fault::PlanInjector> injector;
   net::DeliveryPolicy policy;
-  policy.drop_prob = spec.drop_prob;
-  policy.max_delay_rounds = spec.max_delay_rounds;
   net::Network network(std::move(policy), mix64(seed ^ 0x776b6c6f6164ULL),
                        threads);
+  if (!spec.faults.empty()) {
+    injector.emplace(spec.faults);
+    network.set_fault_injector(&*injector);
+  }
   network.set_buffer_recycling(spec.recycle_buffers);
   network.set_payload_pooling(spec.pool_payloads);
 
@@ -419,7 +797,11 @@ RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
       network.add_node(std::move(node));
     }
   }
-  if (spec.background_rate > 0.0) {
+  bool any_background = spec.background_rate > 0.0;
+  for (const AttackPhase& phase : spec.phases) {
+    any_background = any_background || phase.background_rate > 0.0;
+  }
+  if (any_background) {
     network.add_node(std::make_unique<GeneratorNode>(
         spec, service, issuer_seed(~std::size_t{0}), spec.background_rate,
         /*bogus=*/true));
@@ -428,7 +810,16 @@ RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
   const Stopwatch sw;
   network.start();
   for (std::size_t r = 0; r < spec.rounds; ++r) network.run_round();
-  // Drain: every tracked op resolves within the timeout horizon.
+  // Drain: every tracked op resolves within its horizon — the timeout
+  // on the legacy path, the per-op deadline (plus the final attempt's
+  // timeout) under the retry lifecycle.
+  std::size_t drain_cap = spec.timeout_rounds + 8;
+  if (spec.retry.enabled) {
+    const std::size_t deadline = spec.retry.deadline_rounds != 0
+                                     ? spec.retry.deadline_rounds
+                                     : 4 * spec.timeout_rounds;
+    drain_cap = deadline + spec.timeout_rounds + 8;
+  }
   std::size_t drain = 0;
   const auto any_inflight = [&] {
     for (const IssuerBase* issuer : issuers) {
@@ -436,7 +827,7 @@ RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
     }
     return false;
   };
-  while (any_inflight() && drain < spec.timeout_rounds + 8) {
+  while (any_inflight() && drain < drain_cap) {
     network.run_round();
     ++drain;
   }
@@ -445,6 +836,15 @@ RunResult run(Service& service, const Spec& spec, std::uint64_t seed,
   out.seconds = sw.seconds();
   for (const IssuerBase* issuer : issuers) {
     out.recorder.merge(issuer->recorder());
+    if (spec.track_round_goodput) {
+      const auto& by_round = issuer->completed_by_round();
+      if (out.completed_by_round.size() < by_round.size()) {
+        out.completed_by_round.resize(by_round.size(), 0);
+      }
+      for (std::size_t r = 0; r < by_round.size(); ++r) {
+        out.completed_by_round[r] += by_round[r];
+      }
+    }
   }
   out.recorder.rounds = spec.rounds;
   for (const GroupNode* group : groups) {

@@ -27,7 +27,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "workload/histogram.hpp"
 #include "workload/service.hpp"
@@ -40,6 +42,46 @@ enum class Mode {
 };
 
 [[nodiscard]] std::string_view to_string(Mode mode) noexcept;
+
+/// The self-healing request lifecycle (off by default — the legacy
+/// issue-once/time-out path, kept selectable and equivalence-tested
+/// like the runtime's storage toggles).  When enabled, every op gets:
+/// per-op deadline -> exponential-backoff retries through an
+/// ALTERNATE entry group -> optional hedged second attempt after a
+/// p99-derived delay.  The op id stays stable across attempts, so the
+/// op ledger is idempotent: the first reply settles the op, every
+/// later (duplicate, hedged, post-timeout) reply is counted stale and
+/// dropped without touching the histogram.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Total send attempts per op, the first included.
+  std::size_t max_attempts = 4;
+  /// Backoff before attempt k+1 = base << (k - 1) rounds.
+  std::size_t backoff_base_rounds = 2;
+  /// Client-observed deadline per op; 0 = 4 x Spec::timeout_rounds.
+  std::size_t deadline_rounds = 0;
+  /// Launch a hedged second attempt if no reply after hedge_delay.
+  bool hedge = false;
+  /// 0 = derive per issue from the issuer's own p99 (bootstrap: half
+  /// the timeout until 8 latencies are recorded).
+  std::size_t hedge_delay_rounds = 0;
+  /// Failover routing: re-attempts avoid hop groups implicated by
+  /// this op's earlier timeouts, scored over `failover_candidates`
+  /// alternate entry groups via one route_many batch.
+  bool avoid_implicated = true;
+  std::size_t failover_candidates = 4;
+};
+
+/// A scripted change of adversary posture at a round boundary (the
+/// adaptive adversary's campaign compiles into these plus a
+/// fault::FaultPlan).  Phases are sorted by start_round; each applies
+/// until the next begins.  An empty phase list preserves the scalar
+/// eclipsed_fraction / background_rate knobs exactly.
+struct AttackPhase {
+  std::uint64_t start_round = 0;
+  double eclipsed_fraction = 0.0;
+  double background_rate = 0.0;
+};
 
 struct Spec {
   Mode mode = Mode::open_loop;
@@ -67,9 +109,27 @@ struct Spec {
   /// Bogus background requests per round that consume service and
   /// network capacity but are never recorded (the flood attack).
   double background_rate = 0.0;
-  /// Delivery-policy hazards (late_release maps to delay).
+  /// DEPRECATED aliases: message hazards now live in `faults` (the
+  /// single source of truth).  Non-zero values here are compiled by
+  /// run() into an equivalent always-on HazardRule appended to
+  /// `faults` (drop_prob as-is; max_delay_rounds M as delay_prob
+  /// M/(M+1) with uniform magnitude 1..M, the legacy uniform-[0,M]
+  /// distribution).  Prefer setting `faults` directly.
   double drop_prob = 0.0;
   std::size_t max_delay_rounds = 0;
+
+  /// The deterministic fault plane for this run (empty = pristine
+  /// delivery; the injector seam is then never attached and traffic
+  /// is byte-identical to a fault-free build).  A zero plan seed is
+  /// replaced with a run-seed derivation.
+  fault::FaultPlan faults;
+  /// The self-healing lifecycle (see RetryPolicy).
+  RetryPolicy retry;
+  /// Scripted adversary posture changes (see AttackPhase).
+  std::vector<AttackPhase> phases;
+  /// Record per-delivery-round completion counts into
+  /// RunResult::completed_by_round (recovery-time measurement).
+  bool track_round_goodput = false;
 
   /// Synthetic certificate words padding every request/reply (above
   /// net::Words::kInlineCapacity the traffic exercises the payload
@@ -89,6 +149,9 @@ struct RunResult {
   std::uint64_t trace_hash = 0;  ///< runtime determinism fingerprint
   std::uint64_t rounds_run = 0;  ///< generation + drain
   double seconds = 0.0;          ///< wall clock (perf reporting only)
+  /// Completed ops per delivery round (empty unless
+  /// Spec::track_round_goodput): the recovery trajectory.
+  std::vector<std::uint64_t> completed_by_round;
 };
 
 /// Drive `spec` traffic for `service` over its world.  The service

@@ -76,6 +76,9 @@ void Recorder::merge(const Recorder& other) noexcept {
   rounds += other.rounds;
   wire_messages += other.wire_messages;
   analytic_messages += other.analytic_messages;
+  retries += other.retries;
+  hedges += other.hedges;
+  stale_replies += other.stale_replies;
 }
 
 }  // namespace tg::workload

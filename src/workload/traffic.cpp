@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "adversary/adaptive.hpp"
 #include "adversary/omit_ids.hpp"
 #include "adversary/precompute.hpp"
 #include "baseline/commensal_cuckoo.hpp"
@@ -142,15 +143,83 @@ void fill_metrics(const Recorder& r, std::vector<double>& out) {
   out[8] = r.finished() ? static_cast<double>(r.analytic_messages) /
                               static_cast<double>(r.finished())
                         : 0.0;
+  out[9] = r.retry_amplification();
+}
+
+/// The public campaign state the adaptive adversary conditions on:
+/// structure facts from the world, the keyspace hot spot from the
+/// same key derivation the services use.
+adversary::AdaptiveObservation observe_world(const World& world,
+                                             const ScenarioSpec& spec,
+                                             std::size_t key_space,
+                                             std::uint64_t salt) {
+  adversary::AdaptiveObservation obs;
+  obs.groups = world.groups();
+  obs.red_fraction = world.red_fraction();
+  obs.most_bad_group = world.most_bad_group();
+  const auto& heaviest = world.composition(obs.most_bad_group);
+  obs.max_bad_fraction =
+      heaviest.size ? static_cast<double>(heaviest.bad) /
+                          static_cast<double>(heaviest.size)
+                    : 0.0;
+  obs.churn_epochs = spec.churn.epochs;
+  std::vector<std::uint32_t> owned(world.groups(), 0);
+  for (std::size_t k = 0; k < key_space; ++k) {
+    ++owned[world.responsible(KvService::key_point(k, salt))];
+  }
+  const auto hottest = std::max_element(owned.begin(), owned.end());
+  obs.hot_group = static_cast<std::size_t>(hottest - owned.begin());
+  obs.hot_share = key_space ? static_cast<double>(*hottest) /
+                                  static_cast<double>(key_space)
+                            : 0.0;
+  return obs;
+}
+
+/// Layer `extra` onto `base` (rules/windows append; an unseeded base
+/// adopts the extra plan's seed).
+void merge_plan(fault::FaultPlan& base, const fault::FaultPlan& extra) {
+  if (base.seed == 0) base.seed = extra.seed;
+  base.rules.insert(base.rules.end(), extra.rules.begin(), extra.rules.end());
+  base.partitions.insert(base.partitions.end(), extra.partitions.begin(),
+                         extra.partitions.end());
+  base.crashes.insert(base.crashes.end(), extra.crashes.begin(),
+                      extra.crashes.end());
 }
 
 RunResult run_one(const ScenarioSpec& spec, bool with_adversary, Rng& rng) {
   World world = world_for_trial(spec, with_adversary, rng);
   const std::size_t key_space = std::max<std::size_t>(64, spec.n / 4);
+  const std::uint64_t service_salt = rng();
   const auto service =
-      make_service(spec.workload.service, world, key_space, rng());
-  return run(*service, engine_spec(spec, with_adversary), rng(),
-             /*threads=*/1);
+      make_service(spec.workload.service, world, key_space, service_salt);
+  Spec engine = engine_spec(spec, with_adversary);
+  if (with_adversary && spec.adversary == AdversaryKind::adaptive) {
+    // Observe, plan, lower: message-level actions into the fault
+    // plane, traffic-level postures into attack phases.  All draws
+    // come from the trial rng AFTER the legacy draw positions, so
+    // non-adaptive cells reproduce their pre-fault-plane traffic.
+    const adversary::AdaptiveObservation obs =
+        observe_world(world, spec, key_space, service_salt);
+    const std::size_t epochs = std::clamp<std::size_t>(spec.churn.epochs,
+                                                       2, 8);
+    const std::size_t rounds_per_epoch =
+        std::max<std::size_t>(8, engine.rounds / epochs);
+    const adversary::AdaptivePlan plan = adversary::plan_adaptive_campaign(
+        obs, epochs, rounds_per_epoch, rng());
+    engine.faults = adversary::compile_faults(plan);
+    for (const adversary::EpochAction& action : plan.actions) {
+      engine.phases.push_back(AttackPhase{action.begin_round,
+                                          action.eclipsed_fraction,
+                                          action.background_rate});
+    }
+  }
+  if (!spec.workload.faults_preset.empty()) {
+    const auto preset =
+        fault::fault_preset(spec.workload.faults_preset, world.groups(),
+                            engine.rounds, rng());
+    if (preset.has_value()) merge_plan(engine.faults, *preset);
+  }
+  return run(*service, engine, rng(), /*threads=*/1);
 }
 
 }  // namespace
@@ -160,6 +229,7 @@ const std::vector<std::string>& traffic_metric_names() {
       "p50_rounds",        "p90_rounds",       "p99_rounds",
       "p999_rounds",       "ops_per_round",    "completed_fraction",
       "failed_fraction",   "timeout_fraction", "analytic_messages_per_op",
+      "retry_amplification",
   };
   return names;
 }
@@ -191,6 +261,7 @@ Spec engine_spec(const ScenarioSpec& spec, bool with_adversary) {
   out.timeout_rounds = axis.timeout_rounds;
   out.rate = axis.rate;
   out.clients = axis.clients;
+  out.retry.enabled = axis.retries;
   if (!with_adversary) return out;
   switch (spec.adversary) {
     case AdversaryKind::eclipse:

@@ -18,6 +18,7 @@
 
 #include "core/group_table.hpp"
 #include "dispatch_seams.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "overlay/routing_index.hpp"
 #include "scenario/scenario.hpp"
@@ -184,6 +185,72 @@ struct ChurnStep {
       << scenario::to_string(s.workload.loop) << " rate=" << s.workload.rate
       << " clients=" << s.workload.clients << " rounds=" << s.workload.rounds
       << '}';
+  return out.str();
+}
+
+// ---- Fault plans ----------------------------------------------------------
+
+/// Seeded fault schedules over a bounded shape: up to two hazard
+/// rules (probabilities quantized to 10% notches, delays <= 3 rounds),
+/// at most one partition window and one crash window inside
+/// [0, rounds) x [0, groups).  Shrinks toward the EMPTY plan (zero
+/// tape = no rules, no windows, seed 0 — the explicit "no faults"
+/// value), so a minimal counterexample names the single hazard that
+/// still breaks the property.
+[[nodiscard]] inline Gen<fault::FaultPlan> fault_plan(std::size_t groups,
+                                                      std::size_t rounds) {
+  return {[groups, rounds](Source& src) {
+    fault::FaultPlan plan;
+    const std::size_t n_rules = src.below(3);
+    for (std::size_t i = 0; i < n_rules; ++i) {
+      fault::HazardRule rule;
+      rule.begin_round = src.below(rounds);
+      rule.end_round = rule.begin_round + 1 + src.below(rounds);
+      rule.drop_prob = 0.1 * static_cast<double>(src.below(4));
+      rule.duplicate_prob = 0.1 * static_cast<double>(src.below(4));
+      rule.reorder_prob = 0.1 * static_cast<double>(src.below(4));
+      rule.delay_prob = 0.1 * static_cast<double>(src.below(4));
+      rule.max_delay_rounds = static_cast<std::uint32_t>(1 + src.below(3));
+      plan.rules.push_back(rule);
+    }
+    if (src.below(2) != 0) {
+      fault::PartitionWindow w;
+      w.begin_round = src.below(rounds / 2 + 1);
+      w.end_round = w.begin_round + 1 + src.below(rounds / 2 + 1);
+      w.side_lo = 0;
+      w.side_hi = static_cast<std::uint32_t>(1 + src.below(groups / 2 + 1));
+      plan.partitions.push_back(w);
+    }
+    if (src.below(2) != 0) {
+      fault::CrashWindow w;
+      w.begin_round = src.below(rounds / 2 + 1);
+      w.end_round = w.begin_round + 1 + src.below(rounds / 4 + 1);
+      w.node_lo = 0;
+      w.node_hi = static_cast<std::uint32_t>(1 + src.below(groups / 4 + 1));
+      plan.crashes.push_back(w);
+    }
+    if (!plan.empty()) plan.seed = src.draw() | 1;
+    return plan;
+  }};
+}
+
+[[nodiscard]] inline std::string show_fault_plan(const fault::FaultPlan& p) {
+  std::ostringstream out;
+  out << "faults{seed=0x" << std::hex << p.seed << std::dec;
+  for (const auto& r : p.rules) {
+    out << " rule[" << r.begin_round << ',' << r.end_round << ")d=" <<
+        r.drop_prob << "/u=" << r.duplicate_prob << "/o=" << r.reorder_prob
+        << "/y=" << r.delay_prob << "x" << r.max_delay_rounds;
+  }
+  for (const auto& w : p.partitions) {
+    out << " part[" << w.begin_round << ',' << w.end_round << ")<"
+        << w.side_hi;
+  }
+  for (const auto& w : p.crashes) {
+    out << " crash[" << w.begin_round << ',' << w.end_round << ")<"
+        << w.node_hi;
+  }
+  out << '}';
   return out.str();
 }
 

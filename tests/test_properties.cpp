@@ -749,5 +749,85 @@ TEST(WorkloadProperties, CellTrafficIsShardInvariant) {
       iters(2), proptest_domains::show_spec);
 }
 
+// ---------- Fault plane ----------
+
+TEST(FaultProperties, FaultedTrafficIsThreadInvariant) {
+  // The fault plane's determinism contract: an ARBITRARY generated
+  // fault schedule driven through the self-healing lifecycle is
+  // bit-identical at 1 vs 4 executor threads — faults are keyed draws
+  // over (round, message id), never iteration order.
+  using Case = std::pair<scenario::ScenarioSpec, fault::FaultPlan>;
+  expect_property<Case>(
+      "fault.faulted-traffic-thread-invariant",
+      proptest::pair_of(proptest_domains::traffic_spec(),
+                        proptest_domains::fault_plan(24, 48)),
+      [](const Case& c) {
+        const auto run_once = [&](std::size_t threads) {
+          Rng rng(c.first.seed);
+          const workload::World world =
+              workload::world_for_trial(c.first, false, rng);
+          const auto service = workload::make_service(
+              c.first.workload.service, world, 128, rng());
+          workload::Spec engine = workload::engine_spec(c.first, false);
+          engine.faults = c.second;
+          engine.retry.enabled = true;
+          return workload::run(*service, engine, rng(), threads);
+        };
+        const auto one = run_once(1);
+        const auto four = run_once(4);
+        return one.trace_hash == four.trace_hash &&
+               one.recorder.issued == four.recorder.issued &&
+               one.recorder.completed == four.recorder.completed &&
+               one.recorder.timed_out == four.recorder.timed_out &&
+               one.recorder.retries == four.recorder.retries &&
+               one.recorder.stale_replies == four.recorder.stale_replies &&
+               one.recorder.latency.p99() == four.recorder.latency.p99();
+      },
+      iters(3),
+      [](const Case& c) {
+        return proptest_domains::show_spec(c.first) + " " +
+               proptest_domains::show_fault_plan(c.second);
+      });
+}
+
+TEST(FaultProperties, ZeroProbabilityPlansAreByteIdenticalToNoFaults) {
+  // The off-path contract, swept: declaring fault structure with every
+  // probability zeroed (windows emptied) must deliver byte-identical
+  // traffic to never attaching an injector — the seam itself is free.
+  using Case = std::pair<scenario::ScenarioSpec, std::uint64_t>;
+  expect_property<Case>(
+      "fault.off-path-byte-identical",
+      proptest::pair_of(proptest_domains::traffic_spec(), proptest::u64()),
+      [](const Case& c) {
+        const auto run_once = [&](bool armed) {
+          Rng rng(c.first.seed);
+          const workload::World world =
+              workload::world_for_trial(c.first, false, rng);
+          const auto service = workload::make_service(
+              c.first.workload.service, world, 128, rng());
+          workload::Spec engine = workload::engine_spec(c.first, false);
+          if (armed) {
+            engine.faults.seed = c.second;
+            engine.faults.rules.push_back(fault::HazardRule{});
+            engine.faults.rules.push_back(fault::HazardRule{});
+          }
+          return workload::run(*service, engine, rng(), 1);
+        };
+        const auto off = run_once(false);
+        const auto armed = run_once(true);
+        return off.trace_hash == armed.trace_hash &&
+               off.recorder.issued == armed.recorder.issued &&
+               off.recorder.completed == armed.recorder.completed &&
+               off.recorder.timed_out == armed.recorder.timed_out &&
+               off.net.delivered == armed.net.delivered &&
+               armed.net.fault_dropped == 0 &&
+               armed.net.fault_delayed == 0;
+      },
+      iters(3),
+      [](const Case& c) {
+        return proptest_domains::show_spec(c.first);
+      });
+}
+
 }  // namespace
 }  // namespace tg

@@ -65,7 +65,7 @@ TEST(ScenarioRegistry, LookupAndFilter) {
   // Campaign tags partition the grid.
   std::size_t tagged = 0;
   std::set<std::string> campaigns;
-  for (const char* tag : {"static", "dynamic", "pow"}) {
+  for (const char* tag : {"static", "dynamic", "pow", "faults"}) {
     const auto slice = registry.match(tag);
     EXPECT_FALSE(slice.empty()) << tag;
     for (const auto* cell : slice) {

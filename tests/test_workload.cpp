@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/scenario.hpp"
 #include "workload/engine.hpp"
@@ -352,6 +353,126 @@ TEST(WorkloadService, LookupRegistersOnlyOnBlueOwners) {
   LookupService service(world, 200, /*salt=*/17);
   EXPECT_LT(service.registered(), 200u);
   EXPECT_GT(service.registered(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing lifecycle regressions: late and duplicate replies must
+// not corrupt the op ledger or double-count the histogram, on BOTH the
+// legacy fire-once path and the retry lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadLifecycle, ReplyAfterTimeoutIsStaleNotDoubleCounted) {
+  for (const bool retry : {false, true}) {
+    const World world = synthetic_world(/*red_groups=*/0);
+    KvService service(world, 64, /*salt=*/3);
+    workload::Spec spec;
+    spec.mode = workload::Mode::open_loop;
+    spec.rate = 2.0;
+    spec.rounds = 64;
+    spec.timeout_rounds = 4;
+    spec.retry.enabled = retry;
+    spec.retry.max_attempts = 2;
+    // Every hop delayed 1..12 rounds with certainty: most replies land
+    // AFTER the client's timeout already resolved the op.
+    fault::HazardRule delay_all;
+    delay_all.delay_prob = 1.0;
+    delay_all.max_delay_rounds = 12;
+    spec.faults.seed = 99;
+    spec.faults.rules.push_back(delay_all);
+    const auto res = workload::run(service, spec, 13, 1);
+    const Recorder& r = res.recorder;
+    ASSERT_GT(r.issued, 0u) << "retry=" << retry;
+    // Ledger integrity: every op resolves exactly once...
+    EXPECT_EQ(r.finished(), r.issued) << "retry=" << retry;
+    // ...and records exactly one latency (no double count from the
+    // late replies)...
+    EXPECT_EQ(r.latency.count(), r.issued) << "retry=" << retry;
+    // ...while the post-timeout replies are visible as stale.
+    EXPECT_GT(r.stale_replies, 0u) << "retry=" << retry;
+    EXPECT_GT(r.timed_out, 0u) << "retry=" << retry;
+  }
+}
+
+TEST(WorkloadLifecycle, DuplicateRepliesSettleOnceAndCountStale) {
+  for (const bool retry : {false, true}) {
+    const World world = synthetic_world(/*red_groups=*/0);
+    KvService service(world, 64, /*salt=*/3);
+    workload::Spec spec;
+    spec.mode = workload::Mode::open_loop;
+    spec.rate = 2.0;
+    spec.rounds = 64;
+    spec.timeout_rounds = 16;
+    spec.retry.enabled = retry;
+    // Every message duplicated: each op's reply arrives (at least)
+    // twice.  The idempotent ledger settles on the first copy.
+    fault::HazardRule dup_all;
+    dup_all.duplicate_prob = 1.0;
+    spec.faults.seed = 99;
+    spec.faults.rules.push_back(dup_all);
+    const auto res = workload::run(service, spec, 13, 1);
+    const Recorder& r = res.recorder;
+    ASSERT_GT(r.issued, 0u) << "retry=" << retry;
+    // All-blue world, lossless links: every op completes, exactly once.
+    EXPECT_EQ(r.completed, r.issued) << "retry=" << retry;
+    EXPECT_EQ(r.latency.count(), r.issued) << "retry=" << retry;
+    EXPECT_EQ(r.failed, 0u) << "retry=" << retry;
+    EXPECT_GT(r.stale_replies, 0u) << "retry=" << retry;
+    EXPECT_GT(res.net.fault_duplicated, 0u) << "retry=" << retry;
+  }
+}
+
+TEST(WorkloadLifecycle, RetriesRecoverGoodputUnderDrops) {
+  const auto run_with = [](bool retry) {
+    const World world = synthetic_world(/*red_groups=*/0);
+    KvService service(world, 64, /*salt=*/3);
+    workload::Spec spec;
+    spec.mode = workload::Mode::open_loop;
+    spec.rate = 2.0;
+    spec.rounds = 96;
+    spec.timeout_rounds = 8;
+    spec.retry.enabled = retry;
+    fault::HazardRule drops;
+    drops.drop_prob = 0.4;
+    spec.faults.seed = 7;
+    spec.faults.rules.push_back(drops);
+    return workload::run(service, spec, 21, 1);
+  };
+  const auto noretry = run_with(false);
+  const auto retry = run_with(true);
+  EXPECT_GT(retry.recorder.retries, 0u);
+  EXPECT_EQ(noretry.recorder.retries, 0u);
+  // Same arrivals (the schedule is seed-driven), more completions.
+  EXPECT_EQ(retry.recorder.issued, noretry.recorder.issued);
+  EXPECT_GT(retry.recorder.completed, noretry.recorder.completed);
+  EXPECT_GT(retry.recorder.retry_amplification(), 1.0);
+  EXPECT_DOUBLE_EQ(noretry.recorder.retry_amplification(), 1.0);
+}
+
+TEST(WorkloadLifecycle, HedgedAttemptsFireAndStayDeterministic) {
+  const auto run_once = [](std::size_t threads) {
+    const World world = synthetic_world(/*red_groups=*/0);
+    KvService service(world, 64, /*salt=*/3);
+    workload::Spec spec;
+    spec.mode = workload::Mode::closed_loop;
+    spec.clients = 6;
+    spec.rounds = 96;
+    spec.timeout_rounds = 16;
+    spec.retry.enabled = true;
+    spec.retry.hedge = true;
+    spec.retry.hedge_delay_rounds = 2;
+    fault::HazardRule drops;
+    drops.drop_prob = 0.3;
+    spec.faults.seed = 7;
+    spec.faults.rules.push_back(drops);
+    return workload::run(service, spec, 33, threads);
+  };
+  const auto one = run_once(1);
+  const auto four = run_once(4);
+  EXPECT_GT(one.recorder.hedges, 0u);
+  EXPECT_EQ(one.trace_hash, four.trace_hash);
+  EXPECT_EQ(one.recorder.hedges, four.recorder.hedges);
+  EXPECT_EQ(one.recorder.completed, four.recorder.completed);
+  EXPECT_EQ(one.recorder.finished(), one.recorder.issued);
 }
 
 // ---------------------------------------------------------------------------
