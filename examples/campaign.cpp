@@ -75,7 +75,13 @@ void usage(const char* argv0) {
       << "  --adversary NAME replace every matched cell's adversary (e.g.\n"
       << "                   adaptive, which switches strategy per epoch)\n"
       << "  --retries        run matched cells' clients with the\n"
-      << "                   self-healing retry/hedge lifecycle\n";
+      << "                   self-healing retry/hedge lifecycle\n"
+      << "  --metrics-out P  record telemetry during trial runs and write\n"
+      << "                   the merged metrics JSON (telemetry.metrics\n"
+      << "                   schema) to P; deterministic at any --threads\n"
+      << "  --trace-out P    write the merged Chrome trace-event JSON\n"
+      << "                   (chrome://tracing / Perfetto) to P;\n"
+      << "                   deterministic at any --threads\n";
 }
 
 bool ends_with_json(std::string_view path) {
@@ -117,6 +123,8 @@ int main(int argc, char** argv) {
 
   scenario::CampaignOptions options;
   std::string out_dir = ".";
+  std::string metrics_out;
+  std::string trace_out;
   bool list_only = false;
   bool round_loop = true;
 
@@ -195,6 +203,10 @@ int main(int argc, char** argv) {
       options.retries_override = true;
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--no-roundloop") {
       round_loop = false;
     } else {
@@ -274,8 +286,46 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n';
 
+  // Telemetry capture: per-trial sessions merged in trial-seed order,
+  // so both artifacts are byte-identical at any --threads.
+  const bool telemetry_on = !metrics_out.empty() || !trace_out.empty();
+  telemetry::Capture capture;
+  if (telemetry_on) telemetry::set_capture(&capture);
+
   const scenario::CampaignRunner runner(options);
   const auto results = runner.run();
+
+  if (telemetry_on) {
+    telemetry::set_capture(nullptr);
+    const auto write_artifact = [](const std::string& path,
+                                   const std::string& body) {
+      std::ofstream out(path, std::ios::binary);
+      out << body;
+      if (!out) {
+        std::cerr << "campaign: failed to write " << path << '\n';
+        return false;
+      }
+      std::cout << "campaign: wrote " << path << '\n';
+      return true;
+    };
+    // NOTE: no thread-dependent keys in meta — the artifacts must be
+    // byte-identical at any --threads (the contract the telemetry
+    // bench gates).
+    if (!metrics_out.empty()) {
+      telemetry::ExportMeta meta;
+      meta.emplace_back("filter", options.filter);
+      meta.emplace_back("trial_sessions",
+                        std::to_string(capture.session_count()));
+      if (!write_artifact(metrics_out, capture.metrics_json(meta))) return 1;
+    }
+    if (!trace_out.empty()) {
+      if (!write_artifact(trace_out, capture.chrome_trace_json())) return 1;
+    }
+    if (capture.trace_dropped() != 0) {
+      std::cerr << "campaign: warning: " << capture.trace_dropped()
+                << " trace events dropped (ring capacity)\n";
+    }
+  }
 
   scenario::CampaignRunner::print(results, std::cout);
 

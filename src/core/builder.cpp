@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace tg::core {
 
 namespace {
@@ -85,6 +87,9 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
 
   BuildStats local_stats;
   BuildStats& st = stats ? *stats : local_stats;
+  // Callers may accumulate one BuildStats across several builds, so
+  // telemetry publishes before/after deltas of this build only.
+  const BuildStats st_before = st;
 
   // Streaming assembly: in soa mode each group's accepted members are
   // appended straight into the slab's open span (finish_group sorts
@@ -231,6 +236,26 @@ std::shared_ptr<GroupGraph> EpochBuilder::build_graph(
     if (graph->group(i).confused) ++st.confused_groups;
     if (graph->group(i).is_bad(params_)) ++st.bad_groups;
   }
+  if (auto* session = telemetry::active()) {
+    using telemetry::Probe;
+    const auto mem_requests = st.membership_requests - st_before.membership_requests;
+    const auto mem_rejects = st.membership_rejects - st_before.membership_rejects;
+    const auto nbr_requests = st.neighbor_requests - st_before.neighbor_requests;
+    const auto nbr_rejects = st.neighbor_rejects - st_before.neighbor_rejects;
+    session->count(Probe::core_membership_requests, mem_requests);
+    session->count(Probe::core_membership_rejects, mem_rejects);
+    session->count(Probe::core_membership_dual_failures,
+                   st.membership_dual_failures -
+                       st_before.membership_dual_failures);
+    session->count(Probe::core_neighbor_requests, nbr_requests);
+    session->count(Probe::core_neighbor_rejects, nbr_rejects);
+    session->count(Probe::core_neighbor_dual_failures,
+                   st.neighbor_dual_failures - st_before.neighbor_dual_failures);
+    session->event(telemetry::EventName::epoch_membership, telemetry::kSrcCore,
+                   'i', /*id=*/0, mem_requests, mem_rejects);
+    session->event(telemetry::EventName::epoch_neighbors, telemetry::kSrcCore,
+                   'i', /*id=*/0, nbr_requests, nbr_rejects);
+  }
   return graph;
 }
 
@@ -248,6 +273,12 @@ EpochGraphs EpochBuilder::build_next(const EpochGraphs& old, Rng& rng,
     out.g2 = build_graph(old, out.pop, oracles_.h2, rng, stats);
   } else {
     out.g2 = out.g1;
+  }
+  if (auto* session = telemetry::active()) {
+    session->set_epoch(session->epoch() + 1);
+    session->count(telemetry::Probe::core_epoch_builds);
+    session->event(telemetry::EventName::epoch_build, telemetry::kSrcCore, 'i',
+                   /*id=*/0, /*a=*/session->epoch());
   }
   return out;
 }

@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace tg::core {
+
+namespace {
+
+/// Shared by both pristine layouts: one build counter plus an instant
+/// marking the (n, groups) shape in the trace.
+void record_pristine_build(std::size_t n, std::size_t groups) {
+  if (auto* session = telemetry::active()) {
+    session->count(telemetry::Probe::core_pristine_builds);
+    session->event(telemetry::EventName::pristine_build, telemetry::kSrcCore,
+                   'i', /*id=*/0, /*a=*/n, /*b=*/groups);
+  }
+}
+
+}  // namespace
 
 GroupGraph::GroupGraph(const Params& params,
                        std::shared_ptr<const Population> leaders,
@@ -96,6 +112,7 @@ GroupGraph GroupGraph::pristine(const Params& params,
         table.set_bad_members(id, bad);
       }
     }
+    record_pristine_build(n, table.size());
     return GroupGraph(params, pop, pop, std::move(table));
   }
 
@@ -125,6 +142,7 @@ GroupGraph GroupGraph::pristine(const Params& params,
       if (pop->is_bad(m)) ++grp.bad_members;
     }
   }
+  record_pristine_build(n, groups.size());
   return GroupGraph(params, pop, pop, std::move(groups));
 }
 

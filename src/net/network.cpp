@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tg::net {
@@ -125,6 +126,10 @@ void Network::start() {
 std::size_t Network::run_round() {
   ++round_;
   ++stats_.rounds;
+  // The session pointer is resolved once per round; with none active
+  // this branch is the round loop's entire telemetry cost.
+  telemetry::Session* const telem = telemetry::active();
+  if (telem != nullptr) telem->set_round(static_cast<std::uint32_t>(round_));
 
   // Release messages whose delay expires this round.
   if (round_ < delayed_.size()) {
@@ -192,7 +197,38 @@ std::size_t Network::run_round() {
     route_outbox(outboxes[i]);
   }
   flush_reordered();
+  if (telem != nullptr) telem_flush_round(*telem, delivered);
   return delivered;
+}
+
+void Network::telem_flush_round(telemetry::Session& session,
+                                std::size_t delivered) {
+  using telemetry::Probe;
+  const NetworkStats& s = stats_;
+  const NetworkStats& p = telem_prev_stats_;
+  session.count(Probe::net_messages_sent, s.sent - p.sent);
+  session.count(Probe::net_messages_delivered, s.delivered - p.delivered);
+  session.count(Probe::net_messages_dropped, s.dropped - p.dropped);
+  session.count(Probe::net_messages_delayed, s.delayed - p.delayed);
+  session.count(Probe::net_messages_corrupted, s.corrupted - p.corrupted);
+  session.count(Probe::net_rounds, s.rounds - p.rounds);
+  session.count(Probe::net_fault_dropped, s.fault_dropped - p.fault_dropped);
+  session.count(Probe::net_fault_delayed, s.fault_delayed - p.fault_delayed);
+  session.count(Probe::net_fault_duplicated,
+                s.fault_duplicated - p.fault_duplicated);
+  session.count(Probe::net_fault_reordered,
+                s.fault_reordered - p.fault_reordered);
+  const WordArena::Stats arena = arena_.stats();
+  const WordArena::Stats& ap = telem_prev_arena_;
+  session.count(Probe::net_arena_allocated, arena.allocated - ap.allocated);
+  session.count(Probe::net_arena_released, arena.released - ap.released);
+  session.count(Probe::net_arena_unpooled, arena.unpooled - ap.unpooled);
+  session.count(Probe::net_arena_recycled, arena.recycled - ap.recycled);
+  session.sample(Probe::net_delivered_per_round, delivered);
+  session.event(telemetry::EventName::net_round, telemetry::kSrcNet, 'C',
+                /*id=*/0, /*a=*/delivered, /*b=*/s.sent - p.sent);
+  telem_prev_stats_ = s;
+  telem_prev_arena_ = arena;
 }
 
 std::size_t Network::run_until_quiescent(std::size_t max_rounds) {

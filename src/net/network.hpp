@@ -35,6 +35,10 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
+namespace tg::telemetry {
+class Session;
+}
+
 namespace tg::net {
 
 /// Per-message delivery fate, decided by the policy RNG.
@@ -193,6 +197,11 @@ class Network {
   /// still lands in the same round's mailboxes, merely out of order.
   void flush_reordered();
   void absorb_trace(const Message& m) noexcept;
+  /// End-of-round telemetry flush (only called with a session active):
+  /// publishes this round's stats/arena deltas as counters, samples
+  /// the delivery histogram, and emits the per-round counter event.
+  /// Runs at a sequential point, after the outbox merge.
+  void telem_flush_round(telemetry::Session& session, std::size_t delivered);
 
   DeliveryPolicy policy_;
   Rng policy_rng_;
@@ -220,6 +229,10 @@ class Network {
   /// Routed-message counter: the (round, msg_seq) key of fault draws.
   std::uint64_t fault_seq_ = 0;
   NetworkStats stats_;
+  /// Snapshots of the counters already published to telemetry, so each
+  /// round reports deltas (start()'s traffic folds into round 1).
+  NetworkStats telem_prev_stats_;
+  WordArena::Stats telem_prev_arena_;
   std::uint64_t round_ = 0;
   std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV offset
   bool started_ = false;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "overlay/routing_index.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tg::overlay {
@@ -34,6 +35,23 @@ Route InputGraph::route(std::size_t start, RingPoint key) const {
   return r;
 }
 
+namespace {
+
+/// Per-route telemetry: route + failure counters plus the hop
+/// histogram (successful routes only; failures carry no meaningful
+/// hop count).  Counts are pure functions of the queries, so they are
+/// identical at any executor width.
+inline void record_route(telemetry::Session& session, const Route& r) {
+  session.count(telemetry::Probe::overlay_routes);
+  if (r.ok) {
+    session.sample(telemetry::Probe::overlay_hops, r.hops());
+  } else {
+    session.count(telemetry::Probe::overlay_route_failures);
+  }
+}
+
+}  // namespace
+
 void InputGraph::route_into(Route& out, std::size_t start,
                             RingPoint key) const {
   out.reset();
@@ -42,6 +60,7 @@ void InputGraph::route_into(Route& out, std::size_t start,
   } else {
     route_legacy(out, start, key);
   }
+  if (auto* session = telemetry::active()) record_route(*session, out);
 }
 
 void InputGraph::route_many(const RouteQuery* queries, std::size_t count,
@@ -59,6 +78,9 @@ void InputGraph::route_many(const RouteQuery* queries, std::size_t count,
       route_legacy(out[q], queries[q].start, queries[q].key);
     }
   }
+  if (auto* session = telemetry::active()) {
+    for (std::size_t q = 0; q < count; ++q) record_route(*session, out[q]);
+  }
 }
 
 void InputGraph::route_many(const std::vector<RouteQuery>& queries,
@@ -70,6 +92,11 @@ void InputGraph::route_many(const std::vector<RouteQuery>& queries,
 const RoutingIndex& InputGraph::index() const {
   const RoutingIndex* cached = index_ptr_.load(std::memory_order_acquire);
   if (cached != nullptr && cached->table_version() == table_->version()) {
+    // Hit/build attribution is deterministic in every gated flow
+    // because runs warm the index from the main thread before any
+    // parallel phase (see the rebuild comment below); only a
+    // concurrent cold rebuild race could skew it.
+    telemetry::count(telemetry::Probe::overlay_index_hits);
     return *cached;
   }
   std::lock_guard<std::mutex> lock(index_mutex_);
@@ -88,6 +115,12 @@ const RoutingIndex& InputGraph::index() const {
     }
     index_ = std::move(fresh);
     index_ptr_.store(index_.get(), std::memory_order_release);
+    if (auto* session = telemetry::active()) {
+      session->count(telemetry::Probe::overlay_index_builds);
+      session->event(telemetry::EventName::index_rebuild,
+                     telemetry::kSrcOverlay, 'i', /*id=*/0,
+                     /*a=*/index_->table_version(), /*b=*/index_->size());
+    }
   }
   return *index_;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tg::sim {
@@ -28,6 +29,12 @@ std::vector<RunningStats> run_trials_multi(
   const std::size_t shard_count =
       std::min<std::size_t>(trials, threads == 0 ? 8 : threads);
 
+  // Telemetry capture: one scope per fan-out call, one session per
+  // trial keyed (scope, trial) — the merged export is a pure function
+  // of the trial sequence, independent of shard count or schedule.
+  telemetry::Capture* const cap = telemetry::capture();
+  const std::uint64_t telem_scope = cap != nullptr ? cap->next_scope() : 0;
+
   // Per-shard accumulators merged in shard order AFTER the parallel
   // region: results are a pure function of (seed, trials, shard_count),
   // independent of scheduling — repeated runs are bit-identical.
@@ -39,6 +46,11 @@ std::vector<RunningStats> run_trials_multi(
         std::vector<RunningStats>& local = locals[shard];
         std::vector<double> metrics(metric_count, 0.0);
         for (std::size_t t = shard; t < trials; t += shard_count) {
+          telemetry::Session* session = nullptr;
+          if (cap != nullptr) {
+            session = &cap->session_for((telem_scope << 32) | t);
+          }
+          telemetry::ThreadBind bind(session);
           // Seed depends only on (seed, t): sharding-invariant.
           Rng rng(mix64(seed ^ (0x9e3779b97f4a7c15ULL * (t + 1))));
           std::fill(metrics.begin(), metrics.end(), 0.0);

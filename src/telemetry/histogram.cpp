@@ -1,0 +1,70 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace tg::telemetry {
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Octave = index of the value's highest set bit (>= kSubBucketBits
+  // here); the sub-bucket is the kSubBucketBits bits below it.
+  const auto octave =
+      static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const std::size_t sub = static_cast<std::size_t>(
+      (value >> (octave - kSubBucketBits)) - kSubBuckets);
+  return kSubBuckets + (octave - kSubBucketBits) * kSubBuckets + sub;
+}
+
+std::uint64_t LogHistogram::bucket_lower_bound(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::size_t octave = kSubBucketBits + (index - kSubBuckets) / kSubBuckets;
+  const std::uint64_t sub = (index - kSubBuckets) % kSubBuckets;
+  return (std::uint64_t{1} << octave) +
+         (sub << (octave - kSubBucketBits));
+}
+
+std::uint64_t LogHistogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index + 1 >= kBuckets) return ~std::uint64_t{0};
+  return bucket_lower_bound(index + 1) - 1;
+}
+
+void LogHistogram::record(std::uint64_t value,
+                          std::uint64_t count) noexcept {
+  if (count == 0) return;
+  counts_[bucket_index(value)] += count;
+  total_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  if (other.total_ != 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+}
+
+std::uint64_t LogHistogram::value_at_quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target order statistic, 1-based; ceil so q = 0.5 of
+  // two samples selects the first (the conventional lower median).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  if (rank >= total_) return max();  // the top order statistic is exact
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_lower_bound(i), min(), max());
+    }
+  }
+  return max();  // unreachable: seen == total_ >= rank after the loop
+}
+
+}  // namespace tg::telemetry

@@ -51,6 +51,10 @@
 // Fault plane (deterministic message-level fault injection)
 #include "fault/fault_plan.hpp"
 
+// Telemetry plane (deterministic metrics + causal op tracing)
+#include "telemetry/histogram.hpp"
+#include "telemetry/telemetry.hpp"
+
 // Workload engine (deterministic client traffic over the overlay)
 #include "workload/engine.hpp"
 #include "workload/histogram.hpp"

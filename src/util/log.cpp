@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "telemetry/telemetry.hpp"
+
 namespace tg::log {
 
 namespace {
@@ -28,7 +30,13 @@ Level level() noexcept { return g_level.load(); }
 void write(Level lvl, std::string_view message) {
   if (lvl < g_level.load()) return;
   const std::lock_guard lock(g_mutex);
-  std::cerr << "[" << name(lvl) << "] " << message << "\n";
+  std::cerr << "[" << name(lvl) << "] ";
+  // When a telemetry session is active, stamp the line with its
+  // virtual-time context so log output correlates with the trace.
+  if (const auto* session = telemetry::active()) {
+    std::cerr << "[r" << session->round() << "/e" << session->epoch() << "] ";
+  }
+  std::cerr << message << "\n";
 }
 
 }  // namespace tg::log

@@ -1,5 +1,10 @@
 // Leveled logging.  Benches default to `warn` so experiment tables stay
 // clean; examples raise verbosity to narrate what the protocol does.
+//
+// When a telemetry session is active (telemetry::active() non-null),
+// every line is additionally stamped with the session's virtual-time
+// context as `[r<round>/e<epoch>]`, so log output can be correlated
+// with the exported trace without wall clocks.
 #pragma once
 
 #include <sstream>

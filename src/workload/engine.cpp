@@ -8,10 +8,16 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace tg::workload {
 namespace {
+
+// Op settle outcomes (args.outcome of the op span's 'e' event).
+constexpr std::uint64_t kOutcomeCompleted = 0;
+constexpr std::uint64_t kOutcomeFailed = 1;
+constexpr std::uint64_t kOutcomeTimedOut = 2;
 
 constexpr std::uint64_t kTagRequest = 1;
 constexpr std::uint64_t kTagReply = 2;
@@ -128,12 +134,30 @@ class GroupNode final : public net::Node {
       analytic_messages_ += world.pair_messages(m.src, index_);
     }
 
+    // One guard per request message; the events below are pure
+    // functions of the (deterministic) delivery stream, so counts and
+    // traces are identical at any executor width.
+    telemetry::Session* const telem = telemetry::active();
+    const auto src_group =
+        telemetry::kSrcGroup + static_cast<std::uint32_t>(index_);
+
     const bool responsible = world.responsible(op.key) == index_;
     if (world.is_red(index_)) {
-      if (!responsible) return;  // the search dies here; client times out
+      if (!responsible) {
+        if (telem != nullptr) {
+          telem->count(telemetry::Probe::workload_red_drops);
+          telem->event(telemetry::EventName::op_red_drop, src_group, 'n',
+                       op_id, /*a=*/index_);
+        }
+        return;  // the search dies here; client times out
+      }
       // Adversary-controlled owner: serve garbage.
       reply(ctx, reply_to, op_id, kStatusCorrupted, ~op.value);
       analytic_messages_ += world.composition(index_).size;
+      if (telem != nullptr) {
+        telem->event(telemetry::EventName::op_serve, src_group, 'n', op_id,
+                     /*a=*/index_, /*b=*/kStatusCorrupted);
+      }
       return;
     }
     if (responsible) {
@@ -142,6 +166,10 @@ class GroupNode final : public net::Node {
             exec.value);
       // Each member returns its copy for majority filtering.
       analytic_messages_ += world.composition(index_).size;
+      if (telem != nullptr) {
+        telem->event(telemetry::EventName::op_serve, src_group, 'n', op_id,
+                     /*a=*/index_, /*b=*/exec.ok ? kStatusOk : kStatusFailed);
+      }
       return;
     }
 
@@ -164,6 +192,11 @@ class GroupNode final : public net::Node {
       for (std::size_t i = 2; i < route->path.size(); ++i) {
         payload.push_back(route->path[i]);
       }
+      if (telem != nullptr) {
+        // Entry group: the op's full hop chain is fixed here.
+        telem->event(telemetry::EventName::op_route, src_group, 'n', op_id,
+                     /*a=*/index_, /*b=*/route->path.size() - 1);
+      }
     } else {
       const std::uint64_t remaining = m.payload[kReqHopCount];
       if (remaining == 0 || m.payload.size() < kReqHops + remaining) {
@@ -177,6 +210,10 @@ class GroupNode final : public net::Node {
     }
     if (next >= world.groups()) return;  // malformed hop
     pad_payload(payload, op_id, padding_words_);
+    if (telem != nullptr) {
+      telem->event(telemetry::EventName::op_hop, src_group, 'n', op_id,
+                   /*a=*/index_, /*b=*/next);
+    }
     ctx.send(static_cast<net::NodeId>(next), kTagRequest, std::move(payload));
   }
 
@@ -274,9 +311,50 @@ class IssuerBase : public net::Node {
     return static_cast<net::NodeId>(rng_.below(world.groups()));
   }
 
+  // ----- telemetry mirrors (no-ops without an active session) -----
+
+  [[nodiscard]] std::uint32_t telem_source() const noexcept {
+    return telemetry::kSrcClient + static_cast<std::uint32_t>(self_id_);
+  }
+
+  /// Opens the op's async span ('b') and mirrors the issued counter.
+  /// Bogus background issuers keep no ledger and emit no spans.
+  void telem_op_begin(std::uint64_t op_id, const Operation& op) {
+    if (!track_ops_) return;
+    if (auto* t = telemetry::active()) {
+      t->count(telemetry::Probe::workload_ops_issued);
+      t->event(telemetry::EventName::op, telem_source(), 'b', op_id,
+               /*a=*/static_cast<std::uint64_t>(op.kind));
+    }
+  }
+
+  /// Closes the op's span ('e') with its outcome and mirrors the
+  /// outcome counter + latency histogram.
+  void telem_op_end(std::uint64_t op_id, std::uint64_t outcome,
+                    std::uint64_t latency) {
+    if (auto* t = telemetry::active()) {
+      using telemetry::Probe;
+      t->count(outcome == kOutcomeCompleted ? Probe::workload_ops_completed
+               : outcome == kOutcomeFailed  ? Probe::workload_ops_failed
+                                            : Probe::workload_ops_timed_out);
+      t->sample(Probe::workload_op_latency_rounds, latency);
+      t->event(telemetry::EventName::op, telem_source(), 'e', op_id,
+               /*a=*/0, /*b=*/outcome);
+    }
+  }
+
+  void telem_op_stale(const net::Message& m) {
+    if (auto* t = telemetry::active()) {
+      t->count(telemetry::Probe::workload_stale_replies);
+      t->event(telemetry::EventName::op_stale, telem_source(), 'n',
+               m.payload[0], /*a=*/m.src);
+    }
+  }
+
   /// Issue the next op from this node; returns its id.  (The legacy
   /// fire-once path; the lifecycle path opens ops via open_op.)
   std::uint64_t issue(net::Context& ctx) {
+    self_id_ = ctx.self();
     const Operation op = service_->next_operation(rng_);
     // Node id in the high bits keeps op ids globally unique.
     const std::uint64_t op_id =
@@ -284,6 +362,7 @@ class IssuerBase : public net::Node {
     send_request(ctx, pick_start(ctx.round()), op, op_id, ctx.self(),
                  spec_->padding_words);
     ++recorder_.issued;
+    telem_op_begin(op_id, op);
     return op_id;
   }
 
@@ -291,19 +370,24 @@ class IssuerBase : public net::Node {
                     std::uint64_t issue_round) {
     // Client-observed latency: delivery round minus issue round (>= 1;
     // delayed replies count their delay).
-    recorder_.latency.record(
-        std::max<std::uint64_t>(1, delivery_round - issue_round));
+    const std::uint64_t latency =
+        std::max<std::uint64_t>(1, delivery_round - issue_round);
+    recorder_.latency.record(latency);
+    std::uint64_t outcome = kOutcomeFailed;
     if (m.payload.size() >= 2 && m.payload[1] == kStatusOk) {
       ++recorder_.completed;
       note_goodput(delivery_round);
+      outcome = kOutcomeCompleted;
     } else {
       ++recorder_.failed;
     }
+    telem_op_end(m.payload[0], outcome, latency);
   }
 
-  void record_timeout() {
+  void record_timeout(std::uint64_t op_id) {
     recorder_.latency.record(spec_->timeout_rounds);
     ++recorder_.timed_out;
+    telem_op_end(op_id, kOutcomeTimedOut, spec_->timeout_rounds);
   }
 
   // ----- self-healing lifecycle (retry_on() paths only) -----
@@ -340,6 +424,7 @@ class IssuerBase : public net::Node {
 
   /// Open a new op under the lifecycle: ledger entry + first attempt.
   void open_op(net::Context& ctx) {
+    self_id_ = ctx.self();
     const std::uint64_t round = ctx.round();
     OpState st;
     st.op = service_->next_operation(rng_);
@@ -351,6 +436,7 @@ class IssuerBase : public net::Node {
     send_request(ctx, st.last_start, st.op, op_id, ctx.self(),
                  spec_->padding_words);
     ++recorder_.issued;
+    telem_op_begin(op_id, st.op);
     ++open_ops_;
     schedule_wake(round + spec_->timeout_rounds, op_id);
     if (spec_->retry.hedge) {
@@ -428,6 +514,7 @@ class IssuerBase : public net::Node {
     const auto it = ledger_.find(m.payload[0]);
     if (it == ledger_.end() || it->second.settled) {
       ++recorder_.stale_replies;
+      telem_op_stale(m);
       return false;
     }
     OpState& st = it->second;
@@ -448,9 +535,11 @@ class IssuerBase : public net::Node {
  private:
   void settle_timeout(std::uint64_t op_id, OpState& st, std::uint64_t round) {
     // Latency is the client-observed wait since the FIRST attempt.
-    recorder_.latency.record(
-        std::max<std::uint64_t>(1, round - st.first_issue));
+    const std::uint64_t latency =
+        std::max<std::uint64_t>(1, round - st.first_issue);
+    recorder_.latency.record(latency);
     ++recorder_.timed_out;
+    telem_op_end(op_id, kOutcomeTimedOut, latency);
     st.settled = true;
     --open_ops_;
     st.cleanup_at = round + stale_grace();
@@ -475,6 +564,12 @@ class IssuerBase : public net::Node {
     } else {
       ++st.attempts;
       ++recorder_.retries;
+    }
+    if (auto* t = telemetry::active()) {
+      t->count(hedge ? telemetry::Probe::workload_hedges
+                     : telemetry::Probe::workload_retries);
+      t->event(telemetry::EventName::op_attempt, telem_source(), 'n', op_id,
+               /*a=*/st.attempts, /*b=*/hedge ? 1 : 0);
     }
     send_request(ctx, start, st.op, op_id, ctx.self(), spec_->padding_words);
     schedule_wake(round + spec_->timeout_rounds, op_id);
@@ -549,6 +644,11 @@ class IssuerBase : public net::Node {
   Rng rng_;
   Recorder recorder_;
   std::uint64_t next_serial_ = 0;
+  /// Own node id, captured at the first issue (Context is not stored);
+  /// telemetry events use it as the per-issuer trace "thread".
+  net::NodeId self_id_ = 0;
+  /// Bogus background issuers keep no ledger, so they mirror nothing.
+  bool track_ops_ = true;
 
  private:
   // Lifecycle state (only touched when retry_on()).
@@ -571,7 +671,9 @@ class GeneratorNode final : public IssuerBase {
  public:
   GeneratorNode(const Spec& spec, Service& service, std::uint64_t seed,
                 double rate, bool bogus)
-      : IssuerBase(spec, service, seed), rate_(rate), bogus_(bogus) {}
+      : IssuerBase(spec, service, seed), rate_(rate), bogus_(bogus) {
+    track_ops_ = !bogus;
+  }
 
   void on_message(const net::Message& m, net::Context& ctx) override {
     if (bogus_ || m.tag != kTagReply || m.payload.empty()) return;
@@ -584,6 +686,7 @@ class GeneratorNode final : public IssuerBase {
       // Already timed out (or a duplicate delivery): the legacy
       // ledger is idempotent too — counted, never recorded twice.
       ++recorder_.stale_replies;
+      telem_op_stale(m);
       return;
     }
     record_reply(m, ctx.round(), it->second);
@@ -600,7 +703,7 @@ class GeneratorNode final : public IssuerBase {
              round - expiry_.front().second >= spec_->timeout_rounds) {
         const auto op_id = expiry_.front().first;
         expiry_.pop_front();
-        if (inflight_.erase(op_id) != 0) record_timeout();
+        if (inflight_.erase(op_id) != 0) record_timeout(op_id);
       }
     }
     if (round > spec_->rounds) return;  // generation window over: drain
@@ -669,6 +772,7 @@ class ClientNode final : public IssuerBase {
       // A reply for an op this client already gave up on (or a
       // duplicate of one it already took): stale by definition.
       ++recorder_.stale_replies;
+      telem_op_stale(m);
       return;
     }
     record_reply(m, ctx.round(), issue_round_);
@@ -690,7 +794,7 @@ class ClientNode final : public IssuerBase {
     }
     if (inflight_id_ != 0 &&
         round - issue_round_ >= spec_->timeout_rounds) {
-      record_timeout();
+      record_timeout(inflight_id_);
       inflight_id_ = 0;
       think_left_ = spec_->think_rounds;
     }

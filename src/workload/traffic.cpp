@@ -13,6 +13,7 @@
 #include "core/population.hpp"
 #include "crypto/oracle.hpp"
 #include "pow/puzzle.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tg::workload {
@@ -297,10 +298,20 @@ CellTraffic run_traffic_cell(const ScenarioSpec& spec, bool with_adversary,
       std::min<std::size_t>(trials, threads == 0 ? 8 : threads);
   std::vector<Recorder> shard_recorders(shard_count);
   std::vector<std::uint64_t> trace(trials);
+  // Telemetry capture: same (scope, trial) track keying as
+  // sim::run_trials_multi, so the merged export never depends on the
+  // shard count or schedule.
+  telemetry::Capture* const cap = telemetry::capture();
+  const std::uint64_t telem_scope = cap != nullptr ? cap->next_scope() : 0;
   parallel_for_shards(
       shard_count,
       [&](std::size_t shard) {
         for (std::size_t t = shard; t < trials; t += shard_count) {
+          telemetry::Session* session = nullptr;
+          if (cap != nullptr) {
+            session = &cap->session_for((telem_scope << 32) | t);
+          }
+          telemetry::ThreadBind bind(session);
           // Same sharding-invariant per-trial seeding as
           // sim::run_trials_multi: results never depend on the shard
           // count or schedule.

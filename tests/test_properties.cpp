@@ -829,5 +829,59 @@ TEST(FaultProperties, ZeroProbabilityPlansAreByteIdenticalToNoFaults) {
       });
 }
 
+// ---------- Telemetry plane ----------
+
+TEST(TelemetryProperties, ExportsAreByteInvariantAcrossTheSeamCrossProduct) {
+  // The telemetry determinism contract, swept over the FULL dispatch
+  // seam cross-product (layout x pooling x recycling x kernel x
+  // routing-index): at ANY generated seam point, the exported metrics
+  // JSON and Chrome trace JSON are byte-identical at 1 executor thread
+  // and at the generated thread count.  Additionally, seams that are
+  // behavior-invisible by contract (layout, kernels, recycling) must
+  // leave the export bytes untouched relative to the default point;
+  // pooling and the routing index legitimately change which probes
+  // fire (arena / index counters), so they are exercised through the
+  // thread axis only.
+  using Case = std::pair<scenario::ScenarioSpec, SeamConfig>;
+  expect_property<Case>(
+      "telemetry.exports-byte-invariant-across-seams",
+      proptest::pair_of(proptest_domains::traffic_spec(),
+                        proptest_domains::seam_config(4)),
+      [](const Case& c) {
+        const auto export_under =
+            [&](const SeamConfig& config,
+                std::size_t threads) -> std::pair<std::string, std::string> {
+          const SeamScope scope(config);
+          telemetry::Session session;
+          telemetry::set_active(&session);
+          Rng rng(c.first.seed);
+          const workload::World world =
+              workload::world_for_trial(c.first, false, rng);
+          const auto service = workload::make_service(
+              c.first.workload.service, world, 128, rng());
+          workload::Spec engine = workload::engine_spec(c.first, false);
+          engine.recycle_buffers = config.recycle_buffers;
+          engine.pool_payloads = config.pool_payloads;
+          (void)workload::run(*service, engine, rng(), threads);
+          telemetry::set_active(nullptr);
+          return {session.metrics_json(), session.chrome_trace_json()};
+        };
+        const auto narrow = export_under(c.second, 1);
+        const auto wide = export_under(c.second, c.second.threads);
+        if (narrow != wide) return false;
+        SeamConfig invisible;  // defaults for the probe-visible seams
+        invisible.layout = c.second.layout;
+        invisible.kernel_combo = c.second.kernel_combo;
+        invisible.recycle_buffers = c.second.recycle_buffers;
+        const auto baseline = export_under(SeamConfig{}, 1);
+        return export_under(invisible, 1) == baseline;
+      },
+      iters(2),
+      [](const Case& c) {
+        return proptest_domains::show_spec(c.first) + " " +
+               c.second.describe();
+      });
+}
+
 }  // namespace
 }  // namespace tg

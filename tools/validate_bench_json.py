@@ -16,6 +16,17 @@ Schema (version 1):
     ]
   }
 
+Row names must be unique within a report: a duplicate means two
+writers raced or a reporter double-added, and downstream tooling
+(check_perf_regression.py keys rows by name) would silently read
+whichever came last.
+
+Reports with bench == "telemetry.metrics" (the campaign
+--metrics-out / bench_telemetry artifact) are additionally checked
+for their fixed shape: the deterministic trace accounting row
+("telemetry.trace.events") must be present and every histogram row
+must carry the full quantile field set.
+
 Usage:
   validate_bench_json.py FILE [FILE...] [--min-scenario-cells N]
 
@@ -33,6 +44,30 @@ import sys
 def fail(path, message):
     print(f"FAIL {path}: {message}", file=sys.stderr)
     return 1
+
+
+# The quantile field set every telemetry histogram row carries
+# (src/telemetry/telemetry.cpp metrics_json).
+TELEMETRY_HISTOGRAM_FIELDS = ("count", "min", "p50", "p90", "p99",
+                              "p999", "max")
+
+
+def validate_telemetry(path, metrics):
+    """Extra shape checks for bench == "telemetry.metrics" reports."""
+    rows = {row["name"]: row for row in metrics}
+    if "telemetry.trace.events" not in rows:
+        return fail(path, "telemetry report lacks the "
+                    "'telemetry.trace.events' accounting row")
+    for name, row in rows.items():
+        # Histogram rows are recognizable by carrying any quantile
+        # field; if one is present, all of them must be.
+        if any(field in row for field in TELEMETRY_HISTOGRAM_FIELDS[2:]):
+            missing = [field for field in TELEMETRY_HISTOGRAM_FIELDS
+                       if field not in row]
+            if missing:
+                return fail(path, f"telemetry histogram row {name!r} is "
+                            f"missing fields {missing}")
+    return 0
 
 
 def validate(path, min_scenario_cells):
@@ -76,12 +111,17 @@ def validate(path, min_scenario_cells):
         return fail(path, "'metrics' missing, not a list, or empty")
 
     cells = None
+    seen_names = set()
     for index, row in enumerate(metrics):
         if not isinstance(row, dict):
             return fail(path, f"metrics[{index}] is not an object")
         name = row.get("name")
         if not isinstance(name, str) or not name:
             return fail(path, f"metrics[{index}] has no 'name'")
+        if name in seen_names:
+            return fail(path, f"duplicate metric name {name!r} "
+                        f"(metrics[{index}])")
+        seen_names.add(name)
         for key, value in row.items():
             if key == "name":
                 continue
@@ -102,6 +142,10 @@ def validate(path, min_scenario_cells):
                             "expected a non-negative number")
         if name == "campaign.summary":
             cells = row.get("cells")
+
+    if doc["bench"] == "telemetry.metrics":
+        if validate_telemetry(path, metrics):
+            return 1
 
     if min_scenario_cells is not None:
         if cells is None:
